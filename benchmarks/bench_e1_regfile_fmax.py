@@ -1,0 +1,62 @@
+"""E1 — Register-file organisation and maximum clock frequency (Section 5).
+
+Paper claims reproduced: the double-clocked (TDM) block-RAM register file
+needs only two block RAMs, supports the 4R/2W ports of the dual-issue
+pipeline, the resulting system clock exceeds 200 MHz on a Virtex-5 (speed
+grade 2), and the ALU — not the register file — is the critical path.
+"""
+
+from harness import print_table
+
+from repro.hw import (
+    ALL_DEVICES,
+    VIRTEX5_SPEED2,
+    DoubleClockedBramRegisterFile,
+    RegisterFilePorts,
+    compare_register_files,
+    estimate_pipeline_timing,
+    estimate_resources,
+)
+
+
+def test_e1_register_file_comparison(benchmark):
+    ports = RegisterFilePorts()  # 4 read / 2 write ports (dual issue)
+    reports = benchmark(compare_register_files, VIRTEX5_SPEED2, ports)
+
+    rows = []
+    for report in reports:
+        rows.append([report.name, report.block_rams, report.lut_estimate,
+                     f"{report.max_system_mhz:.0f} MHz"])
+    print_table("E1a: register-file variants on Virtex-5 (speed grade -2)",
+                ["variant", "BRAMs", "~LUTs", "RF-limited f_max"], rows)
+
+    tdm = next(r for r in reports if r.name == "double-clocked-tdm")
+    replicated = next(r for r in reports if r.name == "replicated-bram")
+    assert tdm.block_rams == 2
+    assert replicated.block_rams > tdm.block_rams
+    assert tdm.max_system_mhz > 200.0
+
+    rows = []
+    for device in ALL_DEVICES:
+        report = estimate_pipeline_timing(device)
+        rows.append([device.name, f"{report.max_frequency_mhz:.0f} MHz",
+                     report.critical_stage.name, report.limited_by])
+    print_table("E1b: pipeline f_max with the TDM register file",
+                ["device", "f_max", "critical stage", "limited by"], rows)
+
+    virtex = estimate_pipeline_timing(VIRTEX5_SPEED2)
+    assert virtex.max_frequency_mhz > 200.0
+    assert virtex.critical_stage.name == "execute"  # the ALU, as in the paper
+
+    resources = estimate_resources(VIRTEX5_SPEED2)
+    print_table("E1c: on-chip memory budget of one core",
+                ["component", "BRAMs"],
+                [["register file", resources.register_file_brams],
+                 ["method cache", resources.method_cache_brams],
+                 ["stack cache", resources.stack_cache_brams],
+                 ["static/constant cache", resources.static_cache_brams],
+                 ["object cache", resources.data_cache_brams],
+                 ["scratchpad", resources.scratchpad_brams],
+                 ["total", resources.total_brams]])
+    benchmark.extra_info["fmax_mhz"] = round(virtex.max_frequency_mhz, 1)
+    benchmark.extra_info["rf_brams"] = tdm.block_rams

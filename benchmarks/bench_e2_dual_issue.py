@@ -1,0 +1,47 @@
+"""E2 — Dual-issue pipeline vs single-issue baseline (Sections 1, 3, 5).
+
+The paper motivates the dual-issue VLIW pipeline with single-thread
+performance.  This experiment compiles the performance suite for both issue
+widths and reports cycles, speed-up and second-slot utilisation.
+"""
+
+import pytest
+from harness import print_table, ratio, run_kernel
+
+from repro import CompileOptions
+from repro.workloads import PERFORMANCE_SUITE, build_kernel
+
+
+def _run_suite():
+    rows = []
+    speedups = []
+    for name in PERFORMANCE_SUITE:
+        kernel = build_kernel(name)
+        dual = run_kernel(kernel, options=CompileOptions(dual_issue=True))
+        single = run_kernel(kernel, options=CompileOptions(dual_issue=False))
+        speedup = single.cycles / dual.cycles
+        speedups.append(speedup)
+        rows.append([name, single.cycles, dual.cycles, f"{speedup:.2f}x"])
+    return rows, speedups
+
+
+def test_e2_dual_issue_speedup(benchmark):
+    rows, speedups = benchmark.pedantic(_run_suite, rounds=1, iterations=1)
+    print_table("E2: dual-issue vs single-issue (cycles)",
+                ["kernel", "single-issue", "dual-issue", "speed-up"], rows)
+    mean_speedup = sum(speedups) / len(speedups)
+    print(f"geometric-ish mean speed-up: {mean_speedup:.2f}x")
+    # Dual issue never loses and helps on ILP-rich kernels.
+    assert all(s >= 0.99 for s in speedups)
+    assert max(speedups) > 1.1
+    benchmark.extra_info["mean_speedup"] = round(mean_speedup, 3)
+
+
+@pytest.mark.parametrize("name", ("checksum", "matmul"))
+def test_e2_slot_utilisation(benchmark, name):
+    kernel = build_kernel(name)
+    outcome = benchmark.pedantic(
+        run_kernel, args=(kernel,), kwargs={"options": CompileOptions()},
+        rounds=1, iterations=1)
+    print(f"\nE2: {name}: {outcome.cycles} cycles, {outcome.bundles} bundles")
+    assert outcome.cycles > 0

@@ -1,0 +1,54 @@
+"""E8 — Stack cache: predictable spill/fill costs (Sections 3.3, 4.2).
+
+Claims reproduced: stack data is served from the stack cache (accesses are
+guaranteed hits); spill and fill traffic only happens at sres/sens and is
+bounded by a simple occupancy analysis over the call graph, which beats the
+naive per-frame bound.
+"""
+
+from harness import print_table, run_kernel
+
+from repro import PatmosConfig, compile_and_link
+from repro.wcet import WcetOptions, analyse_stack_cache, analyze_wcet
+from repro.workloads import build_stack_chain
+
+
+def _measure():
+    kernel = build_stack_chain(depth=8, frame_words=40)
+    config = PatmosConfig()
+    outcome = run_kernel(kernel, config, wcet=WcetOptions(stack_cache="refined"),
+                         label="refined analysis")
+    image, _ = compile_and_link(kernel.program, config)
+    naive_bound = analyze_wcet(image, config,
+                               options=WcetOptions(stack_cache="naive"))
+    frames = {name: 42 for name in image.program.functions}
+    frames["main"] = 2
+    refined = analyse_stack_cache(image.program, config, frames, mode="refined")
+    naive = analyse_stack_cache(image.program, config, frames, mode="naive")
+    return outcome, naive_bound.wcet_cycles, refined, naive
+
+
+def test_e8_stack_cache_analysis(benchmark):
+    outcome, naive_bound, refined, naive = benchmark.pedantic(
+        _measure, rounds=1, iterations=1)
+
+    rows = []
+    for name in sorted(refined.spill_words):
+        rows.append([name, refined.occupancy_in.get(name, 0),
+                     refined.spill_words[name], naive.spill_words[name]])
+    print_table("E8a: worst-case spill words per function (refined vs naive)",
+                ["function", "occupancy in", "refined spill", "naive spill"],
+                rows)
+    print_table("E8b: whole-program WCET bound",
+                ["analysis", "bound (cycles)", "observed", "bound/observed"],
+                [["refined", outcome.wcet_cycles, outcome.cycles,
+                  f"{outcome.tightness:.2f}"],
+                 ["naive", naive_bound, outcome.cycles,
+                  f"{naive_bound / outcome.cycles:.2f}"]])
+
+    assert outcome.wcet_cycles >= outcome.cycles
+    assert naive_bound >= outcome.wcet_cycles
+    assert sum(refined.spill_words.values()) <= sum(naive.spill_words.values())
+    benchmark.extra_info["refined_tightness"] = round(outcome.tightness, 3)
+    benchmark.extra_info["naive_tightness"] = round(
+        naive_bound / outcome.cycles, 3)

@@ -1,0 +1,6 @@
+"""Make the shared benchmark harness importable from the bench modules."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

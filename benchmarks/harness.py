@@ -1,0 +1,76 @@
+"""Shared helpers for the experiment benchmarks (E1–E11).
+
+Each ``bench_e*.py`` module regenerates one experiment from DESIGN.md: it
+builds the workloads, runs the cycle-accurate simulator and/or the WCET
+analysis for every configuration of the experiment, prints the table the
+experiment is about (who wins, by what factor) and lets ``pytest-benchmark``
+time a representative run so the harness integrates with
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import CompileOptions, CycleSimulator, PatmosConfig, compile_and_link
+from repro.caches import HierarchyOptions
+from repro.wcet import WcetOptions, analyze_wcet
+from repro.workloads import Kernel
+
+
+@dataclass
+class RunOutcome:
+    """Observed execution and WCET bound of one kernel/configuration."""
+
+    name: str
+    cycles: int
+    bundles: int
+    wcet_cycles: int | None = None
+    extra: dict | None = None
+
+    @property
+    def tightness(self) -> float | None:
+        if self.wcet_cycles is None:
+            return None
+        return self.wcet_cycles / self.cycles
+
+
+def run_kernel(kernel: Kernel, config: PatmosConfig | None = None,
+               options: CompileOptions = CompileOptions(),
+               hierarchy: HierarchyOptions | None = None,
+               wcet: WcetOptions | None = None,
+               label: str | None = None) -> RunOutcome:
+    """Compile, simulate (strict) and optionally analyse one kernel."""
+    config = config or PatmosConfig()
+    image, _ = compile_and_link(kernel.program, config, options)
+    simulator = CycleSimulator(image, config=config, strict=True,
+                               hierarchy_options=hierarchy)
+    result = simulator.run()
+    if result.output != kernel.expected_output:
+        raise AssertionError(
+            f"{kernel.name}: wrong output {result.output[:4]}... "
+            f"(expected {kernel.expected_output[:4]}...)")
+    bound = None
+    if wcet is not None:
+        bound = analyze_wcet(image, config, options=wcet).wcet_cycles
+    return RunOutcome(name=label or kernel.name, cycles=result.cycles,
+                      bundles=result.bundles, wcet_cycles=bound,
+                      extra={"stalls": result.stalls.total()})
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print a simple aligned table (the per-experiment result)."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(headers[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(headers))]
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+
+
+def ratio(a: float, b: float) -> str:
+    """Format a speed-up / overhead ratio."""
+    if b == 0:
+        return "n/a"
+    return f"{a / b:.2f}x"

@@ -1,0 +1,42 @@
+"""Single-path code generation: input-independent execution time.
+
+The linear-search kernel exits its loop as soon as the key is found, so its
+execution time leaks the key position.  Compiling the same kernel with the
+single-path transformation (if-conversion plus counted-loop conversion,
+Section 4.2 of the paper) makes every run take exactly the same number of
+cycles — the WCET *is* the execution time.
+
+Run with ``python examples/single_path_timing.py``.
+"""
+
+from repro import CompileOptions, CycleSimulator, compile_and_link
+from repro.wcet import analyze_wcet
+from repro.workloads import build_linear_search
+
+KEY_POSITIONS = (0, 4, 12, 20, 27, 31)
+
+
+def run_variant(label: str, options: CompileOptions) -> None:
+    print(f"--- {label} ---")
+    cycles = []
+    bound = None
+    for key_index in KEY_POSITIONS:
+        kernel = build_linear_search(n=32, key_index=key_index)
+        image, _ = compile_and_link(kernel.program, options=options)
+        result = CycleSimulator(image, strict=True).run()
+        assert result.output == kernel.expected_output
+        if bound is None:
+            bound = analyze_wcet(image).wcet_cycles
+        cycles.append(result.cycles)
+        print(f"  key at index {key_index:2d}: {result.cycles:4d} cycles")
+    spread = max(cycles) - min(cycles)
+    print(f"  WCET bound {bound} cycles, observed spread {spread} cycles\n")
+
+
+def main() -> None:
+    run_variant("branchy baseline", CompileOptions())
+    run_variant("single-path code", CompileOptions(single_path=True))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""WCET analysis scenario: bound a control kernel and compare cache designs.
+
+This example reproduces, on one kernel, the argument of the paper: the
+time-predictable caches (method cache, split data caches, stack cache) keep
+the statically computed WCET bound close to the observed execution time,
+while the conventional organisations force the analysis to be pessimistic.
+
+Run with ``python examples/wcet_analysis.py``.
+"""
+
+from repro import CycleSimulator, compile_and_link
+from repro.caches import HierarchyOptions
+from repro.wcet import WcetOptions, analyze_wcet
+from repro.workloads import build_mixed_access
+
+
+def evaluate(label, image, hierarchy=None, wcet_options=WcetOptions()):
+    simulator = CycleSimulator(image, strict=True, hierarchy_options=hierarchy)
+    observed = simulator.run()
+    bound = analyze_wcet(image, options=wcet_options)
+    print(f"{label:32s} observed {observed.cycles:6d} cycles   "
+          f"WCET bound {bound.wcet_cycles:6d} cycles   "
+          f"ratio {bound.wcet_cycles / observed.cycles:.2f}")
+    return observed, bound
+
+
+def main() -> None:
+    kernel = build_mixed_access(n=32)
+    image, _ = compile_and_link(kernel.program)
+    print(f"kernel: {kernel.name} — {kernel.description}\n")
+
+    # The Patmos organisation: split, typed caches.
+    observed, bound = evaluate("Patmos split caches", image)
+
+    # Baseline 1: one unified data cache for stack/static/heap data.
+    evaluate("unified data cache", image,
+             hierarchy=HierarchyOptions(unified_data_cache=True),
+             wcet_options=WcetOptions(unified_data_cache=True))
+
+    # Baseline 2: no cache analysis at all (every access is a miss).
+    evaluate("no cache analysis", image,
+             wcet_options=WcetOptions(method_cache="always_miss",
+                                      static_cache="always_miss"))
+
+    print("\nper-function breakdown of the Patmos bound:")
+    print(bound.summary())
+    print("\nblock execution counts on the worst-case path of main:")
+    main_wcet = bound.per_function["main"]
+    for label, count in sorted(main_wcet.ipet.block_counts.items()):
+        print(f"  {label:16s} x{count:4d}  "
+              f"(cost {main_wcet.block_costs[label]} cycles)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package (and no network access to fetch it),
+so PEP 660 editable installs fail with "invalid command 'bdist_wheel'".  This
+shim lets ``pip install -e .`` fall back to the legacy ``setup.py develop``
+editable install.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,11 @@
+"""Textual assembler and disassembler for Patmos."""
+
+from .disassembler import disassemble_image, disassemble_program
+from .parser import Assembler, assemble
+
+__all__ = [
+    "Assembler",
+    "assemble",
+    "disassemble_image",
+    "disassemble_program",
+]

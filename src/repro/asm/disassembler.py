@@ -1,0 +1,54 @@
+"""Disassembler: programs and linked images back to assembly text.
+
+Unscheduled programs are printed in the assembler's input syntax (so that
+``assemble(disassemble(p))`` round-trips); linked images are printed with
+addresses and bundle markers for inspection and debugging.
+"""
+
+from __future__ import annotations
+
+from ..program.linker import Image
+from ..program.program import Program
+
+
+def disassemble_program(program: Program) -> str:
+    """Render an (unscheduled) program in assembler syntax."""
+    lines: list[str] = []
+    for item in program.data_in_order():
+        words = " ".join(str(word) for word in item.words)
+        lines.append(f".data {item.name} {item.space.value} {words}")
+    if program.data:
+        lines.append("")
+    lines.append(f".entry {program.entry}")
+    lines.append("")
+    for function in program.functions_in_order():
+        lines.append(f".func {function.name}")
+        if function.frame_words:
+            lines.append(f"    .frame {function.frame_words}")
+        for label, bound in function.loop_bounds().items():
+            lines.append(f"    .loopbound {label} {bound}")
+        for block in function.blocks:
+            lines.append(f"{block.label}:")
+            for instr in block.instrs:
+                lines.append(f"    {instr}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def disassemble_image(image: Image) -> str:
+    """Render a linked image with addresses and issue bundles."""
+    lines: list[str] = []
+    for record in image.functions:
+        lines.append(f"{record.entry_addr:#010x} <{record.name}>  "
+                     f"({record.size_bytes} bytes)")
+        addr = record.entry_addr
+        end = record.entry_addr + record.size_bytes
+        while addr < end:
+            block = image.block_at(addr)
+            if block is not None:
+                lines.append(f"{block.label}:")
+            bundle = image.bundle_at(addr)
+            lines.append(f"  {addr:#010x}  {bundle}")
+            addr += bundle.size_bytes
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,189 @@
+"""Two-pass textual assembler for Patmos programs.
+
+The accepted syntax matches the rendering produced by
+:func:`repro.isa.instruction.render_instruction` and the disassembler, so
+programs round-trip between text and the in-memory representation:
+
+.. code-block:: text
+
+    ; sum of an array
+    .data values const 1 2 3 4
+    .entry main
+
+    .func main
+        lil r2 = 4
+        lil r3 = 0
+        addl r1 = r0, values
+    loop:
+        lwc r4 = [r1 + 0]
+        add r3 = r3, r4
+        addi r1 = r1, 4
+        subi r2 = r2, 1
+        cmpineq p1 = r2, 0
+        (p1) br loop
+        .loopbound loop 4
+        out r3
+        halt
+
+Directives: ``.func name``, ``.entry name``, ``.frame words``,
+``.loopbound label bound``, ``.data name space value...`` (space is one of
+``const``, ``data``, ``heap``, ``local``).  Comments start with ``;``, ``#``
+or ``//``.  Guards are written as a ``(pN)`` / ``(!pN)`` prefix.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..errors import AssemblerError
+from ..isa.opcodes import MNEMONIC_TABLE
+from ..program.builder import FunctionBuilder, ProgramBuilder, _make_instruction, parse_guard
+from ..program.program import DataSpace, Program
+
+_COMMENT_RE = re.compile(r"(;|#|//).*$")
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):$")
+_GUARD_RE = re.compile(r"^\(\s*(!?\s*p\d+)\s*\)")
+_INT_RE = re.compile(r"^[+-]?(0x[0-9a-fA-F]+|\d+)$")
+
+
+def _strip_comment(line: str) -> str:
+    return _COMMENT_RE.sub("", line).strip()
+
+
+def _parse_operand(token: str):
+    """Convert a numeric token to int, leave registers/symbols as strings."""
+    if _INT_RE.match(token):
+        return int(token, 0)
+    return token
+
+
+def _split_operands(text: str) -> list:
+    """Split an operand string into tokens, discarding assembly punctuation."""
+    cleaned = text.replace("=", " ").replace("[", " ").replace("]", " ")
+    cleaned = cleaned.replace("+", " ").replace(",", " ")
+    return [_parse_operand(token) for token in cleaned.split()]
+
+
+class Assembler:
+    """Parses assembly text into an (unscheduled) :class:`Program`."""
+
+    def __init__(self, name: str = "assembled"):
+        self.name = name
+
+    def assemble(self, text: str) -> Program:
+        """Assemble a complete program from source text."""
+        builder = ProgramBuilder(self.name)
+        current: FunctionBuilder | None = None
+        entry: str | None = None
+
+        for number, raw_line in enumerate(text.splitlines(), start=1):
+            line = _strip_comment(raw_line)
+            if not line:
+                continue
+            try:
+                current, entry = self._process_line(line, builder, current, entry)
+            except AssemblerError as exc:
+                if exc.line is None:
+                    raise AssemblerError(str(exc), line=number) from exc
+                raise
+            except Exception as exc:  # noqa: BLE001 - rewrap with line context
+                raise AssemblerError(str(exc), line=number) from exc
+
+        if entry is not None:
+            builder.entry = entry
+        program = builder.build()
+        return program
+
+    # ------------------------------------------------------------------
+
+    def _process_line(self, line: str, builder: ProgramBuilder,
+                      current: FunctionBuilder | None,
+                      entry: str | None):
+        # Labels may start with '.' (compiler-generated block labels), so
+        # check for a label before treating the line as a directive.
+        label_match = _LABEL_RE.match(line)
+        if label_match is None and line.startswith("."):
+            return self._process_directive(line, builder, current, entry)
+
+        if label_match:
+            if current is None:
+                raise AssemblerError(
+                    f"label {label_match.group(1)!r} outside of a function")
+            current.label(label_match.group(1))
+            return current, entry
+
+        if current is None:
+            raise AssemblerError(f"instruction outside of a function: {line!r}")
+        current.add_instruction(self._parse_instruction(line))
+        return current, entry
+
+    def _process_directive(self, line: str, builder: ProgramBuilder,
+                           current: FunctionBuilder | None,
+                           entry: str | None):
+        parts = line.split()
+        directive = parts[0].lower()
+        if directive == ".func":
+            if len(parts) != 2:
+                raise AssemblerError(".func expects exactly one name")
+            current = builder.function(parts[1])
+            return current, entry
+        if directive == ".entry":
+            if len(parts) != 2:
+                raise AssemblerError(".entry expects exactly one name")
+            return current, parts[1]
+        if directive == ".frame":
+            if current is None:
+                raise AssemblerError(".frame outside of a function")
+            if len(parts) != 2:
+                raise AssemblerError(".frame expects the frame size in words")
+            current.frame(int(parts[1], 0))
+            return current, entry
+        if directive == ".loopbound":
+            if current is None:
+                raise AssemblerError(".loopbound outside of a function")
+            if len(parts) != 3:
+                raise AssemblerError(".loopbound expects a label and a bound")
+            current.loop_bound(parts[1], int(parts[2], 0))
+            return current, entry
+        if directive == ".data":
+            if len(parts) < 3:
+                raise AssemblerError(
+                    ".data expects a name, a space and the initial words")
+            name, space = parts[1], parts[2].lower()
+            try:
+                data_space = DataSpace(space)
+            except ValueError as exc:
+                raise AssemblerError(
+                    f"unknown data space {space!r} (use const/data/heap/local)"
+                ) from exc
+            words = [int(token, 0) for token in parts[3:]]
+            builder.data(name, words, space=data_space)
+            return current, entry
+        if directive == ".zeros":
+            if len(parts) != 4:
+                raise AssemblerError(".zeros expects a name, a space and a count")
+            builder.zeros(parts[1], int(parts[3], 0),
+                          space=DataSpace(parts[2].lower()))
+            return current, entry
+        raise AssemblerError(f"unknown directive {parts[0]!r}")
+
+    def _parse_instruction(self, line: str):
+        guard = None
+        guard_match = _GUARD_RE.match(line)
+        if guard_match:
+            guard = guard_match.group(1).replace(" ", "")
+            line = line[guard_match.end():].strip()
+        if not line:
+            raise AssemblerError("empty instruction after guard")
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        if mnemonic not in MNEMONIC_TABLE:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}")
+        operands = _split_operands(parts[1]) if len(parts) > 1 else []
+        opcode = MNEMONIC_TABLE[mnemonic]
+        return _make_instruction(opcode, tuple(operands), parse_guard(guard))
+
+
+def assemble(text: str, name: str = "assembled") -> Program:
+    """Assemble ``text`` into an unscheduled program."""
+    return Assembler(name).assemble(text)

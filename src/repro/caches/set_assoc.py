@@ -1,0 +1,146 @@
+"""Generic set-associative cache used for the split data caches and baselines.
+
+The same mechanism backs several components of the reproduction:
+
+* the *static/constant cache* (C$): a conventional set-associative cache for
+  static data and constants, whose addresses are statically known and hence
+  analysable;
+* the *object/heap cache* (D$): a highly associative cache for heap-allocated
+  data (modelled here with a large associativity, as proposed in the paper);
+* the *unified data cache* baseline used in experiment E5;
+* the *conventional instruction cache* baseline used in experiment E4.
+
+Only tags are modelled — data always lives in main memory, which is
+functionally equivalent for timing studies on a single core (write-through,
+no-allocate-on-write policy by default, as is common for small real-time
+cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MemoryConfig, SetAssocCacheConfig
+from ..errors import CacheError
+from .stats import CacheStats
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    stall_cycles: int
+    fill_words: int = 0
+    write_through_stall: int = 0
+
+
+class SetAssociativeCache:
+    """A set-associative cache with LRU or FIFO replacement."""
+
+    def __init__(self, config: SetAssocCacheConfig, memory_config: MemoryConfig,
+                 name: str = "cache"):
+        self.config = config
+        self.memory_config = memory_config
+        self.name = name
+        self.stats = CacheStats()
+        num_lines = config.size_bytes // config.line_bytes
+        self.num_sets = num_lines // config.associativity
+        if self.num_sets < 1:
+            raise CacheError(
+                f"{name}: size {config.size_bytes} too small for associativity "
+                f"{config.associativity} with {config.line_bytes}-byte lines")
+        #: Per-set list of resident tags in replacement order (front = victim).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+
+    # -- address mapping -----------------------------------------------------------
+
+    def line_address(self, addr: int) -> int:
+        return addr // self.config.line_bytes
+
+    def set_index(self, addr: int) -> int:
+        return self.line_address(addr) % self.num_sets
+
+    def tag(self, addr: int) -> int:
+        return self.line_address(addr) // self.num_sets
+
+    @property
+    def line_words(self) -> int:
+        return self.config.line_bytes // 4
+
+    def contains(self, addr: int) -> bool:
+        return self.tag(addr) in self._sets[self.set_index(addr)]
+
+    def miss_cycles(self) -> int:
+        """Stall cycles to fill one line from main memory."""
+        return self.memory_config.transfer_cycles(self.line_words)
+
+    # -- access ---------------------------------------------------------------------
+
+    def _touch(self, set_lines: list[int], tag: int) -> None:
+        if self.config.replacement == "lru":
+            set_lines.remove(tag)
+            set_lines.append(tag)
+
+    def _insert(self, set_lines: list[int], tag: int) -> bool:
+        evicted = False
+        if len(set_lines) >= self.config.associativity:
+            set_lines.pop(0)
+            evicted = True
+            self.stats.evictions += 1
+        set_lines.append(tag)
+        return evicted
+
+    def read(self, addr: int) -> CacheAccessResult:
+        """Simulate a read access; returns hit/miss and stall cycles."""
+        set_lines = self._sets[self.set_index(addr)]
+        tag = self.tag(addr)
+        if tag in set_lines:
+            self._touch(set_lines, tag)
+            self.stats.record(hit=True)
+            return CacheAccessResult(hit=True, stall_cycles=0)
+        stall = self.miss_cycles()
+        self._insert(set_lines, tag)
+        self.stats.record(hit=False, fill_words=self.line_words, stall_cycles=stall)
+        return CacheAccessResult(hit=False, stall_cycles=stall,
+                                 fill_words=self.line_words)
+
+    def write(self, addr: int) -> CacheAccessResult:
+        """Simulate a write access under the configured write policy."""
+        set_lines = self._sets[self.set_index(addr)]
+        tag = self.tag(addr)
+        hit = tag in set_lines
+        if hit:
+            self._touch(set_lines, tag)
+        elif self.config.write_allocate:
+            self._insert(set_lines, tag)
+        # Write-through traffic is handled by the memory controller's write
+        # buffer; the cache itself does not stall the pipeline on writes.
+        self.stats.record(hit=hit)
+        return CacheAccessResult(hit=hit, stall_cycles=0)
+
+    def flush(self) -> None:
+        for set_lines in self._sets:
+            set_lines.clear()
+
+
+class IdealCache:
+    """A cache that always hits — used for 'perfect memory' baselines."""
+
+    def __init__(self, name: str = "ideal"):
+        self.name = name
+        self.stats = CacheStats()
+
+    def read(self, addr: int) -> CacheAccessResult:
+        self.stats.record(hit=True)
+        return CacheAccessResult(hit=True, stall_cycles=0)
+
+    def write(self, addr: int) -> CacheAccessResult:
+        self.stats.record(hit=True)
+        return CacheAccessResult(hit=True, stall_cycles=0)
+
+    def contains(self, addr: int) -> bool:  # pragma: no cover - trivial
+        return True
+
+    def flush(self) -> None:
+        return None

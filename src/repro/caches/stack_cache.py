@@ -1,0 +1,148 @@
+"""Stack cache: a direct-mapped on-chip buffer for stack-allocated data.
+
+Patmos serves stack-allocated data from a dedicated *stack cache* (Section
+3.3).  The cache is explicitly managed by three instructions that the
+compiler inserts around function frames:
+
+* ``sres n`` — reserve ``n`` words on function entry (may *spill* older frames
+  to main memory when the cache overflows);
+* ``sens n`` — ensure ``n`` words are present after returning from a call
+  (may *fill* from main memory if the callee spilled the caller's frame);
+* ``sfree n`` — free ``n`` words on function exit.
+
+Two special registers track the cached window of the downward-growing stack:
+``st`` (stack top) and ``ss`` (spill pointer, the high end of the cached
+region).  The invariant is ``st <= ss`` and ``ss - st <= cache size``.
+
+Only the *occupancy* needs to be modelled for timing: loads and stores whose
+address falls inside ``[st, ss)`` hit by construction, and spill/fill traffic
+is a deterministic function of the reserve/ensure amounts — which is exactly
+why the stack cache is easy to analyse for WCET.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MemoryConfig, StackCacheConfig
+from ..errors import StackCacheError
+from .stats import CacheStats
+
+
+@dataclass
+class StackCacheResult:
+    """Outcome of one stack-control operation."""
+
+    spilled_words: int = 0
+    filled_words: int = 0
+    stall_cycles: int = 0
+
+
+class StackCache:
+    """Occupancy and timing model of the Patmos stack cache."""
+
+    def __init__(self, config: StackCacheConfig, memory_config: MemoryConfig,
+                 stack_top: int):
+        self.config = config
+        self.memory_config = memory_config
+        self.stats = CacheStats()
+        #: Stack top pointer (lowest cached address).
+        self.st = stack_top
+        #: Spill pointer (one past the highest cached address).
+        self.ss = stack_top
+        self.max_occupancy = 0
+        self.total_spilled_words = 0
+        self.total_filled_words = 0
+
+    # -- invariants -----------------------------------------------------------------
+
+    @property
+    def occupancy_bytes(self) -> int:
+        return self.ss - self.st
+
+    @property
+    def size_bytes(self) -> int:
+        return self.config.size_bytes
+
+    def contains(self, addr: int, width: int = 4) -> bool:
+        """True if the access falls inside the cached stack window."""
+        return self.st <= addr and addr + width <= self.ss
+
+    def _transfer_cycles(self, words: int) -> int:
+        if words <= 0:
+            return 0
+        return self.memory_config.transfer_cycles(words)
+
+    def _check(self) -> None:
+        if self.st > self.ss:
+            raise StackCacheError(
+                f"stack cache pointers inverted: st={self.st:#x} > ss={self.ss:#x}")
+        if self.occupancy_bytes > self.size_bytes:  # pragma: no cover - defensive
+            raise StackCacheError("stack cache occupancy exceeds its size")
+
+    # -- stack-control instructions ----------------------------------------------------
+
+    def reserve(self, words: int) -> StackCacheResult:
+        """``sres words``: reserve space, spilling old frames if necessary."""
+        if words < 0:
+            raise StackCacheError("sres amount must be non-negative")
+        bytes_needed = 4 * words
+        if bytes_needed > self.size_bytes:
+            raise StackCacheError(
+                f"cannot reserve {words} words: frame exceeds the stack cache "
+                f"of {self.size_bytes} bytes (shadow stack must be used)")
+        self.st -= bytes_needed
+        spilled_words = 0
+        if self.occupancy_bytes > self.size_bytes:
+            spill_bytes = self.occupancy_bytes - self.size_bytes
+            spilled_words = spill_bytes // 4
+            self.ss -= spill_bytes
+        stall = self._transfer_cycles(spilled_words)
+        self._account(spilled_words=spilled_words, stall=stall)
+        self._check()
+        return StackCacheResult(spilled_words=spilled_words, stall_cycles=stall)
+
+    def ensure(self, words: int) -> StackCacheResult:
+        """``sens words``: make sure ``words`` words above ``st`` are cached."""
+        if words < 0:
+            raise StackCacheError("sens amount must be non-negative")
+        bytes_needed = 4 * words
+        if bytes_needed > self.size_bytes:
+            raise StackCacheError(
+                f"cannot ensure {words} words: exceeds the stack cache size")
+        filled_words = 0
+        if self.occupancy_bytes < bytes_needed:
+            fill_bytes = bytes_needed - self.occupancy_bytes
+            filled_words = fill_bytes // 4
+            self.ss += fill_bytes
+        stall = self._transfer_cycles(filled_words)
+        self._account(filled_words=filled_words, stall=stall)
+        self._check()
+        return StackCacheResult(filled_words=filled_words, stall_cycles=stall)
+
+    def free(self, words: int) -> StackCacheResult:
+        """``sfree words``: release the current frame (never accesses memory)."""
+        if words < 0:
+            raise StackCacheError("sfree amount must be non-negative")
+        self.st += 4 * words
+        if self.st > self.ss:
+            # Freed more than was cached; the spill pointer follows.
+            self.ss = self.st
+        self._account()
+        self._check()
+        return StackCacheResult()
+
+    def _account(self, spilled_words: int = 0, filled_words: int = 0,
+                 stall: int = 0) -> None:
+        self.total_spilled_words += spilled_words
+        self.total_filled_words += filled_words
+        self.stats.record(hit=(spilled_words == 0 and filled_words == 0),
+                          fill_words=spilled_words + filled_words,
+                          stall_cycles=stall)
+        self.max_occupancy = max(self.max_occupancy, self.occupancy_bytes)
+
+    # -- data accesses ------------------------------------------------------------------
+
+    def access_ok(self, addr: int, width: int) -> bool:
+        """Check a typed stack access; accesses must hit the cached window."""
+        return self.contains(addr, width)

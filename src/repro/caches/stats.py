@@ -1,0 +1,38 @@
+"""Shared cache statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Aggregate statistics of one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    fill_words: int = 0
+    stall_cycles: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (1.0 for an unused cache)."""
+        if self.accesses == 0:
+            return 1.0
+        return self.hits / self.accesses
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate
+
+    def record(self, hit: bool, fill_words: int = 0, stall_cycles: int = 0) -> None:
+        """Record one access."""
+        self.accesses += 1
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        self.fill_words += fill_words
+        self.stall_cycles += stall_cycles

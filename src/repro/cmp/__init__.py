@@ -1,0 +1,17 @@
+"""Chip-multiprocessor configuration of Patmos cores with TDMA memory access."""
+
+from .system import (
+    CmpResult,
+    CmpSystem,
+    CoreResult,
+    default_tdma_schedule,
+    single_core_reference,
+)
+
+__all__ = [
+    "CmpResult",
+    "CmpSystem",
+    "CoreResult",
+    "default_tdma_schedule",
+    "single_core_reference",
+]

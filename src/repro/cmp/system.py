@@ -1,0 +1,118 @@
+"""Chip-multiprocessor (CMP) model: replicated Patmos cores with TDMA memory.
+
+The paper proposes building a CMP from replicated Patmos pipelines with
+*statically scheduled* access to the shared main memory (Sections 1–3): each
+core owns a fixed TDMA slot, so the worst-case waiting time of a memory
+transfer is independent of the other cores' behaviour.  This module wires
+several :class:`~repro.sim.cycle.CycleSimulator` cores to one TDMA schedule
+and provides both simulation and the corresponding WCET view.
+
+Because TDMA decouples the cores completely, each core can be simulated
+independently with its own arbiter — the interference is a function of the
+schedule alone, never of the other cores' actual memory traffic.  That is the
+property the experiments demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import DEFAULT_CONFIG, PatmosConfig
+from ..errors import ConfigError
+from ..memory.tdma import TdmaArbiter, TdmaSchedule
+from ..program.linker import Image
+from ..sim.cycle import CycleSimulator
+from ..sim.results import SimResult
+from ..wcet.analyzer import WcetOptions, WcetResult, analyze_wcet
+
+
+def default_tdma_schedule(num_cores: int, config: PatmosConfig = DEFAULT_CONFIG
+                          ) -> TdmaSchedule:
+    """A TDMA schedule with one burst-sized slot per core."""
+    return TdmaSchedule(num_cores=num_cores,
+                        slot_cycles=config.memory.burst_cycles())
+
+
+@dataclass
+class CoreResult:
+    """Simulation and analysis results of one core in the CMP."""
+
+    core_id: int
+    sim: SimResult
+    wcet: Optional[WcetResult] = None
+
+    @property
+    def observed_cycles(self) -> int:
+        return self.sim.cycles
+
+    @property
+    def wcet_cycles(self) -> Optional[int]:
+        return self.wcet.wcet_cycles if self.wcet is not None else None
+
+
+@dataclass
+class CmpResult:
+    """Results of running a program mix on the chip multiprocessor."""
+
+    num_cores: int
+    schedule: TdmaSchedule
+    cores: list[CoreResult] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> int:
+        """Cycles until the last core finishes."""
+        return max(core.observed_cycles for core in self.cores)
+
+    def observed_by_core(self) -> list[int]:
+        return [core.observed_cycles for core in self.cores]
+
+    def wcet_by_core(self) -> list[Optional[int]]:
+        return [core.wcet_cycles for core in self.cores]
+
+
+class CmpSystem:
+    """A chip multiprocessor of Patmos cores sharing memory via TDMA."""
+
+    def __init__(self, images: list[Image], config: PatmosConfig = DEFAULT_CONFIG,
+                 schedule: Optional[TdmaSchedule] = None):
+        if not images:
+            raise ConfigError("a CMP system needs at least one core image")
+        self.images = images
+        self.config = config
+        self.schedule = schedule or default_tdma_schedule(len(images), config)
+        if self.schedule.num_cores < len(images):
+            raise ConfigError(
+                f"TDMA schedule has {self.schedule.num_cores} slots for "
+                f"{len(images)} cores")
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.images)
+
+    def run(self, analyse: bool = True, strict: bool = False,
+            max_bundles: int = 2_000_000) -> CmpResult:
+        """Simulate every core (and optionally analyse its WCET)."""
+        result = CmpResult(num_cores=self.num_cores, schedule=self.schedule)
+        for core_id, image in enumerate(self.images):
+            arbiter = TdmaArbiter(self.schedule, core_id)
+            simulator = CycleSimulator(image, config=self.config, strict=strict,
+                                       arbiter=arbiter, core_id=core_id)
+            sim_result = simulator.run(max_bundles=max_bundles)
+            wcet = None
+            if analyse:
+                wcet = analyze_wcet(
+                    image, config=self.config,
+                    options=WcetOptions(tdma=self.schedule))
+            result.cores.append(CoreResult(core_id=core_id, sim=sim_result,
+                                           wcet=wcet))
+        return result
+
+
+def single_core_reference(image: Image, config: PatmosConfig = DEFAULT_CONFIG,
+                          strict: bool = False) -> CoreResult:
+    """Run the same image on an unshared (single-core) memory for comparison."""
+    simulator = CycleSimulator(image, config=config, strict=strict)
+    sim_result = simulator.run()
+    wcet = analyze_wcet(image, config=config)
+    return CoreResult(core_id=0, sim=sim_result, wcet=wcet)

@@ -1,0 +1,46 @@
+"""WCET-aware compiler passes for Patmos."""
+
+from .dependence import Dependence, DependenceGraph, build_dependence_graph
+from .function_splitter import SplitStats, split_function, split_program
+from .if_conversion import IfConversionStats, if_convert_function, if_convert_program
+from .passes import CompileOptions, CompileResult, compile_and_link, compile_program
+from .scheduler import (
+    BlockScheduler,
+    ScheduleStats,
+    schedule_function,
+    schedule_program,
+)
+from .single_path import SinglePathStats, single_path_function, single_path_program
+from .stack_alloc import (
+    StackAllocationStats,
+    allocate_function,
+    allocate_program,
+    frame_size_words,
+)
+
+__all__ = [
+    "BlockScheduler",
+    "CompileOptions",
+    "CompileResult",
+    "Dependence",
+    "DependenceGraph",
+    "IfConversionStats",
+    "ScheduleStats",
+    "SinglePathStats",
+    "SplitStats",
+    "StackAllocationStats",
+    "allocate_function",
+    "allocate_program",
+    "build_dependence_graph",
+    "compile_and_link",
+    "compile_program",
+    "frame_size_words",
+    "if_convert_function",
+    "if_convert_program",
+    "schedule_function",
+    "schedule_program",
+    "single_path_function",
+    "single_path_program",
+    "split_function",
+    "split_program",
+]

@@ -1,0 +1,160 @@
+"""Data-dependence analysis within a basic block.
+
+The scheduler needs, for every pair of instructions in a block, the minimum
+issue distance (in bundles) that must separate them.  Distances encode the
+exposed delays of the Patmos pipeline: a consumer of a load result must issue
+at least ``1 + load_delay_slots`` bundles after the load, a consumer of an ALU
+result at least one bundle later (full forwarding), and instructions in the
+same bundle observe the *old* register values (VLIW semantics), so
+anti-dependences allow a distance of zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import PipelineConfig
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Format, Opcode, result_delay_slots
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A scheduling constraint: ``issue(dst) >= issue(src) + distance``."""
+
+    src: int
+    dst: int
+    distance: int
+    kind: str
+
+
+@dataclass
+class DependenceGraph:
+    """Dependence edges between the instructions of one basic block."""
+
+    instructions: list[Instruction]
+    edges: list[Dependence] = field(default_factory=list)
+    _preds: dict[int, list[Dependence]] = field(default_factory=dict, repr=False)
+    _succs: dict[int, list[Dependence]] = field(default_factory=dict, repr=False)
+
+    def add_edge(self, edge: Dependence) -> None:
+        self.edges.append(edge)
+        self._preds.setdefault(edge.dst, []).append(edge)
+        self._succs.setdefault(edge.src, []).append(edge)
+
+    def predecessors(self, index: int) -> list[Dependence]:
+        return self._preds.get(index, [])
+
+    def successors(self, index: int) -> list[Dependence]:
+        return self._succs.get(index, [])
+
+    def critical_path_lengths(self) -> list[int]:
+        """Longest path (in required issue distance) from each node to any sink."""
+        count = len(self.instructions)
+        lengths = [0] * count
+        for index in range(count - 1, -1, -1):
+            best = 0
+            for edge in self.successors(index):
+                best = max(best, edge.distance + lengths[edge.dst])
+            lengths[index] = best
+        return lengths
+
+
+def _is_ordered_side_effect(instr: Instruction) -> bool:
+    """Instructions whose mutual order must be preserved.
+
+    Memory accesses, stack-control, split-load waits, calls' special-register
+    effects and debug output all keep their program order; this is
+    conservative but simple and matches what a careful hardware scheduler
+    would assume without alias analysis.
+    """
+    info = instr.info
+    return (info.is_mem_access or info.is_stack_control
+            or info.fmt in (Format.WAIT, Format.OUT, Format.MTS, Format.HALT))
+
+
+def build_dependence_graph(instructions: list[Instruction],
+                           pipeline: PipelineConfig,
+                           split_load_distance: int = 1) -> DependenceGraph:
+    """Build the dependence graph of a basic block body.
+
+    ``split_load_distance`` is the issue distance the scheduler should aim for
+    between a decoupled main-memory load and its ``wmem``: setting it to the
+    expected memory latency lets the scheduler hide that latency behind
+    independent work, which is exactly the deterministic latency hiding the
+    split-load design enables (Section 3.3 of the paper).
+    """
+    graph = DependenceGraph(instructions=list(instructions))
+    count = len(instructions)
+
+    def add(src: int, dst: int, distance: int, kind: str) -> None:
+        graph.add_edge(Dependence(src=src, dst=dst, distance=distance, kind=kind))
+
+    # A decoupled main-memory load only commits its destination register when
+    # the matching wmem executes, so for dependence purposes the wmem acts as
+    # the defining instruction of that register.
+    wmem_defs: dict[int, frozenset[int]] = {}
+    pending_rd: frozenset[int] = frozenset()
+    for index, instr in enumerate(instructions):
+        if instr.info.is_decoupled_load and instr.rd is not None:
+            pending_rd = frozenset((instr.rd,))
+        elif instr.opcode is Opcode.WMEM:
+            wmem_defs[index] = pending_rd
+            pending_rd = frozenset()
+
+    for later in range(count):
+        instr_j = instructions[later]
+        uses_j = instr_j.gpr_uses()
+        defs_j = instr_j.gpr_defs()
+        pred_uses_j = instr_j.pred_uses()
+        pred_defs_j = instr_j.pred_defs()
+        special_uses_j = instr_j.special_uses()
+        special_defs_j = instr_j.special_defs()
+        for earlier in range(later):
+            instr_i = instructions[earlier]
+            delay_i = result_delay_slots(instr_i.info, pipeline)
+            defs_i = instr_i.gpr_defs() | wmem_defs.get(earlier, frozenset())
+            uses_i = instr_i.gpr_uses()
+            pred_defs_i = instr_i.pred_defs()
+            pred_uses_i = instr_i.pred_uses()
+            special_defs_i = instr_i.special_defs()
+            special_uses_i = instr_i.special_uses()
+
+            # True dependences (read after write): respect the exposed delay.
+            if defs_i & uses_j or special_defs_i & special_uses_j:
+                add(earlier, later, 1 + delay_i, "raw")
+            if pred_defs_i & pred_uses_j:
+                add(earlier, later, 1, "raw-pred")
+
+            # Output dependences (write after write): the later write must
+            # commit after the earlier one.
+            if defs_i & defs_j or pred_defs_i & pred_defs_j \
+                    or special_defs_i & special_defs_j:
+                delay_j = result_delay_slots(instr_j.info, pipeline)
+                add(earlier, later, max(1, 1 + delay_i - delay_j), "waw")
+
+            # Anti dependences (write after read): same bundle is fine because
+            # all operands are read before any write commits.
+            if uses_i & defs_j or pred_uses_i & pred_defs_j \
+                    or special_uses_i & special_defs_j:
+                add(earlier, later, 0, "war")
+
+    # Ordered side effects (memory accesses, stack control, waits, output)
+    # keep program order; chaining consecutive ones is enough because the
+    # constraint is transitive.
+    previous_ordered: int | None = None
+    for index, instr in enumerate(instructions):
+        if not _is_ordered_side_effect(instr):
+            continue
+        if previous_ordered is not None:
+            distance = 1
+            # A split main-memory load and its wmem must stay ordered; aiming
+            # for `split_load_distance` bundles lets independent work hide
+            # the memory latency (Section 3.3).
+            if instructions[previous_ordered].info.is_decoupled_load \
+                    and instr.opcode is Opcode.WMEM:
+                distance = max(1, split_load_distance)
+            add(previous_ordered, index, distance, "order")
+        previous_ordered = index
+
+    return graph

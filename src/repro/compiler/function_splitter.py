@@ -1,0 +1,238 @@
+"""Function splitting for the method cache.
+
+The method cache operates on whole functions, so a function larger than the
+cache (or larger than a chosen region budget) would thrash or not fit at all.
+Section 4.2 of the paper describes splitting and placing functions so that the
+worst-case path fits; this pass implements the splitting half:
+
+* the scheduled blocks of an oversized function are partitioned into
+  contiguous *regions* of at most ``max_bytes`` of code;
+* every region after the first becomes a *sub-function* entered via ``brcf``
+  (branch with cache fill), the Patmos instruction dedicated to this purpose;
+* fall-through and branches across region boundaries are rewritten to
+  ``brcf`` transfers; branches may only target region entries, so region
+  boundaries are adjusted until that invariant holds.
+
+Sub-functions share the caller's frame and return information: ``brcf`` does
+not touch ``srb``/``sro``, so a ``ret`` inside any region still returns to the
+original caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import PatmosConfig
+from ..errors import CompilerError
+from ..isa.instruction import Instruction
+from ..isa.opcodes import Opcode
+from ..program.basic_block import BasicBlock
+from ..program.function import Function
+from ..program.program import Program
+from .scheduler import BlockScheduler
+
+
+@dataclass
+class SplitStats:
+    """Summary of the function-splitting pass."""
+
+    functions_split: int = 0
+    regions_created: int = 0
+    brcf_inserted: int = 0
+    region_sizes: dict[str, list[int]] = field(default_factory=dict)
+
+
+def _block_size(block: BasicBlock) -> int:
+    if block.bundles is not None:
+        return block.scheduled_size_bytes()
+    # Conservative pre-scheduling estimate: one 8-byte bundle per instruction.
+    return 8 * max(1, len(block.instrs))
+
+
+def _branch_targets_by_block(function: Function) -> dict[str, list[str]]:
+    """Labels branched to, per source block (excluding calls/returns)."""
+    targets: dict[str, list[str]] = {}
+    for block in function.blocks:
+        labels = []
+        for instr in block.instrs:
+            if instr.opcode in (Opcode.BR, Opcode.BRCF) and \
+                    isinstance(instr.target, str):
+                labels.append(instr.target)
+        targets[block.label] = labels
+    return targets
+
+
+def _partition_blocks(function: Function, max_bytes: int) -> list[list[BasicBlock]]:
+    """Partition blocks into contiguous regions of at most ``max_bytes``.
+
+    Region boundaries are then adjusted so that every cross-region branch
+    targets the first block of a region.
+    """
+    blocks = function.blocks
+    sizes = [_block_size(block) for block in blocks]
+    for block, size in zip(blocks, sizes):
+        if size > max_bytes:
+            raise CompilerError(
+                f"basic block {block.label} of {function.name} ({size} bytes) "
+                f"does not fit the method-cache region budget of {max_bytes} "
+                f"bytes; reduce the block or increase the cache")
+
+    # Initial greedy partition by size.  Reserve room for one brcf transfer
+    # (instruction plus its delay-slot padding) that may be appended to a
+    # region for the fall-through, and for branches growing from two to three
+    # delay slots when rewritten to brcf.
+    budget = max(8, max_bytes - 32)
+    boundaries = {0}
+    current = 0
+    for index, size in enumerate(sizes):
+        if current + size > budget and current > 0:
+            boundaries.add(index)
+            current = 0
+        current += size
+
+    # Cross-region branch targets must start a region.
+    label_index = {block.label: i for i, block in enumerate(blocks)}
+    targets = _branch_targets_by_block(function)
+    changed = True
+    while changed:
+        changed = False
+        sorted_bounds = sorted(boundaries)
+
+        def region_of(index: int) -> int:
+            region = 0
+            for bound in sorted_bounds:
+                if index >= bound:
+                    region = bound
+            return region
+
+        for src_label, dst_labels in targets.items():
+            src_index = label_index[src_label]
+            for dst_label in dst_labels:
+                if dst_label not in label_index:
+                    continue  # brcf to another function
+                dst_index = label_index[dst_label]
+                if region_of(src_index) != region_of(dst_index) and \
+                        dst_index not in boundaries:
+                    boundaries.add(dst_index)
+                    changed = True
+
+    sorted_bounds = sorted(boundaries)
+    regions: list[list[BasicBlock]] = []
+    for number, start in enumerate(sorted_bounds):
+        end = sorted_bounds[number + 1] if number + 1 < len(sorted_bounds) \
+            else len(blocks)
+        regions.append(blocks[start:end])
+    return [region for region in regions if region]
+
+
+def split_function(function: Function, program: Program, config: PatmosConfig,
+                   max_bytes: int, stats: SplitStats | None = None,
+                   dual_issue: bool | None = None) -> list[Function]:
+    """Split ``function`` into method-cache-sized regions if necessary.
+
+    Returns the list of newly created sub-functions (empty if no split was
+    needed).  The program is updated in place.
+    """
+    stats = stats if stats is not None else SplitStats()
+    total_size = sum(_block_size(block) for block in function.blocks)
+    if total_size <= max_bytes:
+        return []
+
+    regions = _partition_blocks(function, max_bytes)
+    if len(regions) <= 1:
+        return []
+
+    region_entry = {region[0].label: index for index, region in enumerate(regions)}
+    region_names = [function.name if index == 0 else f"{function.name}.part{index}"
+                    for index in range(len(regions))]
+
+    def region_of_label(label: str) -> int:
+        for index, region in enumerate(regions):
+            if any(block.label == label for block in region):
+                return index
+        raise CompilerError(f"label {label!r} not found in any region")
+
+    scheduler = BlockScheduler(config, dual_issue=dual_issue)
+    new_functions: list[Function] = []
+    for index, region in enumerate(regions):
+        # Rewrite cross-region branches into brcf to the target region's entry.
+        for block in region:
+            rewritten = []
+            modified = False
+            for instr in block.instrs:
+                if instr.opcode is Opcode.BR and isinstance(instr.target, str):
+                    target_region = region_of_label(instr.target)
+                    if target_region != index:
+                        if instr.target != regions[target_region][0].label:
+                            raise CompilerError(
+                                f"branch from {block.label} to {instr.target} "
+                                f"crosses a region boundary mid-region")
+                        rewritten.append(Instruction(
+                            Opcode.BRCF, guard=instr.guard,
+                            target=region_names[target_region]))
+                        stats.brcf_inserted += 1
+                        modified = True
+                        continue
+                rewritten.append(instr)
+            if modified:
+                block.replace_instructions(rewritten)
+
+        # Fall-through across the region boundary becomes an explicit brcf.
+        last = region[-1]
+        terminator = last.terminator()
+        falls_through = (terminator is None or not terminator.guard.is_always
+                         or terminator.opcode is Opcode.CALL)
+        if index + 1 < len(regions) and falls_through:
+            transfer = Instruction(Opcode.BRCF, target=region_names[index + 1])
+            if terminator is None:
+                last.append(transfer)
+                last.bundles = None
+            else:
+                # The last block already ends in a control transfer that can
+                # fall through (conditional branch or call); put the region
+                # transfer into a small bridge block of its own.
+                bridge = BasicBlock(
+                    label=f".Lsplit_{function.name}_{index}",
+                    instrs=[transfer])
+                region.append(bridge)
+            stats.brcf_inserted += 1
+
+        # Re-schedule blocks whose instruction list changed.
+        for block in region:
+            if block.bundles is None or any(
+                    instr.opcode is Opcode.BRCF for instr in block.instrs):
+                block.bundles = scheduler.schedule_block(block)
+
+        if index == 0:
+            function.blocks = list(region)
+        else:
+            sub = Function(
+                name=region_names[index],
+                blocks=list(region),
+                frame_words=0,
+                is_subfunction=True,
+                parent=function.name,
+            )
+            program.add_function(sub)
+            new_functions.append(sub)
+        stats.region_sizes.setdefault(function.name, []).append(
+            sum(_block_size(block) for block in region))
+
+    stats.functions_split += 1
+    stats.regions_created += len(regions)
+    return new_functions
+
+
+def split_program(program: Program, config: PatmosConfig,
+                  max_bytes: int | None = None,
+                  dual_issue: bool | None = None) -> SplitStats:
+    """Split every oversized function of a program for the method cache."""
+    stats = SplitStats()
+    if max_bytes is None:
+        max_bytes = config.method_cache.size_bytes // 2
+    for function in list(program.functions.values()):
+        if function.is_subfunction:
+            continue
+        split_function(function, program, config, max_bytes, stats,
+                       dual_issue=dual_issue)
+    return stats

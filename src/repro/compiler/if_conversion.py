@@ -1,0 +1,240 @@
+"""If-conversion: replacing branches by predicated execution.
+
+Patmos supports fully predicated instructions precisely so that the compiler
+can eliminate conditional branches (Sections 3.1 and 4.2 of the paper).
+Removing a branch removes its two delay slots and — more importantly for the
+WCET — removes a control-flow split that the analysis would otherwise have to
+cover conservatively.
+
+This pass recognises the two classic local patterns:
+
+* **triangle** (if-then): a block ends with a conditional branch that skips a
+  single side block;
+* **diamond** (if-then-else): a conditional branch selects between two side
+  blocks that join again.
+
+The side blocks are folded into the branching block with their instructions
+guarded by the branch predicate (or its negation), and the branch itself is
+deleted.  Only side blocks that are small, have a single predecessor, contain
+no calls/returns/stack control and whose instructions are not already
+predicated are converted; the pass iterates to a fixed point so nested
+conditionals collapse bottom-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..isa.instruction import Guard, Instruction
+from ..isa.opcodes import ControlKind, Opcode
+from ..program.basic_block import BasicBlock
+from ..program.function import Function
+from ..program.program import Program
+
+#: Predicate register reserved as compiler scratch for combining guards when
+#: an already-predicated instruction is if-converted under another predicate.
+SCRATCH_PRED = 5
+
+
+@dataclass
+class IfConversionStats:
+    """What the pass did (used by the single-path / E7 experiments)."""
+
+    converted_triangles: int = 0
+    converted_diamonds: int = 0
+    branches_removed: int = 0
+    instructions_predicated: int = 0
+    skipped: list[str] = field(default_factory=list)
+
+
+def _is_convertible_side(block: BasicBlock, max_instructions: int) -> bool:
+    """Can this block be folded into its predecessor under a predicate?"""
+    body = block.body_instructions()
+    if len(body) > max_instructions:
+        return False
+    terminator = block.terminator()
+    if terminator is not None:
+        if terminator.opcode is not Opcode.BR or not terminator.guard.is_always:
+            return False
+    for instr in block.instrs:
+        info = instr.info
+        if info.control is not None and instr is not terminator:
+            return False
+        if info.control in (ControlKind.CALL, ControlKind.RETURN):
+            return False
+        if info.is_stack_control or info.fmt.name == "HALT":
+            return False
+        # Already-predicated instructions are folded via the scratch
+        # predicate, so the block itself must not define or be guarded by it.
+        if SCRATCH_PRED in instr.pred_defs():
+            return False
+        if instr.guard.pred == SCRATCH_PRED and not instr.guard.is_always:
+            return False
+    return True
+
+
+def _predecessors(function: Function, label: str) -> list[str]:
+    preds = []
+    for block in function.blocks:
+        fallthrough = function.fallthrough_label(block.label)
+        if label in block.successors(fallthrough):
+            preds.append(block.label)
+    return preds
+
+
+def _branch_targets(block: BasicBlock) -> tuple[Instruction | None, str | None]:
+    terminator = block.terminator()
+    if terminator is None or terminator.opcode is not Opcode.BR:
+        return None, None
+    if terminator.guard.is_always:
+        return None, None
+    if not isinstance(terminator.target, str):
+        return None, None
+    return terminator, terminator.target
+
+
+def _combine_guards(inner: Guard, outer: Guard) -> list[Instruction]:
+    """Compute ``SCRATCH_PRED = inner AND outer`` handling negations.
+
+    Patmos' predicate-combine instructions operate on positive predicates, so
+    negated operands are folded with ``pnot``/De Morgan using only the single
+    scratch predicate.
+    """
+    if not inner.negate and not outer.negate:
+        return [Instruction(Opcode.PAND, pd=SCRATCH_PRED, ps1=inner.pred,
+                            ps2=outer.pred)]
+    if inner.negate and not outer.negate:
+        return [
+            Instruction(Opcode.PNOT, pd=SCRATCH_PRED, ps1=inner.pred),
+            Instruction(Opcode.PAND, pd=SCRATCH_PRED, ps1=SCRATCH_PRED,
+                        ps2=outer.pred),
+        ]
+    if not inner.negate and outer.negate:
+        return [
+            Instruction(Opcode.PNOT, pd=SCRATCH_PRED, ps1=outer.pred),
+            Instruction(Opcode.PAND, pd=SCRATCH_PRED, ps1=SCRATCH_PRED,
+                        ps2=inner.pred),
+        ]
+    # Both negated: !a AND !b == !(a OR b).
+    return [
+        Instruction(Opcode.POR, pd=SCRATCH_PRED, ps1=inner.pred, ps2=outer.pred),
+        Instruction(Opcode.PNOT, pd=SCRATCH_PRED, ps1=SCRATCH_PRED),
+    ]
+
+
+def _guarded(instructions: list[Instruction], guard: Guard,
+             stats: IfConversionStats) -> list[Instruction]:
+    result = []
+    for instr in instructions:
+        stats.instructions_predicated += 1
+        if instr.guard.is_always:
+            result.append(instr.with_guard(guard))
+        else:
+            result.extend(_combine_guards(instr.guard, guard))
+            result.append(instr.with_guard(Guard(SCRATCH_PRED, False)))
+    return result
+
+
+def _exit_of(block: BasicBlock, function: Function) -> str | None:
+    """The single successor of a side block (branch target or fallthrough)."""
+    terminator = block.terminator()
+    if terminator is not None and isinstance(terminator.target, str):
+        return terminator.target
+    return function.fallthrough_label(block.label)
+
+
+def if_convert_function(function: Function, max_side_instructions: int = 12,
+                        stats: IfConversionStats | None = None) -> IfConversionStats:
+    """Apply if-conversion to a function in place until no pattern remains.
+
+    After the fixed point is reached, straight-line block chains left behind
+    by the conversion (join blocks with a single predecessor) are merged so
+    that the unconditional branches and their delay slots disappear as well.
+    """
+    stats = stats if stats is not None else IfConversionStats()
+    changed = True
+    while changed:
+        changed = False
+        for block in list(function.blocks):
+            branch, target = _branch_targets(block)
+            if branch is None:
+                continue
+            fallthrough = function.fallthrough_label(block.label)
+            if fallthrough is None or fallthrough == target:
+                continue
+            then_block = function.block(fallthrough)
+            guard = branch.guard
+            then_guard = Guard(guard.pred, not guard.negate)
+            else_guard = Guard(guard.pred, guard.negate)
+
+            if not _is_convertible_side(then_block, max_side_instructions):
+                stats.skipped.append(then_block.label)
+                continue
+            if len(_predecessors(function, then_block.label)) != 1:
+                continue
+            # The branch predicate must not be redefined in the side block(s).
+            if guard.pred in {p for i in then_block.instrs for p in i.pred_defs()}:
+                continue
+
+            then_exit = _exit_of(then_block, function)
+
+            if then_exit == target:
+                # Triangle: branch skips `then_block`, both paths join at target.
+                new_body = block.body_instructions()
+                new_body.extend(_guarded(then_block.body_instructions(),
+                                         then_guard, stats))
+                block.replace_instructions(new_body)
+                if function.fallthrough_label(then_block.label) != target:
+                    # Preserve the join edge with an unconditional branch.
+                    block.append(Instruction(Opcode.BR, target=target))
+                function.blocks.remove(then_block)
+                stats.converted_triangles += 1
+                stats.branches_removed += 1
+                changed = True
+                break
+
+            # Possible diamond: the branch target is the else block.
+            if target not in function.block_labels():
+                continue
+            else_block = function.block(target)
+            if not _is_convertible_side(else_block, max_side_instructions):
+                stats.skipped.append(else_block.label)
+                continue
+            if len(_predecessors(function, else_block.label)) != 1:
+                continue
+            if guard.pred in {p for i in else_block.instrs for p in i.pred_defs()}:
+                continue
+            else_exit = _exit_of(else_block, function)
+            if then_exit is None or then_exit != else_exit:
+                continue
+            join = then_exit
+
+            new_body = block.body_instructions()
+            new_body.extend(_guarded(then_block.body_instructions(),
+                                     then_guard, stats))
+            new_body.extend(_guarded(else_block.body_instructions(),
+                                     else_guard, stats))
+            block.replace_instructions(new_body)
+            # After removing both side blocks the join block may not be the
+            # lexical successor any more; branch to it explicitly.
+            block.append(Instruction(Opcode.BR, target=join))
+            function.blocks.remove(then_block)
+            function.blocks.remove(else_block)
+            stats.converted_diamonds += 1
+            stats.branches_removed += 2
+            changed = True
+            break
+
+    from .simplify import merge_straightline_blocks
+
+    stats.branches_removed += merge_straightline_blocks(function)
+    return stats
+
+
+def if_convert_program(program: Program, max_side_instructions: int = 12
+                       ) -> IfConversionStats:
+    """Apply if-conversion to every function of a program in place."""
+    stats = IfConversionStats()
+    for function in program.functions.values():
+        if_convert_function(function, max_side_instructions, stats)
+    return stats

@@ -1,0 +1,98 @@
+"""Pass manager: the standard WCET-aware compilation pipeline.
+
+``compile_program`` turns an unscheduled program produced by the builder or
+the assembler into an executable, linkable program:
+
+1. stack-cache allocation (``sres``/``sens``/``sfree`` and return-info saving);
+2. optional if-conversion or the full single-path transformation;
+3. VLIW scheduling (bundling and delay-slot filling), dual- or single-issue;
+4. function splitting for the method cache.
+
+The original program is left untouched; a compiled copy is returned together
+with statistics from the individual passes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import DEFAULT_CONFIG, PatmosConfig
+from ..program.linker import Image, link
+from ..program.program import Program
+from .function_splitter import SplitStats, split_program
+from .if_conversion import IfConversionStats, if_convert_program
+from .scheduler import ScheduleStats, schedule_program
+from .single_path import single_path_program
+from .stack_alloc import StackAllocationStats, allocate_program
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Options of the standard compilation pipeline."""
+
+    dual_issue: Optional[bool] = None   # None = follow the processor config
+    if_convert: bool = False
+    single_path: bool = False
+    stack_allocation: bool = True
+    split_functions: bool = True
+    max_function_bytes: Optional[int] = None
+    max_side_instructions: int = 12
+    #: Schedule split-load waits one memory latency after the load so that
+    #: independent instructions hide the latency (Section 3.3).
+    hide_split_loads: bool = True
+
+
+@dataclass
+class CompileResult:
+    """A compiled program plus per-pass statistics."""
+
+    program: Program
+    options: CompileOptions
+    schedule: ScheduleStats = field(default_factory=ScheduleStats)
+    stack: StackAllocationStats = field(default_factory=StackAllocationStats)
+    if_conversion: Optional[IfConversionStats] = None
+    split: Optional[SplitStats] = None
+
+
+def compile_program(program: Program, config: PatmosConfig = DEFAULT_CONFIG,
+                    options: CompileOptions = CompileOptions()) -> CompileResult:
+    """Run the standard pipeline on a copy of ``program``."""
+    compiled = program.copy()
+    result = CompileResult(program=compiled, options=options)
+
+    if options.stack_allocation:
+        result.stack = allocate_program(compiled)
+
+    if options.single_path:
+        stats = single_path_program(compiled, options.max_side_instructions)
+        result.if_conversion = IfConversionStats()
+        for per_function in stats.values():
+            ic = per_function.if_conversion
+            result.if_conversion.converted_triangles += ic.converted_triangles
+            result.if_conversion.converted_diamonds += ic.converted_diamonds
+            result.if_conversion.branches_removed += ic.branches_removed
+            result.if_conversion.instructions_predicated += ic.instructions_predicated
+    elif options.if_convert:
+        result.if_conversion = if_convert_program(
+            compiled, options.max_side_instructions)
+
+    schedule_program(compiled, config, dual_issue=options.dual_issue,
+                     stats=result.schedule,
+                     hide_split_loads=options.hide_split_loads)
+
+    if options.split_functions:
+        result.split = split_program(
+            compiled, config, max_bytes=options.max_function_bytes,
+            dual_issue=options.dual_issue)
+
+    return result
+
+
+def compile_and_link(program: Program, config: PatmosConfig = DEFAULT_CONFIG,
+                     options: CompileOptions = CompileOptions()
+                     ) -> tuple[Image, CompileResult]:
+    """Compile a program and link it into an executable image."""
+    result = compile_program(program, config, options)
+    image = link(result.program, config)
+    return image, result

@@ -1,0 +1,81 @@
+"""CFG simplification: merging straight-line block chains.
+
+If-conversion leaves behind join blocks with a single predecessor and
+unconditional branches to them.  Merging such chains removes the branch (and
+its two delay slots) and produces the single-block loops that the single-path
+transformation expects.
+"""
+
+from __future__ import annotations
+
+from ..isa.opcodes import Opcode
+from ..program.function import Function
+from ..program.program import Program
+
+
+def _single_predecessor(function: Function, label: str) -> str | None:
+    """The unique predecessor block label of ``label`` (or ``None``)."""
+    preds = []
+    for block in function.blocks:
+        fallthrough = function.fallthrough_label(block.label)
+        if label in block.successors(fallthrough):
+            preds.append(block.label)
+    if len(preds) == 1:
+        return preds[0]
+    return None
+
+
+def merge_straightline_blocks(function: Function) -> int:
+    """Merge blocks with a single predecessor into that predecessor.
+
+    A block ``J`` is merged into ``A`` when ``A`` is its only predecessor and
+    ``A`` reaches ``J`` either by falling through or by an unconditional,
+    always-executed branch.  Returns the number of merges performed.
+    """
+    merges = 0
+    changed = True
+    while changed:
+        changed = False
+        for block in list(function.blocks):
+            label = block.label
+            if block is function.entry_block():
+                continue
+            pred_label = _single_predecessor(function, label)
+            if pred_label is None or pred_label == label:
+                continue
+            pred = function.block(pred_label)
+            terminator = pred.terminator()
+            if terminator is None:
+                if function.fallthrough_label(pred_label) != label:
+                    continue
+                merged = list(pred.instrs)
+            elif terminator.opcode is Opcode.BR and terminator.guard.is_always \
+                    and terminator.target == label:
+                # Removing the branch is only safe when the merged block ends
+                # in the same place afterwards: either the merged-in block has
+                # no fall-through of its own (it ends in an unconditional
+                # transfer), or it is the lexical successor anyway.
+                own_term = block.terminator()
+                ends_closed = (own_term is not None and own_term.guard.is_always
+                               and own_term.opcode is not Opcode.CALL)
+                if not ends_closed and \
+                        function.fallthrough_label(pred_label) != label:
+                    continue
+                merged = pred.body_instructions()
+            else:
+                continue
+            merged.extend(block.instrs)
+            pred.replace_instructions(merged)
+            if block.loop_bound is not None and pred.loop_bound is None:
+                pred.loop_bound = block.loop_bound
+            function.blocks.remove(block)
+            merges += 1
+            changed = True
+            break
+    return merges
+
+
+def simplify_program(program: Program) -> int:
+    """Merge straight-line chains in every function; returns total merges."""
+    return sum(merge_straightline_blocks(function)
+               for function in program.functions.values())

@@ -1,0 +1,166 @@
+"""Single-path transformation (Puschner's single-path programming paradigm).
+
+Section 4.2 of the paper proposes predication as the enabler of *single-path*
+code: a program whose execution path — and hence execution time — does not
+depend on input data.  The transformation removes all data-dependent control
+flow:
+
+1. all conditionals are if-converted into predicated straight-line code;
+2. data-dependent loops are turned into counted loops that always iterate
+   their annotated *bound* number of times, with the loop body guarded by an
+   "active" predicate that turns false once the original exit condition
+   triggers.
+
+This module implements the transformation for functions that, after
+if-conversion, contain only *simple* loops: a single-block loop whose
+terminator is a conditional backwards branch and whose header carries a loop
+bound annotation.  That covers the kernels used in the evaluation; general
+single-path conversion of arbitrary reducible CFGs is future work in the
+paper as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompilerError
+from ..isa.instruction import Guard, Instruction
+from ..isa.opcodes import Opcode
+from ..program.basic_block import BasicBlock
+from ..program.function import Function
+from ..program.program import Program
+from .if_conversion import IfConversionStats, if_convert_function
+
+#: Registers and predicates reserved for the transformation.  The builder's
+#: register-allocation convention keeps r26-r28 and p5-p7 free for compiler
+#: use (see DESIGN.md).
+COUNTER_REG = 26
+ACTIVE_PRED = 7
+EXIT_PRED = 6
+SCRATCH_PRED = 5
+
+
+@dataclass
+class SinglePathStats:
+    """Summary of a single-path transformation."""
+
+    if_conversion: IfConversionStats
+    loops_converted: int = 0
+    loops_already_counted: int = 0
+
+
+def _is_simple_loop(function: Function, block: BasicBlock) -> bool:
+    """A single-block self loop with a conditional backwards branch."""
+    terminator = block.terminator()
+    if terminator is None or terminator.opcode is not Opcode.BR:
+        return False
+    if terminator.guard.is_always:
+        return False
+    return terminator.target == block.label
+
+
+def single_path_function(function: Function,
+                         max_side_instructions: int = 32) -> SinglePathStats:
+    """Apply the single-path transformation to a function in place."""
+    ic_stats = if_convert_function(function, max_side_instructions)
+    stats = SinglePathStats(if_conversion=ic_stats)
+
+    for block in list(function.blocks):
+        if not _is_simple_loop(function, block):
+            continue
+        if block.loop_bound is None:
+            raise CompilerError(
+                f"single-path conversion of loop {block.label!r} in "
+                f"{function.name} requires a loop bound annotation")
+        terminator = block.terminator()
+        exit_pred = terminator.guard.pred
+        body = block.body_instructions()
+
+        uses_counter = any(
+            COUNTER_REG in instr.gpr_uses() | instr.gpr_defs() for instr in body)
+        uses_preds = any(
+            {ACTIVE_PRED, EXIT_PRED} & (instr.pred_defs() | instr.pred_uses())
+            for instr in body)
+        if uses_counter or uses_preds:
+            raise CompilerError(
+                f"single-path conversion of {function.name}/{block.label} needs "
+                f"r{COUNTER_REG}, p{EXIT_PRED} and p{ACTIVE_PRED} to be "
+                "unused in the loop")
+
+        active_guard = Guard(ACTIVE_PRED, False)
+        scratch_guard = Guard(SCRATCH_PRED, False)
+        new_body: list[Instruction] = []
+        for instr in body:
+            if instr.guard.is_always:
+                new_body.append(instr.with_guard(active_guard))
+            else:
+                # Already-predicated instructions (e.g. produced by prior
+                # if-conversion) must execute only when the loop is active AND
+                # their own guard holds: conjoin both into the scratch
+                # predicate.
+                if instr.guard.negate:
+                    new_body.append(Instruction(
+                        Opcode.PNOT, pd=SCRATCH_PRED, ps1=instr.guard.pred))
+                    new_body.append(Instruction(
+                        Opcode.PAND, pd=SCRATCH_PRED, ps1=SCRATCH_PRED,
+                        ps2=ACTIVE_PRED))
+                else:
+                    new_body.append(Instruction(
+                        Opcode.PAND, pd=SCRATCH_PRED, ps1=instr.guard.pred,
+                        ps2=ACTIVE_PRED))
+                new_body.append(instr.with_guard(scratch_guard))
+
+        # The original exit condition only updates the active predicate while
+        # the loop is still active: active = active AND continue-condition.
+        new_body.append(Instruction(
+            Opcode.PAND, pd=ACTIVE_PRED, ps1=ACTIVE_PRED, ps2=exit_pred,
+            guard=Guard(0, False)))
+        # Counted-loop control: always iterate exactly `bound` times.
+        new_body.append(Instruction(
+            Opcode.SUBI, rd=COUNTER_REG, rs1=COUNTER_REG, imm=1))
+        new_body.append(Instruction(
+            Opcode.CMPINEQ, pd=EXIT_PRED, rs1=COUNTER_REG, imm=0))
+        new_body.append(Instruction(
+            Opcode.BR, target=block.label, guard=Guard(EXIT_PRED, False)))
+        block.replace_instructions(new_body)
+
+        # Initialise the counter and the active predicate in the preheader.
+        preheader = _preheader_of(function, block)
+        init = [
+            Instruction(Opcode.LIL, rd=COUNTER_REG, imm=block.loop_bound),
+            Instruction(Opcode.CMPIEQ, pd=ACTIVE_PRED, rs1=0, imm=0),
+        ]
+        _insert_before_terminator(preheader, init)
+        stats.loops_converted += 1
+
+    return stats
+
+
+def _preheader_of(function: Function, loop_block: BasicBlock) -> BasicBlock:
+    """The unique block that enters the loop from outside (lexical predecessor)."""
+    labels = function.block_labels()
+    index = labels.index(loop_block.label)
+    if index == 0:
+        raise CompilerError(
+            f"loop {loop_block.label} of {function.name} has no preheader block")
+    return function.blocks[index - 1]
+
+
+def _insert_before_terminator(block: BasicBlock,
+                              instructions: list[Instruction]) -> None:
+    terminator = block.terminator()
+    if terminator is None:
+        block.extend(instructions)
+        return
+    index = block.instrs.index(terminator)
+    block.instrs[index:index] = instructions
+    block.bundles = None
+
+
+def single_path_program(program: Program,
+                        max_side_instructions: int = 32) -> dict[str, SinglePathStats]:
+    """Apply the single-path transformation to every function of a program."""
+    return {
+        name: single_path_function(function, max_side_instructions)
+        for name, function in program.functions.items()
+    }

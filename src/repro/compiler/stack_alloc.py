@@ -1,0 +1,142 @@
+"""Stack-cache allocation: inserting sres/sens/sfree and saving return info.
+
+For every function that declares a frame (``FunctionBuilder.frame``) or makes
+calls, this pass inserts the stack-cache management instructions described in
+Section 4.2 of the paper:
+
+* ``sres`` at the function entry reserves the frame;
+* ``sens`` after every call ensures the frame is back in the cache (the callee
+  may have spilled it);
+* ``sfree`` before every return releases the frame.
+
+Non-leaf functions additionally save the return information (``srb``/``sro``)
+into the first two words of their frame, because a nested call overwrites
+these special registers; they are restored right before the return.  The pass
+reserves registers ``r30``/``r31`` as scratch for this save/restore sequence —
+the builder convention keeps them free for compiler use.
+
+Frame layout (word offsets relative to the stack top after ``sres``):
+
+* ``0 .. frame_words-1``   — user frame slots (accessed via ``lws``/``sws``)
+* ``frame_words``          — saved ``srb`` (non-leaf functions only)
+* ``frame_words + 1``      — saved ``sro`` (non-leaf functions only)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CompilerError
+from ..isa.instruction import Instruction
+from ..isa.opcodes import ControlKind, Opcode
+from ..isa.registers import SpecialReg
+from ..program.function import Function
+from ..program.program import Program
+
+#: Scratch registers reserved for prologue/epilogue code.
+SCRATCH_REG_A = 31
+SCRATCH_REG_B = 30
+
+
+@dataclass
+class StackAllocationStats:
+    """Summary of the stack-allocation pass."""
+
+    functions_with_frames: int = 0
+    sres_inserted: int = 0
+    sens_inserted: int = 0
+    sfree_inserted: int = 0
+    saved_return_info: int = 0
+
+
+def frame_size_words(function: Function) -> int:
+    """Total stack-cache words reserved for ``function`` (frame + return info)."""
+    non_leaf = function.has_calls()
+    return function.frame_words + (2 if non_leaf else 0)
+
+
+def allocate_function(function: Function,
+                      stats: StackAllocationStats | None = None) -> None:
+    """Insert stack-cache management code into ``function`` in place."""
+    stats = stats if stats is not None else StackAllocationStats()
+    non_leaf = function.has_calls()
+    total_words = frame_size_words(function)
+    if total_words == 0:
+        return
+    if function.is_subfunction:
+        # Sub-functions share the parent's frame; the parent already manages it.
+        return
+
+    for block in function.blocks:
+        for instr in block.instrs:
+            if instr.opcode in (Opcode.SRES, Opcode.SENS, Opcode.SFREE):
+                raise CompilerError(
+                    f"{function.name} already contains stack-control "
+                    "instructions; do not combine manual stack management "
+                    "with the allocation pass")
+
+    stats.functions_with_frames += 1
+    save_srb_offset = 4 * function.frame_words
+    save_sro_offset = 4 * (function.frame_words + 1)
+
+    # --- prologue ---------------------------------------------------------------
+    entry = function.entry_block()
+    prologue: list[Instruction] = [Instruction(Opcode.SRES, imm=total_words)]
+    stats.sres_inserted += 1
+    if non_leaf:
+        prologue.extend([
+            Instruction(Opcode.MFS, rd=SCRATCH_REG_A, special=SpecialReg.SRB),
+            Instruction(Opcode.MFS, rd=SCRATCH_REG_B, special=SpecialReg.SRO),
+            Instruction(Opcode.SWS, rs1=0, imm=save_srb_offset, rs2=SCRATCH_REG_A),
+            Instruction(Opcode.SWS, rs1=0, imm=save_sro_offset, rs2=SCRATCH_REG_B),
+        ])
+        stats.saved_return_info += 1
+    entry.instrs[0:0] = prologue
+    entry.bundles = None
+
+    # --- after every call: re-ensure the frame --------------------------------------
+    labels = function.block_labels()
+    for index, block in enumerate(function.blocks):
+        terminator = block.terminator()
+        if terminator is not None and terminator.info.control is ControlKind.CALL:
+            if index + 1 >= len(labels):
+                raise CompilerError(
+                    f"call at the end of {function.name} has no return block")
+            successor = function.blocks[index + 1]
+            successor.instrs[0:0] = [Instruction(Opcode.SENS, imm=total_words)]
+            successor.bundles = None
+            stats.sens_inserted += 1
+
+    # --- epilogue before every return -------------------------------------------------
+    for block in function.blocks:
+        new_instrs: list[Instruction] = []
+        changed = False
+        for instr in block.instrs:
+            if instr.info.control is ControlKind.RETURN:
+                epilogue: list[Instruction] = []
+                if non_leaf:
+                    epilogue.extend([
+                        Instruction(Opcode.LWS, rd=SCRATCH_REG_A, rs1=0,
+                                    imm=save_srb_offset),
+                        Instruction(Opcode.LWS, rd=SCRATCH_REG_B, rs1=0,
+                                    imm=save_sro_offset),
+                        Instruction(Opcode.MTS, special=SpecialReg.SRB,
+                                    rs1=SCRATCH_REG_A),
+                        Instruction(Opcode.MTS, special=SpecialReg.SRO,
+                                    rs1=SCRATCH_REG_B),
+                    ])
+                epilogue.append(Instruction(Opcode.SFREE, imm=total_words))
+                stats.sfree_inserted += 1
+                new_instrs.extend(epilogue)
+                changed = True
+            new_instrs.append(instr)
+        if changed:
+            block.replace_instructions(new_instrs)
+
+
+def allocate_program(program: Program) -> StackAllocationStats:
+    """Run stack-cache allocation on every function of a program."""
+    stats = StackAllocationStats()
+    for function in program.functions.values():
+        allocate_function(function, stats)
+    return stats

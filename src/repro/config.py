@@ -1,0 +1,214 @@
+"""Processor, memory and cache configuration for the Patmos model.
+
+The paper leaves most numeric parameters open (cache sizes, memory timing,
+burst length).  :class:`PatmosConfig` gathers them in one place with defaults
+recorded in ``DESIGN.md``; every simulator, cache and analysis component takes
+a configuration object so experiments can sweep parameters consistently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .errors import ConfigError
+
+#: Number of general-purpose registers (r0 is hard-wired to zero).
+NUM_GPRS = 32
+#: Number of predicate registers (p0 is hard-wired to true).
+NUM_PREDS = 8
+#: Word size in bytes.
+WORD_SIZE = 4
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Timing and size of the shared main memory.
+
+    The memory controller transfers data in bursts.  A burst of
+    ``burst_words`` words costs ``setup_cycles + burst_words * cycles_per_word``
+    cycles.  Larger transfers are split into multiple bursts.
+    """
+
+    size_bytes: int = 2 * 1024 * 1024
+    burst_words: int = 4
+    setup_cycles: int = 6
+    cycles_per_word: int = 2
+
+    def burst_cycles(self) -> int:
+        """Cycles for a single full burst transfer."""
+        return self.setup_cycles + self.burst_words * self.cycles_per_word
+
+    def transfer_cycles(self, num_words: int) -> int:
+        """Cycles to transfer ``num_words`` words using whole bursts."""
+        if num_words <= 0:
+            return 0
+        bursts = -(-num_words // self.burst_words)
+        return bursts * self.burst_cycles()
+
+
+@dataclass(frozen=True)
+class MethodCacheConfig:
+    """Configuration of the method (instruction) cache."""
+
+    size_bytes: int = 4096
+    num_blocks: int = 16
+    replacement: str = "fifo"  # "fifo" or "lru"
+
+    @property
+    def block_bytes(self) -> int:
+        return self.size_bytes // self.num_blocks
+
+
+@dataclass(frozen=True)
+class StackCacheConfig:
+    """Configuration of the stack cache (managed by sres/sens/sfree)."""
+
+    size_bytes: int = 1024
+    burst_words: int = 4
+
+
+@dataclass(frozen=True)
+class SetAssocCacheConfig:
+    """Configuration of a set-associative cache (C$, D$ or baselines)."""
+
+    size_bytes: int = 2048
+    line_bytes: int = 16
+    associativity: int = 2
+    replacement: str = "lru"
+    write_through: bool = True
+    write_allocate: bool = False
+
+
+@dataclass(frozen=True)
+class ScratchpadConfig:
+    """Configuration of the compiler-managed scratchpad memory."""
+
+    size_bytes: int = 2048
+    access_cycles: int = 0  # extra cycles beyond the normal load delay
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Exposed instruction delays of the Patmos pipeline.
+
+    All delays are architecturally visible (Section 3 of the paper): the
+    processor does not stall to hide them, the compiler must schedule around
+    them.
+    """
+
+    branch_delay_slots: int = 2
+    call_delay_slots: int = 3
+    load_delay_slots: int = 1
+    mul_delay_slots: int = 2
+    dual_issue: bool = True
+    store_buffer_entries: int = 4
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Static layout of the address space used by the linker."""
+
+    code_base: int = 0x0001_0000
+    const_base: int = 0x0004_0000
+    data_base: int = 0x0008_0000
+    heap_base: int = 0x0010_0000
+    shadow_stack_base: int = 0x001E_0000
+    stack_top: int = 0x0020_0000
+
+
+@dataclass(frozen=True)
+class PatmosConfig:
+    """Complete configuration of a Patmos core and its memory hierarchy."""
+
+    pipeline: PipelineConfig = field(default_factory=PipelineConfig)
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    method_cache: MethodCacheConfig = field(default_factory=MethodCacheConfig)
+    stack_cache: StackCacheConfig = field(default_factory=StackCacheConfig)
+    static_cache: SetAssocCacheConfig = field(
+        default_factory=lambda: SetAssocCacheConfig(
+            size_bytes=2048, line_bytes=16, associativity=2
+        )
+    )
+    data_cache: SetAssocCacheConfig = field(
+        default_factory=lambda: SetAssocCacheConfig(
+            size_bytes=1024, line_bytes=16, associativity=8
+        )
+    )
+    scratchpad: ScratchpadConfig = field(default_factory=ScratchpadConfig)
+    memory_map: MemoryMap = field(default_factory=MemoryMap)
+
+    def __post_init__(self) -> None:
+        validate_config(self)
+
+    def with_(self, **kwargs) -> "PatmosConfig":
+        """Return a copy with the given top-level fields replaced."""
+        return replace(self, **kwargs)
+
+    def single_issue(self) -> "PatmosConfig":
+        """Return a copy configured as a single-issue pipeline (baseline)."""
+        return self.with_(pipeline=replace(self.pipeline, dual_issue=False))
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ConfigError(message)
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def validate_config(config: PatmosConfig) -> None:
+    """Validate a :class:`PatmosConfig`, raising :class:`ConfigError` on error."""
+    mem = config.memory
+    _require(mem.size_bytes > 0, "memory size must be positive")
+    _require(mem.burst_words > 0, "burst length must be positive")
+    _require(mem.setup_cycles >= 0, "memory setup cycles must be non-negative")
+    _require(mem.cycles_per_word >= 1, "cycles per word must be at least 1")
+
+    mc = config.method_cache
+    _require(mc.num_blocks > 0, "method cache needs at least one block")
+    _require(
+        mc.size_bytes % mc.num_blocks == 0,
+        "method cache size must be a multiple of the block count",
+    )
+    _require(
+        mc.replacement in ("fifo", "lru"),
+        "method cache replacement must be 'fifo' or 'lru'",
+    )
+
+    sc = config.stack_cache
+    _require(_is_power_of_two(sc.size_bytes), "stack cache size must be a power of two")
+    _require(sc.burst_words > 0, "stack cache burst length must be positive")
+
+    for name, cache in (("static", config.static_cache), ("data", config.data_cache)):
+        _require(
+            _is_power_of_two(cache.line_bytes) and cache.line_bytes >= WORD_SIZE,
+            f"{name} cache line size must be a power of two >= {WORD_SIZE}",
+        )
+        _require(cache.associativity >= 1, f"{name} cache associativity must be >= 1")
+        _require(
+            cache.size_bytes % (cache.line_bytes * cache.associativity) == 0,
+            f"{name} cache size must be a multiple of line size * associativity",
+        )
+        _require(
+            cache.replacement in ("lru", "fifo"),
+            f"{name} cache replacement must be 'lru' or 'fifo'",
+        )
+
+    pipe = config.pipeline
+    _require(pipe.branch_delay_slots >= 0, "branch delay slots must be non-negative")
+    _require(pipe.call_delay_slots >= 0, "call delay slots must be non-negative")
+    _require(pipe.load_delay_slots >= 0, "load delay slots must be non-negative")
+    _require(pipe.mul_delay_slots >= 0, "mul delay slots must be non-negative")
+    _require(pipe.store_buffer_entries >= 0, "store buffer entries must be >= 0")
+
+    mm = config.memory_map
+    _require(
+        0 < mm.code_base < mm.const_base < mm.data_base < mm.heap_base
+        < mm.shadow_stack_base < mm.stack_top <= mem.size_bytes,
+        "memory map regions must be ordered and fit into main memory",
+    )
+
+
+DEFAULT_CONFIG = PatmosConfig()

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the Patmos reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library errors with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """An invalid processor or memory configuration was supplied."""
+
+
+class IsaError(ReproError):
+    """An instruction violates the instruction-set architecture rules."""
+
+
+class EncodingError(ReproError):
+    """An instruction or bundle cannot be encoded or decoded."""
+
+
+class AssemblerError(ReproError):
+    """The textual assembler rejected its input."""
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class LinkError(ReproError):
+    """Symbol resolution or image layout failed."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid state."""
+
+
+class ScheduleViolation(SimulationError):
+    """Code read a result before its exposed delay had elapsed.
+
+    Patmos never stalls to hide latencies; instead all delays are visible at
+    the ISA level.  Reading a register before the producing instruction's
+    delay has elapsed returns the *old* value in hardware.  The cycle-accurate
+    simulator reproduces that behaviour by default and raises this error when
+    run in ``strict`` mode, which is useful for validating compiler output.
+    """
+
+
+class MemoryAccessError(SimulationError):
+    """An access touched an unmapped or misaligned memory location."""
+
+
+class CacheError(ReproError):
+    """A cache was configured or used inconsistently."""
+
+
+class StackCacheError(CacheError):
+    """The stack-cache control instructions were used inconsistently."""
+
+
+class CompilerError(ReproError):
+    """A compilation pass could not be applied."""
+
+
+class WcetError(ReproError):
+    """WCET analysis failed (e.g. missing loop bounds or unbounded flow)."""

@@ -1,0 +1,47 @@
+"""FPGA timing and resource model of the Patmos hardware prototype."""
+
+from .device import (
+    ALL_DEVICES,
+    CYCLONE_II_LIKE,
+    FpgaDevice,
+    KINTEX7_LIKE,
+    VIRTEX5_SPEED2,
+    device_by_name,
+)
+from .pipeline import (
+    PipelineTimingReport,
+    ResourceReport,
+    StageTiming,
+    estimate_pipeline_timing,
+    estimate_resources,
+)
+from .regfile import (
+    ALL_REGISTER_FILES,
+    DoubleClockedBramRegisterFile,
+    FlipFlopRegisterFile,
+    RegisterFilePorts,
+    RegisterFileReport,
+    ReplicatedBramRegisterFile,
+    compare_register_files,
+)
+
+__all__ = [
+    "ALL_DEVICES",
+    "ALL_REGISTER_FILES",
+    "CYCLONE_II_LIKE",
+    "DoubleClockedBramRegisterFile",
+    "FlipFlopRegisterFile",
+    "FpgaDevice",
+    "KINTEX7_LIKE",
+    "PipelineTimingReport",
+    "RegisterFilePorts",
+    "RegisterFileReport",
+    "ReplicatedBramRegisterFile",
+    "ResourceReport",
+    "StageTiming",
+    "VIRTEX5_SPEED2",
+    "compare_register_files",
+    "device_by_name",
+    "estimate_pipeline_timing",
+    "estimate_resources",
+]

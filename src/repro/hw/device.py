@@ -1,0 +1,99 @@
+"""FPGA device models used by the hardware timing/resource estimation.
+
+Section 5 of the paper evaluates a VHDL prototype of the dual-issue pipeline
+on a Xilinx Virtex-5 (speed grade 2) and reports that the block RAMs can be
+clocked well above 500 MHz, that a double-clocked (time-division multiplexed)
+block-RAM register file sustains a system clock above 200 MHz, and that the
+ALU — not the register file — is the critical path.
+
+We cannot run synthesis tools here, so the hardware model works from a small
+component-delay library per device.  The delay values are calibrated against
+publicly documented Virtex-5 characteristics (6-input LUT logic delay, carry
+chains, block-RAM clock-to-out) and are intentionally conservative; the goal
+of experiment E1 is to reproduce the *ordering* and the headroom reported in
+the paper, not vendor-exact numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FpgaDevice:
+    """Component-delay library of one FPGA family/speed grade."""
+
+    name: str
+    #: Logic delay of one LUT level including local routing (ns).
+    lut_level_ns: float
+    #: Carry-chain delay of a 32-bit adder (ns).
+    adder32_ns: float
+    #: Block-RAM clock-to-out plus input setup (ns).
+    bram_access_ns: float
+    #: Maximum block-RAM clock frequency (MHz).
+    bram_max_mhz: float
+    #: Register setup + clock-to-out overhead per stage (ns).
+    register_overhead_ns: float
+    #: Additional margin for crossing between related clock domains (ns),
+    #: relevant for the double-clocked register file.
+    clock_domain_margin_ns: float
+    #: Size of one block RAM in bits.
+    bram_bits: int = 36 * 1024
+
+    def luts(self, levels: float) -> float:
+        """Delay of ``levels`` LUT logic levels in ns."""
+        if levels < 0:
+            raise ConfigError("logic levels must be non-negative")
+        return levels * self.lut_level_ns
+
+    def brams_for(self, bits: int) -> int:
+        """Number of block RAMs needed to store ``bits`` bits."""
+        if bits <= 0:
+            return 0
+        return -(-bits // self.bram_bits)
+
+
+#: Xilinx Virtex-5, speed grade 2 — the device used in the paper's prototype.
+VIRTEX5_SPEED2 = FpgaDevice(
+    name="Virtex-5 (speed grade -2)",
+    lut_level_ns=0.9,
+    adder32_ns=2.4,
+    bram_access_ns=1.8,
+    bram_max_mhz=550.0,
+    register_overhead_ns=0.6,
+    clock_domain_margin_ns=0.3,
+)
+
+#: An older / slower FPGA family, used to show how the conclusions shift.
+CYCLONE_II_LIKE = FpgaDevice(
+    name="Cyclone-II class (low-cost FPGA)",
+    lut_level_ns=1.5,
+    adder32_ns=4.2,
+    bram_access_ns=3.2,
+    bram_max_mhz=260.0,
+    register_overhead_ns=0.9,
+    clock_domain_margin_ns=0.5,
+)
+
+#: A newer device class with faster logic, for headroom studies.
+KINTEX7_LIKE = FpgaDevice(
+    name="Kintex-7 class",
+    lut_level_ns=0.6,
+    adder32_ns=1.8,
+    bram_access_ns=1.4,
+    bram_max_mhz=600.0,
+    register_overhead_ns=0.5,
+    clock_domain_margin_ns=0.25,
+)
+
+ALL_DEVICES = (VIRTEX5_SPEED2, CYCLONE_II_LIKE, KINTEX7_LIKE)
+
+
+def device_by_name(name: str) -> FpgaDevice:
+    """Look up one of the bundled device models by (case-insensitive) name."""
+    for device in ALL_DEVICES:
+        if device.name.lower() == name.lower():
+            return device
+    raise ConfigError(f"unknown FPGA device {name!r}")

@@ -1,0 +1,145 @@
+"""Pipeline timing and resource estimation for the Patmos FPGA implementation.
+
+The model estimates the delay of each pipeline stage of Figure 1 (fetch,
+decode, execute, memory/write-back) from the device's component-delay library
+and combines it with the register-file constraint to obtain the maximum
+system clock frequency and the critical path — reproducing the evaluation of
+Section 5: with the double-clocked register file on a Virtex-5 the pipeline
+exceeds 200 MHz and the ALU in the execute stage is the critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import DEFAULT_CONFIG, PatmosConfig
+from .device import FpgaDevice, VIRTEX5_SPEED2
+from .regfile import (
+    DoubleClockedBramRegisterFile,
+    RegisterFilePorts,
+    RegisterFileReport,
+)
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Delay estimate of one pipeline stage."""
+
+    name: str
+    delay_ns: float
+    description: str
+
+
+@dataclass
+class PipelineTimingReport:
+    """Timing summary of one pipeline configuration on one device."""
+
+    device: str
+    register_file: RegisterFileReport
+    stages: list[StageTiming] = field(default_factory=list)
+
+    @property
+    def critical_stage(self) -> StageTiming:
+        return max(self.stages, key=lambda stage: stage.delay_ns)
+
+    @property
+    def logic_limit_mhz(self) -> float:
+        """Clock limit imposed by the slowest pipeline stage."""
+        return 1000.0 / self.critical_stage.delay_ns
+
+    @property
+    def max_frequency_mhz(self) -> float:
+        """System clock limit: slowest stage or register-file constraint."""
+        return min(self.logic_limit_mhz, self.register_file.max_system_mhz)
+
+    @property
+    def limited_by(self) -> str:
+        """Name of the component limiting the clock frequency."""
+        if self.register_file.max_system_mhz < self.logic_limit_mhz:
+            return f"register file ({self.register_file.name})"
+        return f"{self.critical_stage.name} stage ({self.critical_stage.description})"
+
+    def summary(self) -> str:
+        lines = [f"device           : {self.device}",
+                 f"register file    : {self.register_file.name} "
+                 f"({self.register_file.block_rams} BRAMs)"]
+        for stage in self.stages:
+            lines.append(f"  {stage.name:10s}: {stage.delay_ns:5.2f} ns "
+                         f"({stage.description})")
+        lines.append(f"f_max (logic)    : {self.logic_limit_mhz:6.1f} MHz")
+        lines.append(f"f_max (RF limit) : {self.register_file.max_system_mhz:6.1f} MHz")
+        lines.append(f"f_max (system)   : {self.max_frequency_mhz:6.1f} MHz")
+        lines.append(f"limited by       : {self.limited_by}")
+        return "\n".join(lines)
+
+
+def estimate_pipeline_timing(device: FpgaDevice = VIRTEX5_SPEED2,
+                             register_file: RegisterFileReport | None = None,
+                             dual_issue: bool = True) -> PipelineTimingReport:
+    """Estimate stage delays and the maximum clock of the Patmos pipeline."""
+    ports = RegisterFilePorts.for_issue_width(2 if dual_issue else 1)
+    if register_file is None:
+        register_file = DoubleClockedBramRegisterFile(device).report(ports)
+
+    overhead = device.register_overhead_ns
+    stages = [
+        StageTiming(
+            name="fetch",
+            delay_ns=device.bram_access_ns + device.luts(1) + overhead,
+            description="method-cache BRAM read + PC multiplexer",
+        ),
+        StageTiming(
+            name="decode",
+            delay_ns=max(device.luts(2), register_file.read_path_ns) + overhead,
+            description="instruction decode in parallel with RF read",
+        ),
+        StageTiming(
+            name="execute",
+            delay_ns=(device.adder32_ns + device.luts(2 if dual_issue else 1)
+                      + overhead),
+            description="32-bit ALU + forwarding multiplexers",
+        ),
+        StageTiming(
+            name="memory/wb",
+            delay_ns=device.bram_access_ns + device.luts(1) + overhead,
+            description="data/stack-cache BRAM access + write-back mux",
+        ),
+    ]
+    return PipelineTimingReport(device=device.name, register_file=register_file,
+                                stages=stages)
+
+
+@dataclass
+class ResourceReport:
+    """Block-RAM budget of one Patmos core."""
+
+    register_file_brams: int
+    method_cache_brams: int
+    stack_cache_brams: int
+    static_cache_brams: int
+    data_cache_brams: int
+    scratchpad_brams: int
+
+    @property
+    def total_brams(self) -> int:
+        return (self.register_file_brams + self.method_cache_brams
+                + self.stack_cache_brams + self.static_cache_brams
+                + self.data_cache_brams + self.scratchpad_brams)
+
+
+def estimate_resources(device: FpgaDevice = VIRTEX5_SPEED2,
+                       config: PatmosConfig = DEFAULT_CONFIG,
+                       register_file: RegisterFileReport | None = None
+                       ) -> ResourceReport:
+    """Estimate the on-chip memory budget of one core (Figure 1 components)."""
+    if register_file is None:
+        register_file = DoubleClockedBramRegisterFile(device).report(
+            RegisterFilePorts())
+    return ResourceReport(
+        register_file_brams=register_file.block_rams,
+        method_cache_brams=device.brams_for(8 * config.method_cache.size_bytes),
+        stack_cache_brams=device.brams_for(8 * config.stack_cache.size_bytes),
+        static_cache_brams=device.brams_for(8 * config.static_cache.size_bytes),
+        data_cache_brams=device.brams_for(8 * config.data_cache.size_bytes),
+        scratchpad_brams=device.brams_for(8 * config.scratchpad.size_bytes),
+    )

@@ -1,0 +1,179 @@
+"""Register-file implementation variants for a dual-issue pipeline.
+
+A dual-issue Patmos needs a register file with four read ports and two write
+ports (Section 3.2).  FPGAs only provide dual-ported block RAMs, so Section 5
+of the paper evaluates a *time-division multiplexed* (double-clocked) block-RAM
+register file and concludes that it uses only two block RAMs and sustains a
+system clock above 200 MHz on a Virtex-5, with the ALU remaining the critical
+path.  This module models that design point and the two standard
+alternatives so experiment E1 can compare them:
+
+* ``FlipFlopRegisterFile`` — registers built from fabric flip-flops with LUT
+  read multiplexers: unlimited ports, but large and slow for 32x32 bits with
+  six ports.
+* ``ReplicatedBramRegisterFile`` — one BRAM copy per (read port x write port)
+  plus a live-value table, the textbook multi-ported BRAM design: fast reads
+  but 8 block RAMs and extra selection logic for 4R2W.
+* ``DoubleClockedBramRegisterFile`` — two BRAM copies accessed twice per
+  processor cycle (the Patmos design): two block RAMs, with the system clock
+  bounded by half the BRAM clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import NUM_GPRS
+from .device import FpgaDevice
+
+
+@dataclass(frozen=True)
+class RegisterFileReport:
+    """Timing and resource estimate of one register-file design point."""
+
+    name: str
+    read_ports: int
+    write_ports: int
+    block_rams: int
+    registers: int
+    lut_estimate: int
+    #: Combinational read-path delay contributed to the decode stage (ns).
+    read_path_ns: float
+    #: Upper bound on the system clock imposed by the register file (MHz).
+    max_system_mhz: float
+
+
+@dataclass(frozen=True)
+class RegisterFilePorts:
+    """Port requirement of the pipeline configuration."""
+
+    read_ports: int = 4
+    write_ports: int = 2
+
+    @classmethod
+    def for_issue_width(cls, issue_width: int) -> "RegisterFilePorts":
+        return cls(read_ports=2 * issue_width, write_ports=issue_width)
+
+
+class FlipFlopRegisterFile:
+    """Register file built from fabric flip-flops and LUT multiplexers."""
+
+    name = "flip-flop"
+
+    def __init__(self, device: FpgaDevice, word_bits: int = 32,
+                 num_regs: int = NUM_GPRS):
+        self.device = device
+        self.word_bits = word_bits
+        self.num_regs = num_regs
+
+    def report(self, ports: RegisterFilePorts) -> RegisterFileReport:
+        # A 32:1 read multiplexer on a 6-input-LUT fabric needs ~3 logic
+        # levels per read port; write decoding adds one more level of enables.
+        mux_levels = 3
+        read_path = self.device.luts(mux_levels) + self.device.register_overhead_ns
+        # Write path: decoder + enable fan-out, roughly two levels.
+        write_path = self.device.luts(2) + self.device.register_overhead_ns
+        cycle_ns = max(read_path, write_path)
+        registers = self.num_regs * self.word_bits
+        lut_estimate = (
+            ports.read_ports * self.num_regs * self.word_bits // 2
+            + ports.write_ports * self.num_regs)
+        return RegisterFileReport(
+            name=self.name,
+            read_ports=ports.read_ports,
+            write_ports=ports.write_ports,
+            block_rams=0,
+            registers=registers,
+            lut_estimate=lut_estimate,
+            read_path_ns=read_path,
+            max_system_mhz=1000.0 / cycle_ns,
+        )
+
+
+class ReplicatedBramRegisterFile:
+    """Multi-ported register file from replicated BRAMs plus a live-value table."""
+
+    name = "replicated-bram"
+
+    def __init__(self, device: FpgaDevice, word_bits: int = 32,
+                 num_regs: int = NUM_GPRS):
+        self.device = device
+        self.word_bits = word_bits
+        self.num_regs = num_regs
+
+    def report(self, ports: RegisterFilePorts) -> RegisterFileReport:
+        # One BRAM per (write port, read port) pair so every read port can see
+        # the data of every write port; a live-value table (in LUT RAM)
+        # selects which copy is current.
+        block_rams = ports.read_ports * ports.write_ports
+        lvt_levels = 2  # LVT read + output select mux
+        read_path = (self.device.bram_access_ns + self.device.luts(lvt_levels)
+                     + self.device.register_overhead_ns)
+        bram_cycle_limit = 1000.0 / self.device.bram_max_mhz
+        cycle_ns = max(read_path, bram_cycle_limit)
+        lut_estimate = (self.num_regs * ports.read_ports * 4
+                        + ports.read_ports * self.word_bits)
+        return RegisterFileReport(
+            name=self.name,
+            read_ports=ports.read_ports,
+            write_ports=ports.write_ports,
+            block_rams=block_rams,
+            registers=0,
+            lut_estimate=lut_estimate,
+            read_path_ns=read_path,
+            max_system_mhz=1000.0 / cycle_ns,
+        )
+
+
+class DoubleClockedBramRegisterFile:
+    """The Patmos design: two BRAMs, accessed twice per processor cycle.
+
+    Reads and writes are time-division multiplexed onto the dual-ported block
+    RAMs at twice the system clock, so the register-file limit on the system
+    clock is half the BRAM clock (minus a small margin for the related-clock
+    transfer).  Internal forwarding handles the read-during-write case, as
+    described in Section 3.2.
+    """
+
+    name = "double-clocked-tdm"
+
+    def __init__(self, device: FpgaDevice, word_bits: int = 32,
+                 num_regs: int = NUM_GPRS):
+        self.device = device
+        self.word_bits = word_bits
+        self.num_regs = num_regs
+
+    def report(self, ports: RegisterFilePorts) -> RegisterFileReport:
+        # Two physical BRAMs provide 2 read + 2 write ports per fast cycle;
+        # two fast cycles per system cycle yield 4R2W.
+        block_rams = 2
+        fast_cycle_ns = (1000.0 / self.device.bram_max_mhz
+                         + self.device.clock_domain_margin_ns)
+        rf_limit_ns = 2.0 * fast_cycle_ns
+        # The read value still passes the internal forwarding mux.
+        read_path = self.device.bram_access_ns + self.device.luts(1)
+        lut_estimate = self.num_regs + 4 * self.word_bits
+        return RegisterFileReport(
+            name=self.name,
+            read_ports=ports.read_ports,
+            write_ports=ports.write_ports,
+            block_rams=block_rams,
+            registers=2 * self.word_bits,  # duplicated PC/IR support registers
+            lut_estimate=lut_estimate,
+            read_path_ns=read_path,
+            max_system_mhz=1000.0 / rf_limit_ns,
+        )
+
+
+ALL_REGISTER_FILES = (
+    FlipFlopRegisterFile,
+    ReplicatedBramRegisterFile,
+    DoubleClockedBramRegisterFile,
+)
+
+
+def compare_register_files(device: FpgaDevice,
+                           ports: RegisterFilePorts = RegisterFilePorts()
+                           ) -> list[RegisterFileReport]:
+    """Reports for all register-file variants on one device."""
+    return [variant(device).report(ports) for variant in ALL_REGISTER_FILES]

@@ -1,0 +1,37 @@
+"""Instruction-set architecture of the Patmos processor."""
+
+from .instruction import ALWAYS, Bundle, Guard, Instruction, NOP, bundle_nop
+from .opcodes import (
+    ControlKind,
+    Format,
+    MemType,
+    OPCODE_TABLE,
+    OpInfo,
+    Opcode,
+    control_delay_slots,
+    opcode_from_mnemonic,
+    result_delay_slots,
+)
+from .registers import SpecialReg, parse_gpr, parse_pred, parse_special
+
+__all__ = [
+    "ALWAYS",
+    "Bundle",
+    "ControlKind",
+    "Format",
+    "Guard",
+    "Instruction",
+    "MemType",
+    "NOP",
+    "OPCODE_TABLE",
+    "OpInfo",
+    "Opcode",
+    "SpecialReg",
+    "bundle_nop",
+    "control_delay_slots",
+    "opcode_from_mnemonic",
+    "parse_gpr",
+    "parse_pred",
+    "parse_special",
+    "result_delay_slots",
+]

@@ -1,0 +1,466 @@
+"""Binary encoding and decoding of Patmos instructions and bundles.
+
+The encoding follows the constraints stated in Section 3.1 of the paper:
+
+* 32-bit instruction words; the **first instruction of a bundle carries the
+  bundle-length bit** (bit 31).
+* Every instruction is predicated: a 4-bit guard field (negate bit + predicate
+  register) sits in bits 30..27.
+* ALU immediates are **sign-extended 12-bit** constants; ``lil``/``lih`` load
+  16-bit halves; a full 32-bit constant uses the second instruction slot
+  (long-immediate ALU operations).
+* Branches are relative with a **22-bit offset** (in words); calls carry a
+  22-bit absolute word address.
+* Register fields are at fixed positions within each format so the register
+  file can be read in parallel with decoding.
+
+Layout of one instruction word::
+
+    31       30      29..27  26..22  21..0
+    bundle   neg     pred    opclass format-specific fields
+
+Branch/call targets are encoded relative to (or as) word addresses, therefore
+encoding and decoding take the instruction's own byte address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import EncodingError
+from .instruction import ALWAYS, Bundle, Guard, Instruction
+from .opcodes import Format, Opcode
+from .registers import SpecialReg, special_code, special_from_code
+
+WORD_BITS = 32
+WORD_MASK = 0xFFFF_FFFF
+
+
+# ---------------------------------------------------------------------------
+# Opclass assignment
+# ---------------------------------------------------------------------------
+
+# Opclasses 0..13 directly encode the immediate-format instructions so that a
+# full 12-bit immediate fits together with two register fields.
+_IMM_OPS = (
+    Opcode.ADDI, Opcode.SUBI, Opcode.ANDI, Opcode.ORI, Opcode.XORI,
+    Opcode.SHLI, Opcode.SHRI, Opcode.SRAI,
+    Opcode.CMPIEQ, Opcode.CMPINEQ, Opcode.CMPILT, Opcode.CMPILE,
+    Opcode.CMPIULT, Opcode.CMPIULE,
+)
+
+OPC_LI = 14
+OPC_BR = 15
+OPC_BRCF = 16
+OPC_CALL = 17
+OPC_LOAD = 18
+OPC_STORE = 19
+OPC_ALU_R = 20
+OPC_ALU_L = 21
+OPC_MUL = 22
+OPC_CMP_R = 23
+OPC_PRED = 24
+OPC_STACK = 25
+OPC_SPECIAL = 26
+OPC_MISC = 27
+
+_ALU_R_OPS = (
+    Opcode.ADD, Opcode.SUB, Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.NOR,
+    Opcode.SHL, Opcode.SHR, Opcode.SRA, Opcode.SHADD, Opcode.SHADD2,
+)
+_ALU_L_OPS = (Opcode.ADDL, Opcode.SUBL, Opcode.ANDL, Opcode.ORL, Opcode.XORL)
+_LI_OPS = (Opcode.LIL, Opcode.LIH)
+_MUL_OPS = (Opcode.MUL, Opcode.MULU)
+_CMP_R_OPS = (
+    Opcode.CMPEQ, Opcode.CMPNEQ, Opcode.CMPLT, Opcode.CMPLE,
+    Opcode.CMPULT, Opcode.CMPULE, Opcode.BTEST,
+)
+_PRED_OPS = (Opcode.PAND, Opcode.POR, Opcode.PXOR, Opcode.PNOT)
+_LOAD_OPS = tuple(op for op in Opcode if op.info.is_load)
+_STORE_OPS = tuple(op for op in Opcode if op.info.is_store)
+_STACK_OPS = (Opcode.SRES, Opcode.SENS, Opcode.SFREE)
+_SPECIAL_OPS = (Opcode.MTS, Opcode.MFS)
+_MISC_OPS = (Opcode.CALLR, Opcode.RET, Opcode.WMEM, Opcode.NOP, Opcode.HALT,
+             Opcode.OUT)
+
+
+def _subcode_table(ops: tuple[Opcode, ...]) -> tuple[dict, dict]:
+    by_op = {op: i for i, op in enumerate(ops)}
+    by_code = {i: op for i, op in enumerate(ops)}
+    return by_op, by_code
+
+
+_LOAD_SUB, _LOAD_BY_CODE = _subcode_table(_LOAD_OPS)
+_STORE_SUB, _STORE_BY_CODE = _subcode_table(_STORE_OPS)
+_ALU_R_SUB, _ALU_R_BY_CODE = _subcode_table(_ALU_R_OPS)
+_ALU_L_SUB, _ALU_L_BY_CODE = _subcode_table(_ALU_L_OPS)
+_LI_SUB, _LI_BY_CODE = _subcode_table(_LI_OPS)
+_MUL_SUB, _MUL_BY_CODE = _subcode_table(_MUL_OPS)
+_CMP_R_SUB, _CMP_R_BY_CODE = _subcode_table(_CMP_R_OPS)
+_PRED_SUB, _PRED_BY_CODE = _subcode_table(_PRED_OPS)
+_STACK_SUB, _STACK_BY_CODE = _subcode_table(_STACK_OPS)
+_SPECIAL_SUB, _SPECIAL_BY_CODE = _subcode_table(_SPECIAL_OPS)
+_MISC_SUB, _MISC_BY_CODE = _subcode_table(_MISC_OPS)
+
+_IMM_OPC = {op: i for i, op in enumerate(_IMM_OPS)}
+_IMM_BY_OPC = {i: op for i, op in enumerate(_IMM_OPS)}
+
+
+# ---------------------------------------------------------------------------
+# Bit-field helpers
+# ---------------------------------------------------------------------------
+
+
+def _field(value: int, width: int, name: str) -> int:
+    """Check an unsigned field value and return it."""
+    if value is None:
+        raise EncodingError(f"missing field {name}")
+    if not 0 <= value < (1 << width):
+        raise EncodingError(f"field {name}={value} does not fit in {width} bits")
+    return value
+
+
+def _signed_field(value: int, width: int, name: str) -> int:
+    """Check a signed field value and return its two's-complement encoding."""
+    if value is None:
+        raise EncodingError(f"missing field {name}")
+    lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+    if not lo <= value <= hi:
+        raise EncodingError(f"field {name}={value} does not fit in signed {width} bits")
+    return value & ((1 << width) - 1)
+
+
+def sign_extend(value: int, width: int) -> int:
+    """Sign-extend a ``width``-bit value to a Python int."""
+    mask = (1 << width) - 1
+    value &= mask
+    if value & (1 << (width - 1)):
+        return value - (1 << width)
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EncodedInstruction:
+    """Result of encoding a single instruction: one or two 32-bit words."""
+
+    words: tuple[int, ...]
+
+
+def _resolved_imm(instr: Instruction, what: str) -> int:
+    if instr.imm is not None:
+        return instr.imm
+    if isinstance(instr.target, int):
+        return instr.target
+    raise EncodingError(
+        f"{instr.info.mnemonic}: unresolved symbolic {what} "
+        f"({instr.target!r}); link the program before encoding"
+    )
+
+
+def _resolved_target(instr: Instruction) -> int:
+    if isinstance(instr.target, int):
+        return instr.target
+    raise EncodingError(
+        f"{instr.info.mnemonic}: unresolved symbolic target {instr.target!r}; "
+        "link the program before encoding"
+    )
+
+
+def encode_instruction(instr: Instruction, addr: int = 0,
+                       bundle_bit: bool = False) -> EncodedInstruction:
+    """Encode one instruction into one (or, for long immediates, two) words.
+
+    ``addr`` is the byte address of the instruction's bundle, needed for
+    relative branch offsets.  ``bundle_bit`` is set by the caller on the first
+    instruction of a 64-bit bundle.
+    """
+    op = instr.opcode
+    info = instr.info
+    fmt = info.fmt
+    guard = instr.guard
+
+    word = 0
+    if bundle_bit:
+        word |= 1 << 31
+    word |= (1 if guard.negate else 0) << 30
+    word |= _field(guard.pred, 3, "guard") << 27
+
+    extra_word: int | None = None
+
+    if op in _IMM_OPC:
+        opc = _IMM_OPC[op]
+        word |= opc << 22
+        dest = instr.pd if fmt is Format.CMP_I else instr.rd
+        word |= _field(dest, 5, "rd/pd") << 17
+        word |= _field(instr.rs1, 5, "rs1") << 12
+        word |= _signed_field(_resolved_imm(instr, "immediate"), 12, "imm12")
+    elif fmt is Format.LI:
+        word |= OPC_LI << 22
+        word |= _LI_SUB[op] << 21
+        word |= _field(instr.rd, 5, "rd") << 16
+        imm = _resolved_imm(instr, "immediate")
+        if op is Opcode.LIH:
+            word |= _field(imm & 0xFFFF, 16, "imm16")
+        else:
+            word |= _signed_field(imm, 16, "imm16")
+    elif op in (Opcode.BR, Opcode.BRCF):
+        word |= (OPC_BR if op is Opcode.BR else OPC_BRCF) << 22
+        target = _resolved_target(instr)
+        offset_words = (target - addr) // 4
+        word |= _signed_field(offset_words, 22, "branch offset")
+    elif op is Opcode.CALL:
+        word |= OPC_CALL << 22
+        target = _resolved_target(instr)
+        if target % 4 != 0:
+            raise EncodingError("call target must be word aligned")
+        word |= _field(target // 4, 22, "call target")
+    elif fmt is Format.LOAD:
+        word |= OPC_LOAD << 22
+        word |= _LOAD_SUB[op] << 17
+        word |= _field(instr.rd, 5, "rd") << 12
+        word |= _field(instr.rs1, 5, "rs1") << 7
+        offset = _resolved_imm(instr, "offset")
+        if offset % info.width != 0:
+            raise EncodingError(
+                f"{info.mnemonic}: offset {offset} not aligned to access width")
+        word |= _signed_field(offset // info.width, 7, "offset")
+    elif fmt is Format.STORE:
+        word |= OPC_STORE << 22
+        word |= _STORE_SUB[op] << 17
+        word |= _field(instr.rs1, 5, "rs1") << 12
+        word |= _field(instr.rs2, 5, "rs2") << 7
+        offset = _resolved_imm(instr, "offset")
+        if offset % info.width != 0:
+            raise EncodingError(
+                f"{info.mnemonic}: offset {offset} not aligned to access width")
+        word |= _signed_field(offset // info.width, 7, "offset")
+    elif fmt is Format.ALU_R:
+        word |= OPC_ALU_R << 22
+        word |= _ALU_R_SUB[op] << 18
+        word |= _field(instr.rd, 5, "rd") << 13
+        word |= _field(instr.rs1, 5, "rs1") << 8
+        word |= _field(instr.rs2, 5, "rs2") << 3
+    elif fmt is Format.ALU_L:
+        word |= OPC_ALU_L << 22
+        word |= _ALU_L_SUB[op] << 19
+        word |= _field(instr.rd, 5, "rd") << 14
+        word |= _field(instr.rs1, 5, "rs1") << 9
+        extra_word = _resolved_imm(instr, "long immediate") & WORD_MASK
+    elif fmt is Format.MUL:
+        word |= OPC_MUL << 22
+        word |= _MUL_SUB[op] << 21
+        word |= _field(instr.rs1, 5, "rs1") << 16
+        word |= _field(instr.rs2, 5, "rs2") << 11
+    elif fmt is Format.CMP_R:
+        word |= OPC_CMP_R << 22
+        word |= _CMP_R_SUB[op] << 19
+        word |= _field(instr.pd, 3, "pd") << 16
+        word |= _field(instr.rs1, 5, "rs1") << 11
+        word |= _field(instr.rs2, 5, "rs2") << 6
+    elif fmt is Format.PRED:
+        word |= OPC_PRED << 22
+        word |= _PRED_SUB[op] << 20
+        word |= _field(instr.pd, 3, "pd") << 17
+        word |= _field(instr.ps1, 3, "ps1") << 14
+        word |= _field(instr.ps2 if instr.ps2 is not None else 0, 3, "ps2") << 11
+    elif fmt is Format.STACK:
+        word |= OPC_STACK << 22
+        word |= _STACK_SUB[op] << 20
+        word |= _field(_resolved_imm(instr, "word count"), 18, "imm18")
+    elif fmt in (Format.MTS, Format.MFS):
+        word |= OPC_SPECIAL << 22
+        word |= _SPECIAL_SUB[op] << 21
+        reg = instr.rs1 if fmt is Format.MTS else instr.rd
+        word |= _field(reg, 5, "register") << 16
+        word |= _field(special_code(instr.special), 3, "special") << 13
+    elif fmt in (Format.CALLR, Format.RET, Format.WAIT, Format.NOP,
+                 Format.HALT, Format.OUT):
+        word |= OPC_MISC << 22
+        word |= _MISC_SUB[op] << 19
+        reg = instr.rs1 if instr.rs1 is not None else 0
+        word |= _field(reg, 5, "rs1") << 14
+    else:  # pragma: no cover - defensive
+        raise EncodingError(f"cannot encode opcode {op}")
+
+    words = (word,) if extra_word is None else (word, extra_word)
+    return EncodedInstruction(words=words)
+
+
+def encode_bundle(bundle: Bundle, addr: int = 0) -> list[int]:
+    """Encode a bundle into its 32-bit words (one or two)."""
+    first = encode_instruction(bundle.first, addr=addr, bundle_bit=bundle.is_long)
+    words = list(first.words)
+    if bundle.second is not None:
+        second = encode_instruction(bundle.second, addr=addr, bundle_bit=False)
+        if len(second.words) != 1:  # pragma: no cover - bundle validation forbids
+            raise EncodingError("second slot must encode to a single word")
+        words.extend(second.words)
+    if len(words) != bundle.size_bytes // 4:
+        raise EncodingError("encoded bundle size mismatch")
+    return words
+
+
+# ---------------------------------------------------------------------------
+# Decoding
+# ---------------------------------------------------------------------------
+
+
+def _decode_guard(word: int) -> Guard:
+    negate = bool((word >> 30) & 1)
+    pred = (word >> 27) & 0x7
+    if pred == 0 and not negate:
+        return ALWAYS
+    return Guard(pred, negate)
+
+
+def decode_instruction(word: int, addr: int = 0,
+                       next_word: int | None = None) -> tuple[Instruction, int]:
+    """Decode a single instruction word.
+
+    Returns the instruction and the number of words consumed (2 for long
+    immediates, else 1).  ``addr`` is the byte address of the word, used to
+    reconstruct absolute branch targets.
+    """
+    guard = _decode_guard(word)
+    opc = (word >> 22) & 0x1F
+    consumed = 1
+
+    def make(op: Opcode, **kwargs) -> Instruction:
+        return Instruction(op, guard=guard, **kwargs)
+
+    if opc in _IMM_BY_OPC:
+        op = _IMM_BY_OPC[opc]
+        dest = (word >> 17) & 0x1F
+        rs1 = (word >> 12) & 0x1F
+        imm = sign_extend(word, 12)
+        if op.info.fmt is Format.CMP_I:
+            instr = make(op, pd=dest & 0x7, rs1=rs1, imm=imm)
+        else:
+            instr = make(op, rd=dest, rs1=rs1, imm=imm)
+    elif opc == OPC_LI:
+        op = _LI_BY_CODE[(word >> 21) & 0x1]
+        rd = (word >> 16) & 0x1F
+        imm = (word & 0xFFFF) if op is Opcode.LIH else sign_extend(word, 16)
+        instr = make(op, rd=rd, imm=imm)
+    elif opc in (OPC_BR, OPC_BRCF):
+        op = Opcode.BR if opc == OPC_BR else Opcode.BRCF
+        offset_words = sign_extend(word, 22)
+        instr = make(op, target=addr + 4 * offset_words)
+    elif opc == OPC_CALL:
+        target = (word & 0x3FFFFF) * 4
+        instr = make(Opcode.CALL, target=target)
+    elif opc == OPC_LOAD:
+        op = _LOAD_BY_CODE[(word >> 17) & 0x1F]
+        rd = (word >> 12) & 0x1F
+        rs1 = (word >> 7) & 0x1F
+        offset = sign_extend(word, 7) * op.info.width
+        instr = make(op, rd=rd, rs1=rs1, imm=offset)
+    elif opc == OPC_STORE:
+        op = _STORE_BY_CODE[(word >> 17) & 0x1F]
+        rs1 = (word >> 12) & 0x1F
+        rs2 = (word >> 7) & 0x1F
+        offset = sign_extend(word, 7) * op.info.width
+        instr = make(op, rs1=rs1, rs2=rs2, imm=offset)
+    elif opc == OPC_ALU_R:
+        op = _ALU_R_BY_CODE[(word >> 18) & 0xF]
+        instr = make(op, rd=(word >> 13) & 0x1F, rs1=(word >> 8) & 0x1F,
+                     rs2=(word >> 3) & 0x1F)
+    elif opc == OPC_ALU_L:
+        op = _ALU_L_BY_CODE[(word >> 19) & 0x7]
+        if next_word is None:
+            raise EncodingError("long-immediate instruction needs a second word")
+        imm = sign_extend(next_word, 32)
+        instr = make(op, rd=(word >> 14) & 0x1F, rs1=(word >> 9) & 0x1F, imm=imm)
+        consumed = 2
+    elif opc == OPC_MUL:
+        op = _MUL_BY_CODE[(word >> 21) & 0x1]
+        instr = make(op, rs1=(word >> 16) & 0x1F, rs2=(word >> 11) & 0x1F)
+    elif opc == OPC_CMP_R:
+        op = _CMP_R_BY_CODE[(word >> 19) & 0x7]
+        instr = make(op, pd=(word >> 16) & 0x7, rs1=(word >> 11) & 0x1F,
+                     rs2=(word >> 6) & 0x1F)
+    elif opc == OPC_PRED:
+        op = _PRED_BY_CODE[(word >> 20) & 0x3]
+        pd = (word >> 17) & 0x7
+        ps1 = (word >> 14) & 0x7
+        ps2 = (word >> 11) & 0x7
+        if op is Opcode.PNOT:
+            instr = make(op, pd=pd, ps1=ps1)
+        else:
+            instr = make(op, pd=pd, ps1=ps1, ps2=ps2)
+    elif opc == OPC_STACK:
+        op = _STACK_BY_CODE[(word >> 20) & 0x3]
+        instr = make(op, imm=word & 0x3FFFF)
+    elif opc == OPC_SPECIAL:
+        op = _SPECIAL_BY_CODE[(word >> 21) & 0x1]
+        reg = (word >> 16) & 0x1F
+        special = special_from_code((word >> 13) & 0x7)
+        if op is Opcode.MTS:
+            instr = make(op, rs1=reg, special=special)
+        else:
+            instr = make(op, rd=reg, special=special)
+    elif opc == OPC_MISC:
+        op = _MISC_BY_CODE[(word >> 19) & 0x7]
+        rs1 = (word >> 14) & 0x1F
+        if op in (Opcode.CALLR, Opcode.OUT):
+            instr = make(op, rs1=rs1)
+        else:
+            instr = make(op)
+    else:
+        raise EncodingError(f"invalid opclass {opc} in word {word:#010x}")
+
+    return instr, consumed
+
+
+def decode_bundle(words: list[int], addr: int = 0) -> tuple[Bundle, int]:
+    """Decode a bundle starting at ``words[0]``.
+
+    Returns the bundle and the number of 32-bit words consumed.
+    """
+    if not words:
+        raise EncodingError("no words to decode")
+    first_word = words[0]
+    is_long = bool(first_word >> 31)
+    first, consumed = decode_instruction(
+        first_word, addr=addr, next_word=words[1] if len(words) > 1 else None)
+    if consumed == 2:
+        if not is_long:
+            raise EncodingError("long-immediate instruction without bundle bit")
+        return Bundle(first), 2
+    if not is_long:
+        return Bundle(first), 1
+    if len(words) < 2:
+        raise EncodingError("bundle bit set but second word missing")
+    second, second_consumed = decode_instruction(words[1], addr=addr + 4)
+    if second_consumed != 1:
+        raise EncodingError("second slot may not hold a long immediate")
+    return Bundle(first, second), 2
+
+
+def encode_bundles(bundles: list[Bundle], base_addr: int = 0) -> list[int]:
+    """Encode a sequence of bundles laid out contiguously from ``base_addr``."""
+    words: list[int] = []
+    addr = base_addr
+    for bundle in bundles:
+        bundle_words = encode_bundle(bundle, addr=addr)
+        words.extend(bundle_words)
+        addr += 4 * len(bundle_words)
+    return words
+
+
+def decode_bundles(words: list[int], base_addr: int = 0) -> list[tuple[int, Bundle]]:
+    """Decode a contiguous word stream into ``(address, bundle)`` pairs."""
+    result: list[tuple[int, Bundle]] = []
+    index = 0
+    addr = base_addr
+    while index < len(words):
+        bundle, consumed = decode_bundle(words[index:index + 2], addr=addr)
+        result.append((addr, bundle))
+        index += consumed
+        addr += 4 * consumed
+    return result

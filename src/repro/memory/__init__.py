@@ -1,0 +1,17 @@
+"""Main memory, memory controller, TDMA arbitration and scratchpad."""
+
+from .controller import ControllerStats, MemoryController, PendingLoad
+from .main_memory import MainMemory
+from .scratchpad import Scratchpad
+from .tdma import RoundRobinArbiter, TdmaArbiter, TdmaSchedule
+
+__all__ = [
+    "ControllerStats",
+    "MainMemory",
+    "MemoryController",
+    "PendingLoad",
+    "RoundRobinArbiter",
+    "Scratchpad",
+    "TdmaArbiter",
+    "TdmaSchedule",
+]

@@ -1,0 +1,69 @@
+"""Byte-addressable main memory shared by code, data and the stack backing store."""
+
+from __future__ import annotations
+
+from ..errors import MemoryAccessError
+
+
+class MainMemory:
+    """A flat, byte-addressable memory with word/half/byte accesses.
+
+    Values are stored little-endian.  Reads of uninitialised locations return
+    zero, which keeps workload setup simple while still detecting out-of-range
+    accesses.
+    """
+
+    def __init__(self, size_bytes: int):
+        if size_bytes <= 0:
+            raise MemoryAccessError("memory size must be positive")
+        self.size_bytes = size_bytes
+        self._data = bytearray(size_bytes)
+
+    # -- raw access ---------------------------------------------------------------
+
+    def _check(self, addr: int, width: int) -> None:
+        if addr < 0 or addr + width > self.size_bytes:
+            raise MemoryAccessError(
+                f"access of {width} bytes at {addr:#x} is outside memory "
+                f"of {self.size_bytes:#x} bytes")
+        if addr % width != 0:
+            raise MemoryAccessError(
+                f"misaligned {width}-byte access at address {addr:#x}")
+
+    def read(self, addr: int, width: int, signed: bool = False) -> int:
+        """Read ``width`` bytes (1, 2 or 4) at ``addr``."""
+        self._check(addr, width)
+        value = int.from_bytes(self._data[addr:addr + width], "little", signed=False)
+        if signed:
+            bits = 8 * width
+            if value & (1 << (bits - 1)):
+                value -= 1 << bits
+        return value
+
+    def write(self, addr: int, value: int, width: int) -> None:
+        """Write ``width`` bytes (1, 2 or 4) of ``value`` at ``addr``."""
+        self._check(addr, width)
+        mask = (1 << (8 * width)) - 1
+        self._data[addr:addr + width] = (value & mask).to_bytes(width, "little")
+
+    # -- word convenience ----------------------------------------------------------
+
+    def read_word(self, addr: int, signed: bool = False) -> int:
+        return self.read(addr, 4, signed=signed)
+
+    def write_word(self, addr: int, value: int) -> None:
+        self.write(addr, value, 4)
+
+    def load_words(self, contents: dict[int, int]) -> None:
+        """Initialise memory from a ``word address -> value`` mapping."""
+        for addr, value in contents.items():
+            self.write_word(addr, value)
+
+    def read_words(self, addr: int, count: int, signed: bool = False) -> list[int]:
+        """Read ``count`` consecutive words starting at ``addr``."""
+        return [self.read_word(addr + 4 * i, signed=signed) for i in range(count)]
+
+    def copy(self) -> "MainMemory":
+        clone = MainMemory(self.size_bytes)
+        clone._data[:] = self._data
+        return clone

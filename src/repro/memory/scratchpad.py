@@ -1,0 +1,44 @@
+"""Compiler-managed scratchpad memory (SP in Figure 1 of the paper).
+
+The scratchpad is a core-private on-chip memory with single-cycle,
+time-predictable access; it occupies its own small address space starting at
+zero and is accessed with the ``lwl``/``swl`` family of typed instructions.
+"""
+
+from __future__ import annotations
+
+from ..config import ScratchpadConfig
+from ..errors import MemoryAccessError
+from .main_memory import MainMemory
+
+
+class Scratchpad:
+    """A small, private, single-cycle scratchpad memory."""
+
+    def __init__(self, config: ScratchpadConfig):
+        self.config = config
+        self._memory = MainMemory(config.size_bytes)
+        self.accesses = 0
+
+    def read(self, addr: int, width: int, signed: bool = False) -> int:
+        self.accesses += 1
+        self._check(addr, width)
+        return self._memory.read(addr, width, signed=signed)
+
+    def write(self, addr: int, value: int, width: int) -> None:
+        self.accesses += 1
+        self._check(addr, width)
+        self._memory.write(addr, value, width)
+
+    def load_words(self, contents: dict[int, int]) -> None:
+        self._memory.load_words(contents)
+
+    def access_cycles(self) -> int:
+        """Extra stall cycles per access (normally zero)."""
+        return self.config.access_cycles
+
+    def _check(self, addr: int, width: int) -> None:
+        if addr + width > self.config.size_bytes:
+            raise MemoryAccessError(
+                f"scratchpad access at {addr:#x} exceeds scratchpad size "
+                f"{self.config.size_bytes:#x}")

@@ -1,0 +1,125 @@
+"""TDMA arbitration of the shared main memory for CMP configurations.
+
+The paper (Sections 1–3) proposes replicating the Patmos pipeline into a chip
+multiprocessor with *statically scheduled* access to the shared main memory.
+A time-division multiple access (TDMA) arbiter assigns each core a fixed slot
+in a repeating schedule; a core's memory transfer may only start at the
+beginning of its own slot.  The worst-case extra waiting time is therefore
+independent of what the other cores do — the property that makes the memory
+system WCET-analysable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TdmaSchedule:
+    """A TDMA schedule: ``num_cores`` slots of ``slot_cycles`` cycles each."""
+
+    num_cores: int
+    slot_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1:
+            raise ConfigError("TDMA schedule needs at least one core")
+        if self.slot_cycles < 1:
+            raise ConfigError("TDMA slot length must be at least one cycle")
+
+    @property
+    def period(self) -> int:
+        """Length of one full TDMA round in cycles."""
+        return self.num_cores * self.slot_cycles
+
+    def slot_start(self, core_id: int, cycle: int) -> int:
+        """First cycle >= ``cycle`` at which ``core_id``'s slot begins."""
+        self._check_core(core_id)
+        offset = core_id * self.slot_cycles
+        period = self.period
+        phase = (cycle - offset) % period
+        if phase == 0:
+            return cycle
+        return cycle + (period - phase)
+
+    def wait_cycles(self, core_id: int, cycle: int, transfer_cycles: int) -> int:
+        """Cycles core ``core_id`` must wait at ``cycle`` before a transfer.
+
+        The transfer must fit into the core's own slot(s); transfers longer
+        than one slot occupy consecutive rounds and the core stays blocked, so
+        the wait is simply the distance to the next slot start.  Transfers are
+        required to fit in a slot for single-slot predictability.
+        """
+        if transfer_cycles > self.slot_cycles:
+            raise ConfigError(
+                f"transfer of {transfer_cycles} cycles does not fit into a "
+                f"TDMA slot of {self.slot_cycles} cycles")
+        start = self.slot_start(core_id, cycle)
+        # The transfer must also finish within the slot.
+        slot_end = start + self.slot_cycles
+        if start + transfer_cycles > slot_end:  # pragma: no cover - defensive
+            start = self.slot_start(core_id, slot_end)
+        return start - cycle
+
+    def worst_case_wait(self) -> int:
+        """Upper bound on the waiting time for any request of any core."""
+        return self.period - 1
+
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < self.num_cores:
+            raise ConfigError(
+                f"core id {core_id} out of range for {self.num_cores} cores")
+
+
+class TdmaArbiter:
+    """Per-core view of a TDMA schedule, accumulating arbitration statistics."""
+
+    def __init__(self, schedule: TdmaSchedule, core_id: int):
+        schedule._check_core(core_id)
+        self.schedule = schedule
+        self.core_id = core_id
+        self.requests = 0
+        self.total_wait_cycles = 0
+
+    def arbitration_delay(self, cycle: int, transfer_cycles: int) -> int:
+        """Extra cycles before a transfer issued at ``cycle`` may start."""
+        wait = self.schedule.wait_cycles(self.core_id, cycle, transfer_cycles)
+        self.requests += 1
+        self.total_wait_cycles += wait
+        return wait
+
+    def worst_case_delay(self) -> int:
+        return self.schedule.worst_case_wait()
+
+
+class RoundRobinArbiter:
+    """A work-conserving round-robin arbiter used as the *unpredictable* baseline.
+
+    Average-case waits are lower than TDMA when other cores are idle, but the
+    worst case still has to assume all other cores are queued ahead — and,
+    unlike TDMA, the actual wait depends on the other cores' behaviour, which
+    is exactly what makes it hard for WCET analysis.
+    """
+
+    def __init__(self, num_cores: int, transfer_cycles: int, core_id: int):
+        if num_cores < 1:
+            raise ConfigError("round-robin arbiter needs at least one core")
+        self.num_cores = num_cores
+        self.transfer_cycles = transfer_cycles
+        self.core_id = core_id
+        self.requests = 0
+        self.total_wait_cycles = 0
+
+    def arbitration_delay(self, cycle: int, transfer_cycles: int,
+                          competing_cores: int = 0) -> int:
+        """Wait time given how many other cores currently contend."""
+        competing = min(max(competing_cores, 0), self.num_cores - 1)
+        wait = competing * transfer_cycles
+        self.requests += 1
+        self.total_wait_cycles += wait
+        return wait
+
+    def worst_case_delay(self) -> int:
+        return (self.num_cores - 1) * self.transfer_cycles

@@ -1,0 +1,27 @@
+"""Program representation: basic blocks, functions, CFG, call graph, linker."""
+
+from .basic_block import BasicBlock
+from .builder import FunctionBuilder, ProgramBuilder, parse_guard
+from .callgraph import CallGraph
+from .cfg import ControlFlowGraph, Loop
+from .function import Function
+from .linker import BlockRecord, FunctionRecord, Image, link
+from .program import DataItem, DataSpace, Program
+
+__all__ = [
+    "BasicBlock",
+    "BlockRecord",
+    "CallGraph",
+    "ControlFlowGraph",
+    "DataItem",
+    "DataSpace",
+    "Function",
+    "FunctionBuilder",
+    "FunctionRecord",
+    "Image",
+    "Loop",
+    "Program",
+    "ProgramBuilder",
+    "link",
+    "parse_guard",
+]

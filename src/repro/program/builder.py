@@ -1,0 +1,378 @@
+"""Programmatic builder API for writing Patmos programs.
+
+The builder is the main way to author workloads without a C front end: it
+accepts register names as strings, symbolic branch/call targets, and data
+symbols, and produces an *unscheduled* :class:`~repro.program.program.Program`
+that the compiler passes (bundling, delay-slot filling, if-conversion, …)
+turn into executable code.
+
+Example
+-------
+
+>>> from repro.program.builder import ProgramBuilder
+>>> b = ProgramBuilder("sum")
+>>> data = b.data("numbers", [1, 2, 3, 4])
+>>> f = b.function("main")
+>>> f.li("r1", "numbers")        # address of the data symbol
+>>> f.li("r2", 4)                # element count
+>>> f.li("r3", 0)                # accumulator
+>>> f.label("loop")
+>>> f.emit("lwc", "r4", "r1", 0)
+>>> f.emit("add", "r3", "r3", "r4")
+>>> f.emit("addi", "r1", "r1", 4)
+>>> f.emit("subi", "r2", "r2", 1)
+>>> f.emit("cmpineq", "p1", "r2", 0)
+>>> f.br("loop", pred="p1")
+>>> f.loop_bound("loop", 4)
+>>> f.out("r3")
+>>> f.halt()
+>>> program = b.build()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..errors import CompilerError, IsaError
+from ..isa.instruction import ALWAYS, Guard, Instruction
+from ..isa.opcodes import Format, Opcode, opcode_from_mnemonic
+from ..isa.registers import parse_gpr, parse_pred, parse_special
+from .basic_block import BasicBlock
+from .function import Function
+from .program import DataItem, DataSpace, Program
+
+RegLike = Union[str, int]
+ImmLike = Union[int, str]
+
+
+def parse_guard(pred: Union[None, str, Guard]) -> Guard:
+    """Parse a guard specification: ``None``, ``"p2"``, ``"!p2"`` or a Guard."""
+    if pred is None:
+        return ALWAYS
+    if isinstance(pred, Guard):
+        return pred
+    text = pred.strip().lower()
+    negate = text.startswith("!")
+    if negate:
+        text = text[1:]
+    return Guard(parse_pred(text), negate)
+
+
+@dataclass
+class _Label:
+    name: str
+
+
+class FunctionBuilder:
+    """Builds one function as a linear list of labels and instructions."""
+
+    def __init__(self, name: str, program_builder: "ProgramBuilder"):
+        self.name = name
+        self._program_builder = program_builder
+        self._items: list[Union[_Label, Instruction]] = []
+        self._loop_bounds: dict[str, int] = {}
+        self._frame_words = 0
+        self._attrs: dict = {}
+
+    # -- structural elements ----------------------------------------------------
+
+    def label(self, name: str) -> str:
+        """Start a new basic block at this point."""
+        self._items.append(_Label(name))
+        return name
+
+    def loop_bound(self, label: str, bound: int) -> None:
+        """Annotate the loop headed by ``label`` with a maximum iteration count."""
+        if bound < 1:
+            raise CompilerError(f"loop bound for {label!r} must be >= 1")
+        self._loop_bounds[label] = bound
+
+    def frame(self, words: int) -> None:
+        """Declare the stack-cache frame size (in words) of this function.
+
+        The stack-allocation pass inserts the matching ``sres``/``sens``/
+        ``sfree`` instructions; frame slots are accessed with ``lws``/``sws``.
+        """
+        if words < 0:
+            raise CompilerError("frame size must be non-negative")
+        self._frame_words = words
+
+    def attr(self, key: str, value) -> None:
+        """Attach a free-form attribute to the function."""
+        self._attrs[key] = value
+
+    # -- generic instruction emission ---------------------------------------------
+
+    def add_instruction(self, instr: Instruction) -> Instruction:
+        """Append an already-constructed instruction."""
+        self._items.append(instr)
+        return instr
+
+    def emit(self, mnemonic: str, *operands, pred: Union[None, str, Guard] = None
+             ) -> Instruction:
+        """Emit an instruction given its mnemonic and positional operands.
+
+        Operand order follows the assembly rendering of each format, e.g.
+        ``emit("add", "r1", "r2", "r3")``, ``emit("lwc", "r4", "r1", 8)``,
+        ``emit("swc", "r1", 8, "r4")``, ``emit("cmplt", "p1", "r2", "r3")``,
+        ``emit("br", "loop")``.
+        """
+        opcode = opcode_from_mnemonic(mnemonic)
+        instr = _make_instruction(opcode, operands, parse_guard(pred))
+        return self.add_instruction(instr)
+
+    # -- common sugar ---------------------------------------------------------------
+
+    def li(self, rd: RegLike, value: ImmLike,
+           pred: Union[None, str, Guard] = None) -> None:
+        """Load a 32-bit constant or a symbol address into a register.
+
+        Small constants use a single ``lil``; larger constants or symbolic
+        addresses use a long-immediate ``addl`` with ``r0``.
+        """
+        guard = parse_guard(pred)
+        rd_index = parse_gpr(rd)
+        if isinstance(value, int) and -(1 << 15) <= value < (1 << 15):
+            self.add_instruction(Instruction(
+                Opcode.LIL, guard=guard, rd=rd_index, imm=value))
+            return
+        if isinstance(value, int):
+            self.add_instruction(Instruction(
+                Opcode.ADDL, guard=guard, rd=rd_index, rs1=0, imm=value))
+        else:
+            self.add_instruction(Instruction(
+                Opcode.ADDL, guard=guard, rd=rd_index, rs1=0, target=value))
+
+    def mov(self, rd: RegLike, rs: RegLike,
+            pred: Union[None, str, Guard] = None) -> None:
+        """Copy one register to another (``addi rd = rs, 0``)."""
+        self.emit("addi", rd, rs, 0, pred=pred)
+
+    def nop(self, count: int = 1) -> None:
+        """Emit ``count`` explicit NOPs (rarely needed; the scheduler pads)."""
+        for _ in range(count):
+            self.emit("nop")
+
+    def br(self, target: str, pred: Union[None, str, Guard] = None) -> None:
+        """Branch to a label, optionally guarded (conditional branch)."""
+        self.emit("br", target, pred=pred)
+
+    def call(self, target: str, pred: Union[None, str, Guard] = None) -> None:
+        """Call a function by name."""
+        self.emit("call", target, pred=pred)
+
+    def ret(self, pred: Union[None, str, Guard] = None) -> None:
+        """Return to the caller."""
+        self.emit("ret", pred=pred)
+
+    def halt(self) -> None:
+        """Stop simulation (end of program)."""
+        self.emit("halt")
+
+    def out(self, rs: RegLike, pred: Union[None, str, Guard] = None) -> None:
+        """Write a register to the simulator's debug output channel."""
+        self.emit("out", rs, pred=pred)
+
+    # -- finalisation -----------------------------------------------------------------
+
+    def build(self) -> Function:
+        """Convert the linear item list into a function with basic blocks."""
+        blocks: list[BasicBlock] = []
+        current: Optional[BasicBlock] = None
+        auto_index = 0
+
+        def fresh_label() -> str:
+            nonlocal auto_index
+            label = f".L{self.name}_{auto_index}"
+            auto_index += 1
+            return label
+
+        def start_block(label: str) -> BasicBlock:
+            nonlocal current
+            block = BasicBlock(label=label)
+            blocks.append(block)
+            current = block
+            return block
+
+        start_block(fresh_label() if not self._items or
+                    not isinstance(self._items[0], _Label)
+                    else self._items[0].name)
+        items = self._items
+        if items and isinstance(items[0], _Label):
+            items = items[1:]
+
+        for item in items:
+            if isinstance(item, _Label):
+                if current.label == item.name:
+                    continue
+                if not current.instrs and current.label.startswith(".L"):
+                    # Reuse the empty auto-generated block instead of leaving
+                    # an empty block behind.
+                    current.label = item.name
+                else:
+                    start_block(item.name)
+                continue
+            current.append(item)
+            if item.info.is_control_flow:
+                start_block(fresh_label())
+
+        # Drop a trailing empty auto-generated block.
+        while blocks and not blocks[-1].instrs and blocks[-1].label.startswith(".L"):
+            blocks.pop()
+
+        labels = [blk.label for blk in blocks]
+        if len(labels) != len(set(labels)):
+            raise CompilerError(f"duplicate block labels in function {self.name}")
+
+        for label, bound in self._loop_bounds.items():
+            matched = False
+            for blk in blocks:
+                if blk.label == label:
+                    blk.loop_bound = bound
+                    matched = True
+            if not matched:
+                raise CompilerError(
+                    f"loop bound refers to unknown label {label!r} in {self.name}")
+
+        return Function(
+            name=self.name,
+            blocks=blocks,
+            frame_words=self._frame_words,
+            attrs=dict(self._attrs),
+        )
+
+
+class ProgramBuilder:
+    """Builds a whole program: functions plus data items."""
+
+    def __init__(self, name: str = "program", entry: str = "main"):
+        self.name = name
+        self.entry = entry
+        self._functions: list[FunctionBuilder] = []
+        self._data: list[DataItem] = []
+
+    def function(self, name: str) -> FunctionBuilder:
+        """Start a new function and return its builder."""
+        if any(fb.name == name for fb in self._functions):
+            raise CompilerError(f"duplicate function {name!r}")
+        builder = FunctionBuilder(name, self)
+        self._functions.append(builder)
+        return builder
+
+    def data(self, name: str, words: list[int],
+             space: Union[str, DataSpace] = DataSpace.DATA) -> str:
+        """Define a word-aligned data object; returns its symbol name."""
+        if any(item.name == name for item in self._data):
+            raise CompilerError(f"duplicate data item {name!r}")
+        if isinstance(space, str):
+            space = DataSpace(space)
+        self._data.append(DataItem(name=name, words=list(words), space=space))
+        return name
+
+    def zeros(self, name: str, count: int,
+              space: Union[str, DataSpace] = DataSpace.DATA) -> str:
+        """Define a zero-initialised data object of ``count`` words."""
+        return self.data(name, [0] * count, space=space)
+
+    def build(self) -> Program:
+        """Produce the (unscheduled) program."""
+        program = Program(name=self.name, entry=self.entry)
+        for builder in self._functions:
+            program.add_function(builder.build())
+        for item in self._data:
+            program.add_data(item)
+        program.validate_call_targets()
+        return program
+
+
+# ---------------------------------------------------------------------------
+# Operand parsing per instruction format
+# ---------------------------------------------------------------------------
+
+
+def _imm_or_symbol(value: ImmLike) -> tuple[Optional[int], Optional[str]]:
+    if isinstance(value, str):
+        return None, value
+    return int(value), None
+
+
+def _make_instruction(opcode: Opcode, operands: tuple, guard: Guard) -> Instruction:
+    """Build an instruction from positional operands for the opcode's format."""
+    fmt = opcode.info.fmt
+    mnemonic = opcode.info.mnemonic
+
+    def need(count: int) -> None:
+        if len(operands) != count:
+            raise IsaError(
+                f"{mnemonic}: expected {count} operands, got {len(operands)}")
+
+    if fmt is Format.ALU_R:
+        need(3)
+        return Instruction(opcode, guard=guard, rd=parse_gpr(operands[0]),
+                           rs1=parse_gpr(operands[1]), rs2=parse_gpr(operands[2]))
+    if fmt in (Format.ALU_I, Format.ALU_L):
+        need(3)
+        imm, symbol = _imm_or_symbol(operands[2])
+        return Instruction(opcode, guard=guard, rd=parse_gpr(operands[0]),
+                           rs1=parse_gpr(operands[1]), imm=imm, target=symbol)
+    if fmt is Format.LI:
+        need(2)
+        imm, symbol = _imm_or_symbol(operands[1])
+        return Instruction(opcode, guard=guard, rd=parse_gpr(operands[0]),
+                           imm=imm, target=symbol)
+    if fmt is Format.MUL:
+        need(2)
+        return Instruction(opcode, guard=guard, rs1=parse_gpr(operands[0]),
+                           rs2=parse_gpr(operands[1]))
+    if fmt is Format.CMP_R:
+        need(3)
+        return Instruction(opcode, guard=guard, pd=parse_pred(operands[0]),
+                           rs1=parse_gpr(operands[1]), rs2=parse_gpr(operands[2]))
+    if fmt is Format.CMP_I:
+        need(3)
+        return Instruction(opcode, guard=guard, pd=parse_pred(operands[0]),
+                           rs1=parse_gpr(operands[1]), imm=int(operands[2]))
+    if fmt is Format.PRED:
+        if opcode is Opcode.PNOT:
+            need(2)
+            return Instruction(opcode, guard=guard, pd=parse_pred(operands[0]),
+                               ps1=parse_pred(operands[1]))
+        need(3)
+        return Instruction(opcode, guard=guard, pd=parse_pred(operands[0]),
+                           ps1=parse_pred(operands[1]), ps2=parse_pred(operands[2]))
+    if fmt is Format.LOAD:
+        need(3)
+        return Instruction(opcode, guard=guard, rd=parse_gpr(operands[0]),
+                           rs1=parse_gpr(operands[1]), imm=int(operands[2]))
+    if fmt is Format.STORE:
+        need(3)
+        return Instruction(opcode, guard=guard, rs1=parse_gpr(operands[0]),
+                           imm=int(operands[1]), rs2=parse_gpr(operands[2]))
+    if fmt is Format.STACK:
+        need(1)
+        return Instruction(opcode, guard=guard, imm=int(operands[0]))
+    if fmt in (Format.BRANCH, Format.CALL):
+        need(1)
+        target = operands[0]
+        if not isinstance(target, (str, int)):
+            raise IsaError(f"{mnemonic}: target must be a label or address")
+        return Instruction(opcode, guard=guard, target=target)
+    if fmt is Format.CALLR:
+        need(1)
+        return Instruction(opcode, guard=guard, rs1=parse_gpr(operands[0]))
+    if fmt is Format.MTS:
+        need(2)
+        return Instruction(opcode, guard=guard, special=parse_special(operands[0]),
+                           rs1=parse_gpr(operands[1]))
+    if fmt is Format.MFS:
+        need(2)
+        return Instruction(opcode, guard=guard, rd=parse_gpr(operands[0]),
+                           special=parse_special(operands[1]))
+    if fmt is Format.OUT:
+        need(1)
+        return Instruction(opcode, guard=guard, rs1=parse_gpr(operands[0]))
+    if fmt in (Format.RET, Format.WAIT, Format.NOP, Format.HALT):
+        need(0)
+        return Instruction(opcode, guard=guard)
+    raise IsaError(f"unsupported format for {mnemonic}")  # pragma: no cover

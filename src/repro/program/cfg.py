@@ -1,0 +1,165 @@
+"""Control-flow graph construction and loop analysis for a function.
+
+The CFG is built from the unscheduled instruction view of a function's basic
+blocks.  Natural loops are recovered from back edges using dominator
+information; loop bounds attached to header blocks feed the IPET-based WCET
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import networkx as nx
+
+from ..errors import WcetError
+from .function import Function
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A natural loop: header block plus the set of blocks in the loop body."""
+
+    header: str
+    body: frozenset[str]
+    back_edges: frozenset[tuple[str, str]]
+    bound: Optional[int] = None
+
+    def contains(self, label: str) -> bool:
+        return label in self.body
+
+
+@dataclass
+class ControlFlowGraph:
+    """Control-flow graph of one function."""
+
+    function: Function
+    graph: nx.DiGraph = field(default_factory=nx.DiGraph)
+    entry: str = ""
+    exits: list[str] = field(default_factory=list)
+
+    @classmethod
+    def build(cls, function: Function) -> "ControlFlowGraph":
+        """Construct the CFG of ``function`` from its basic blocks."""
+        cfg = cls(function=function)
+        graph = cfg.graph
+        labels = function.block_labels()
+        for label in labels:
+            graph.add_node(label)
+        for block in function.blocks:
+            fallthrough = function.fallthrough_label(block.label)
+            succs = block.successors(fallthrough)
+            for succ in succs:
+                if succ not in graph:
+                    raise WcetError(
+                        f"block {block.label} of {function.name} branches to "
+                        f"unknown label {succ!r}")
+                graph.add_edge(block.label, succ)
+            if not succs:
+                cfg.exits.append(block.label)
+        cfg.entry = labels[0] if labels else ""
+        if not cfg.exits and labels:
+            # Function with no return/halt (e.g. an endless loop): treat the
+            # last block as the structural exit for analysis purposes.
+            cfg.exits.append(labels[-1])
+        return cfg
+
+    # -- basic queries -----------------------------------------------------------
+
+    def successors(self, label: str) -> list[str]:
+        return list(self.graph.successors(label))
+
+    def predecessors(self, label: str) -> list[str]:
+        return list(self.graph.predecessors(label))
+
+    def edges(self) -> list[tuple[str, str]]:
+        return list(self.graph.edges())
+
+    def reachable(self) -> set[str]:
+        """Labels reachable from the entry block."""
+        if not self.entry:
+            return set()
+        return set(nx.descendants(self.graph, self.entry)) | {self.entry}
+
+    # -- dominators and loops ------------------------------------------------------
+
+    def dominators(self) -> dict[str, str]:
+        """Immediate dominators of all reachable blocks."""
+        return nx.immediate_dominators(self.graph, self.entry)
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True if block ``a`` dominates block ``b``."""
+        idom = self.dominators()
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = idom.get(node)
+            if parent is None or parent == node:
+                return a == node
+            node = parent
+
+    def back_edges(self) -> list[tuple[str, str]]:
+        """Edges ``(tail, head)`` where ``head`` dominates ``tail``."""
+        reachable = self.reachable()
+        result = []
+        for tail, head in self.graph.edges():
+            if tail in reachable and head in reachable and self.dominates(head, tail):
+                result.append((tail, head))
+        return result
+
+    def natural_loops(self) -> list[Loop]:
+        """Natural loops of the function, one per loop header.
+
+        Back edges sharing a header are merged into a single loop.  The loop
+        bound annotation of the header block (if any) is attached.
+        """
+        loops_by_header: dict[str, set[str]] = {}
+        edges_by_header: dict[str, set[tuple[str, str]]] = {}
+        for tail, head in self.back_edges():
+            body = loops_by_header.setdefault(head, {head})
+            edges_by_header.setdefault(head, set()).add((tail, head))
+            # Collect all nodes that can reach `tail` without passing `head`.
+            stack = [tail]
+            while stack:
+                node = stack.pop()
+                if node in body:
+                    continue
+                body.add(node)
+                stack.extend(p for p in self.graph.predecessors(node) if p != head)
+        loops = []
+        for header, body in loops_by_header.items():
+            bound = self.function.block(header).loop_bound
+            loops.append(Loop(
+                header=header,
+                body=frozenset(body),
+                back_edges=frozenset(edges_by_header[header]),
+                bound=bound,
+            ))
+        return loops
+
+    def loop_of(self, label: str) -> Optional[Loop]:
+        """Return the innermost loop containing ``label`` (smallest body)."""
+        candidates = [loop for loop in self.natural_loops() if loop.contains(label)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda loop: len(loop.body))
+
+    def loop_nest_depth(self, label: str) -> int:
+        """Number of loops containing ``label``."""
+        return sum(1 for loop in self.natural_loops() if loop.contains(label))
+
+    def is_reducible(self) -> bool:
+        """True if every cycle of the CFG is part of a natural loop."""
+        reachable = self.reachable()
+        subgraph = self.graph.subgraph(reachable).copy()
+        subgraph.remove_edges_from(self.back_edges())
+        return nx.is_directed_acyclic_graph(subgraph)
+
+    def topological_order(self) -> list[str]:
+        """Reverse-post-order of the acyclic CFG (back edges removed)."""
+        reachable = self.reachable()
+        subgraph = self.graph.subgraph(reachable).copy()
+        subgraph.remove_edges_from(self.back_edges())
+        return list(nx.topological_sort(subgraph))

@@ -1,0 +1,19 @@
+"""Patmos simulators: functional and cycle-accurate."""
+
+from .base import BaseSimulator
+from .cycle import CycleSimulator
+from .functional import FunctionalSimulator
+from .results import SimResult, StallBreakdown, TraceEntry
+from .state import ArchState, to_signed, to_unsigned
+
+__all__ = [
+    "ArchState",
+    "BaseSimulator",
+    "CycleSimulator",
+    "FunctionalSimulator",
+    "SimResult",
+    "StallBreakdown",
+    "TraceEntry",
+    "to_signed",
+    "to_unsigned",
+]

@@ -1,0 +1,156 @@
+"""Cycle-accurate Patmos simulator with the time-predictable memory hierarchy.
+
+On top of the architectural semantics of :class:`~repro.sim.base.BaseSimulator`
+this simulator charges stall cycles for:
+
+* method-cache fills at call, return and ``brcf`` (or per-fetch misses of the
+  conventional instruction-cache baseline);
+* misses in the static/constant cache and the object/heap cache;
+* stack-cache spill and fill traffic caused by ``sres``/``sens``;
+* split main-memory loads (the ``wmem`` wait time) and the store buffer;
+* TDMA arbitration delays when the core is part of a chip multiprocessor.
+
+The pipeline itself never stalls for hazards: operand delays are exposed at
+the ISA level and must be respected by the compiler (checked with
+``strict=True``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import PatmosConfig
+from ..caches.hierarchy import CacheHierarchy, HierarchyOptions
+from ..caches.stack_cache import StackCache
+from ..isa.instruction import Bundle
+from ..isa.opcodes import MemType, Opcode
+from ..memory.controller import MemoryController
+from ..program.linker import FunctionRecord, Image
+from .base import BaseSimulator
+
+
+class CycleSimulator(BaseSimulator):
+    """Cycle-accurate simulator of one Patmos core."""
+
+    def __init__(self, image: Image, config: Optional[PatmosConfig] = None,
+                 strict: bool = False, trace: bool = False,
+                 hierarchy_options: Optional[HierarchyOptions] = None,
+                 arbiter=None, core_id: int = 0):
+        self._hierarchy_options = hierarchy_options or HierarchyOptions()
+        self._config_for_hierarchy = config
+        super().__init__(image, config=config, strict=strict, trace=trace)
+        self.core_id = core_id
+        self.hierarchy = CacheHierarchy(self.config, self._hierarchy_options)
+        # Share the single stack-cache model between hierarchy and executor.
+        self.hierarchy.stack_cache = self.stack_cache
+        self.controller = MemoryController(
+            self.memory, self.config.memory,
+            arbiter=arbiter,
+            store_buffer_entries=self.config.pipeline.store_buffer_entries)
+
+    # ------------------------------------------------------------------
+    # Timing hooks
+    # ------------------------------------------------------------------
+
+    def _on_start(self) -> None:
+        # Loading the entry function into the method cache is the first
+        # memory transfer of a real system; charge it so that method-cache
+        # statistics cover the whole execution.
+        entry = self.image.function_at(self.image.entry_addr)
+        stall = self._method_cache_stall(entry)
+        self.stalls.method_cache += stall
+        self.cycles += stall
+
+    def _make_stack_cache(self) -> StackCache:
+        return StackCache(self.config.stack_cache, self.config.memory,
+                          self.config.memory_map.stack_top)
+
+    def _fetch_stall(self, addr: int, bundle: Bundle) -> int:
+        if self.hierarchy.uses_method_cache:
+            return 0
+        stall = self.hierarchy.fetch_access(addr).stall_cycles
+        if bundle.size_bytes > 4:
+            stall += self.hierarchy.fetch_access(addr + 4).stall_cycles
+        return stall
+
+    def _method_cache_stall(self, record: FunctionRecord) -> int:
+        if not self.hierarchy.uses_method_cache:
+            return 0
+        result = self.hierarchy.instruction_access(record.name, record.size_bytes)
+        if result.hit:
+            return 0
+        return result.stall_cycles + self._arbitration(result.fill_words)
+
+    def _arbitration(self, words: int) -> int:
+        if self.controller.arbiter is None:
+            return 0
+        transfer = min(self.config.memory.transfer_cycles(min(
+            words, self.config.memory.burst_words)),
+            self.config.memory.burst_cycles())
+        wait = self.controller.arbiter.arbitration_delay(self.cycles, transfer)
+        self.stalls.arbitration += wait
+        return wait
+
+    def _cached_read_stall(self, mem_type: MemType, addr: int) -> int:
+        if mem_type is MemType.LOCAL:
+            return self.scratchpad.access_cycles()
+        stall = self.hierarchy.data_read(mem_type, addr)
+        if stall > 0:
+            stall += self._arbitration(self.config.static_cache.line_bytes // 4)
+        return stall
+
+    def _cached_write_stall(self, mem_type: MemType, addr: int) -> int:
+        if mem_type is MemType.LOCAL:
+            return self.scratchpad.access_cycles()
+        stall = self.hierarchy.data_write(mem_type, addr)
+        # Write-through traffic (static/object caches — and stack data when
+        # the unified baseline is used) goes through the store buffer.  Stack
+        # cache writes stay on chip; their memory traffic happens at spill
+        # time and is charged by the sres instruction.
+        write_through = mem_type in (MemType.STATIC, MemType.OBJECT) or (
+            mem_type is MemType.STACK
+            and self._hierarchy_options.unified_data_cache)
+        if write_through:
+            stall += self.controller.buffer_store(self.cycles)
+        return stall
+
+    def _stack_control_stall(self, opcode: Opcode, words: int) -> int:
+        # Compute the spill/fill cost without mutating the stack cache twice:
+        # peek at the occupancy change the base class is about to apply.
+        cache = self.stack_cache
+        if opcode is Opcode.SRES:
+            new_occupancy = cache.occupancy_bytes + 4 * words
+            spill_bytes = max(0, new_occupancy - cache.size_bytes)
+            stall = self.config.memory.transfer_cycles(spill_bytes // 4)
+            if spill_bytes:
+                stall += self._arbitration(spill_bytes // 4)
+            return stall
+        if opcode is Opcode.SENS:
+            fill_bytes = max(0, 4 * words - cache.occupancy_bytes)
+            stall = self.config.memory.transfer_cycles(fill_bytes // 4)
+            if fill_bytes:
+                stall += self._arbitration(fill_bytes // 4)
+            return stall
+        return 0
+
+    def _main_store_stall(self, addr: int, value: int, width: int) -> int:
+        # The base simulator writes the value to memory; only the write-buffer
+        # timing is charged here.
+        return self.controller.buffer_store(self.cycles)
+
+    def _split_load_latency(self) -> int:
+        latency = self.config.memory.transfer_cycles(1)
+        latency += self._arbitration(1)
+        # A load must not overtake buffered stores to main memory.
+        latency += self.controller.drain_cycles(self.cycles)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def _cache_stats(self) -> dict[str, dict]:
+        stats = self.hierarchy.stats_summary()
+        stats["stack_cache"] = vars(self.stack_cache.stats).copy()
+        stats["memory_controller"] = vars(self.controller.stats).copy()
+        return stats

@@ -1,0 +1,87 @@
+"""Pure evaluation of ALU, compare and predicate operations.
+
+These helpers implement the arithmetic semantics shared by the functional and
+cycle-accurate simulators.  All values are 32-bit unsigned register contents;
+signed interpretations are applied where the operation requires them.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..isa.opcodes import Opcode
+from .state import to_signed, to_unsigned
+
+
+def alu_op(opcode: Opcode, a: int, b: int) -> int:
+    """Evaluate a (register or immediate) ALU operation on 32-bit values."""
+    a = to_unsigned(a)
+    b = to_unsigned(b)
+    if opcode in (Opcode.ADD, Opcode.ADDI, Opcode.ADDL):
+        return to_unsigned(a + b)
+    if opcode in (Opcode.SUB, Opcode.SUBI, Opcode.SUBL):
+        return to_unsigned(a - b)
+    if opcode in (Opcode.AND, Opcode.ANDI, Opcode.ANDL):
+        return a & b
+    if opcode in (Opcode.OR, Opcode.ORI, Opcode.ORL):
+        return a | b
+    if opcode in (Opcode.XOR, Opcode.XORI, Opcode.XORL):
+        return a ^ b
+    if opcode is Opcode.NOR:
+        return to_unsigned(~(a | b))
+    if opcode in (Opcode.SHL, Opcode.SHLI):
+        return to_unsigned(a << (b & 31))
+    if opcode in (Opcode.SHR, Opcode.SHRI):
+        return a >> (b & 31)
+    if opcode in (Opcode.SRA, Opcode.SRAI):
+        return to_unsigned(to_signed(a) >> (b & 31))
+    if opcode is Opcode.SHADD:
+        return to_unsigned((a << 1) + b)
+    if opcode is Opcode.SHADD2:
+        return to_unsigned((a << 2) + b)
+    raise SimulationError(f"not an ALU opcode: {opcode}")
+
+
+def compare_op(opcode: Opcode, a: int, b: int) -> bool:
+    """Evaluate a compare operation, returning the predicate value."""
+    ua, ub = to_unsigned(a), to_unsigned(b)
+    sa, sb = to_signed(a), to_signed(b)
+    if opcode in (Opcode.CMPEQ, Opcode.CMPIEQ):
+        return ua == ub
+    if opcode in (Opcode.CMPNEQ, Opcode.CMPINEQ):
+        return ua != ub
+    if opcode in (Opcode.CMPLT, Opcode.CMPILT):
+        return sa < sb
+    if opcode in (Opcode.CMPLE, Opcode.CMPILE):
+        return sa <= sb
+    if opcode in (Opcode.CMPULT, Opcode.CMPIULT):
+        return ua < ub
+    if opcode in (Opcode.CMPULE, Opcode.CMPIULE):
+        return ua <= ub
+    if opcode is Opcode.BTEST:
+        return bool((ua >> (ub & 31)) & 1)
+    raise SimulationError(f"not a compare opcode: {opcode}")
+
+
+def predicate_op(opcode: Opcode, a: bool, b: bool) -> bool:
+    """Evaluate a predicate-combine operation."""
+    if opcode is Opcode.PAND:
+        return a and b
+    if opcode is Opcode.POR:
+        return a or b
+    if opcode is Opcode.PXOR:
+        return a != b
+    if opcode is Opcode.PNOT:
+        return not a
+    raise SimulationError(f"not a predicate opcode: {opcode}")
+
+
+def multiply(opcode: Opcode, a: int, b: int) -> tuple[int, int]:
+    """Evaluate a multiplication, returning ``(low word, high word)``."""
+    if opcode is Opcode.MUL:
+        product = to_signed(a) * to_signed(b)
+    elif opcode is Opcode.MULU:
+        product = to_unsigned(a) * to_unsigned(b)
+    else:
+        raise SimulationError(f"not a multiply opcode: {opcode}")
+    product &= 0xFFFF_FFFF_FFFF_FFFF
+    return product & 0xFFFF_FFFF, product >> 32

@@ -1,0 +1,20 @@
+"""Functional (instruction-accurate) Patmos simulator.
+
+The functional simulator executes the full architectural semantics — including
+the exposed delay slots, which are part of the ISA — but charges no stall
+cycles for the memory hierarchy: every reported "cycle" corresponds to one
+issued bundle.  It plays the role of the SystemC simulation model mentioned in
+Section 5 of the paper and is used for validating program semantics and as the
+"ideal memory" baseline in several experiments.
+"""
+
+from __future__ import annotations
+
+from .base import BaseSimulator
+
+
+class FunctionalSimulator(BaseSimulator):
+    """Architectural simulator without memory-hierarchy timing."""
+
+    # All timing hooks of :class:`BaseSimulator` already return zero stalls;
+    # the functional simulator is the base engine used as-is.

@@ -1,0 +1,94 @@
+"""Simulation results and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class StallBreakdown:
+    """Where stall cycles were spent."""
+
+    method_cache: int = 0
+    icache: int = 0
+    data_cache: int = 0
+    stack_cache: int = 0
+    split_load_wait: int = 0
+    store_buffer: int = 0
+    arbitration: int = 0
+
+    def total(self) -> int:
+        return (self.method_cache + self.icache + self.data_cache +
+                self.stack_cache + self.split_load_wait + self.store_buffer +
+                self.arbitration)
+
+
+@dataclass
+class TraceEntry:
+    """One issued bundle in an execution trace."""
+
+    cycle: int
+    addr: int
+    text: str
+
+
+@dataclass
+class SimResult:
+    """Result of simulating one program on one core."""
+
+    cycles: int
+    bundles: int
+    instructions: int
+    nops: int
+    output: list[int] = field(default_factory=list)
+    stalls: StallBreakdown = field(default_factory=StallBreakdown)
+    #: Execution count of every basic block, keyed by ``(function, label)``.
+    block_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    #: Call counts per callee function name.
+    call_counts: dict[str, int] = field(default_factory=dict)
+    cache_stats: dict[str, dict] = field(default_factory=dict)
+    trace: Optional[list[TraceEntry]] = None
+    halted: bool = True
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle (including NOPs, which occupy issue slots)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def useful_ipc(self) -> float:
+        """Instructions per cycle excluding NOPs."""
+        if self.cycles == 0:
+            return 0.0
+        return (self.instructions - self.nops) / self.cycles
+
+    @property
+    def slot_utilisation(self) -> float:
+        """Fraction of issue slots filled with useful (non-NOP) instructions.
+
+        A dual-issue machine offers two slots per issued bundle cycle; the
+        utilisation measures how well the compiler fills the second slot.
+        """
+        if self.bundles == 0:
+            return 0.0
+        return (self.instructions - self.nops) / (2 * self.bundles)
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary."""
+        lines = [
+            f"cycles           : {self.cycles}",
+            f"bundles issued   : {self.bundles}",
+            f"instructions     : {self.instructions} ({self.nops} nops)",
+            f"IPC (useful)     : {self.useful_ipc:.3f}",
+            f"stall cycles     : {self.stalls.total()}",
+            f"  method cache   : {self.stalls.method_cache}",
+            f"  i-cache        : {self.stalls.icache}",
+            f"  data caches    : {self.stalls.data_cache}",
+            f"  stack cache    : {self.stalls.stack_cache}",
+            f"  split-load wait: {self.stalls.split_load_wait}",
+            f"  store buffer   : {self.stalls.store_buffer}",
+        ]
+        return "\n".join(lines)

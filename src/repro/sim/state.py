@@ -1,0 +1,88 @@
+"""Architectural state of one Patmos core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import NUM_GPRS, NUM_PREDS
+from ..errors import SimulationError
+from ..isa.registers import SpecialReg
+
+WORD_MASK = 0xFFFF_FFFF
+
+
+def to_unsigned(value: int) -> int:
+    """Normalise a Python int to a 32-bit unsigned register value."""
+    return value & WORD_MASK
+
+
+def to_signed(value: int) -> int:
+    """Interpret a 32-bit register value as a signed integer."""
+    value &= WORD_MASK
+    if value & 0x8000_0000:
+        return value - 0x1_0000_0000
+    return value
+
+
+@dataclass
+class ArchState:
+    """Register file, predicates, special registers and debug output."""
+
+    regs: list[int] = field(default_factory=lambda: [0] * NUM_GPRS)
+    preds: list[bool] = field(default_factory=lambda: [True] + [False] * (NUM_PREDS - 1))
+    specials: dict[SpecialReg, int] = field(
+        default_factory=lambda: {reg: 0 for reg in SpecialReg})
+    output: list[int] = field(default_factory=list)
+    halted: bool = False
+
+    # -- general-purpose registers ---------------------------------------------------
+
+    def read_gpr(self, index: int) -> int:
+        if not 0 <= index < NUM_GPRS:
+            raise SimulationError(f"GPR index out of range: {index}")
+        if index == 0:
+            return 0
+        return self.regs[index]
+
+    def write_gpr(self, index: int, value: int) -> None:
+        if not 0 <= index < NUM_GPRS:
+            raise SimulationError(f"GPR index out of range: {index}")
+        if index == 0:
+            return
+        self.regs[index] = to_unsigned(value)
+
+    # -- predicate registers -----------------------------------------------------------
+
+    def read_pred(self, index: int) -> bool:
+        if not 0 <= index < NUM_PREDS:
+            raise SimulationError(f"predicate index out of range: {index}")
+        if index == 0:
+            return True
+        return self.preds[index]
+
+    def write_pred(self, index: int, value: bool) -> None:
+        if not 0 <= index < NUM_PREDS:
+            raise SimulationError(f"predicate index out of range: {index}")
+        if index == 0:
+            return
+        self.preds[index] = bool(value)
+
+    # -- special registers ---------------------------------------------------------------
+
+    def read_special(self, reg: SpecialReg) -> int:
+        return self.specials[reg]
+
+    def write_special(self, reg: SpecialReg, value: int) -> None:
+        self.specials[reg] = to_unsigned(value)
+
+    # -- snapshots ---------------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A plain-dict snapshot of the architectural state (for tests/traces)."""
+        return {
+            "regs": list(self.regs),
+            "preds": list(self.preds),
+            "specials": {reg.value: val for reg, val in self.specials.items()},
+            "output": list(self.output),
+            "halted": self.halted,
+        }

@@ -1,0 +1,47 @@
+"""Static WCET analysis for Patmos programs."""
+
+from .analyzer import (
+    FunctionWcet,
+    WcetAnalyzer,
+    WcetOptions,
+    WcetResult,
+    analyze_wcet,
+)
+from .block_timing import BlockSummary, summarise_block, summarise_function
+from .cache_analysis import (
+    ConventionalICacheAnalysis,
+    MethodCacheAnalysis,
+    ObjectCacheAnalysis,
+    StackCacheAnalysis,
+    StaticCacheAnalysis,
+    analyse_conventional_icache,
+    analyse_method_cache,
+    analyse_object_cache,
+    analyse_stack_cache,
+    analyse_static_cache,
+)
+from .ipet import IpetResult, longest_path_dag, solve_ipet
+
+__all__ = [
+    "BlockSummary",
+    "ConventionalICacheAnalysis",
+    "FunctionWcet",
+    "IpetResult",
+    "MethodCacheAnalysis",
+    "ObjectCacheAnalysis",
+    "StackCacheAnalysis",
+    "StaticCacheAnalysis",
+    "WcetAnalyzer",
+    "WcetOptions",
+    "WcetResult",
+    "analyse_conventional_icache",
+    "analyse_method_cache",
+    "analyse_object_cache",
+    "analyse_stack_cache",
+    "analyse_static_cache",
+    "analyze_wcet",
+    "longest_path_dag",
+    "solve_ipet",
+    "summarise_block",
+    "summarise_function",
+]

@@ -1,0 +1,371 @@
+"""Top-level WCET analysis for compiled and linked Patmos programs.
+
+The analyzer combines the pieces the paper argues should be co-designed with
+the architecture:
+
+* per-block pipeline timing (trivial thanks to the stall-free, exposed-delay
+  pipeline — one cycle per issued bundle);
+* the method-cache, static-cache, object-cache and stack-cache analyses from
+  :mod:`repro.wcet.cache_analysis`;
+* an IPET formulation per function (functions split for the method cache are
+  analysed together with their sub-functions), composed bottom-up over the
+  call graph;
+* optional TDMA arbitration costs for chip-multiprocessor configurations.
+
+The result is a WCET bound in cycles plus a per-function, per-category
+breakdown that the experiments compare against cycle-accurate simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..config import DEFAULT_CONFIG, PatmosConfig
+from ..errors import WcetError
+from ..isa.opcodes import MemType, Opcode
+from ..memory.tdma import TdmaSchedule
+from ..program.callgraph import CallGraph
+from ..program.cfg import ControlFlowGraph
+from ..program.function import Function
+from ..program.linker import Image
+from .block_timing import BlockSummary, summarise_block
+from .cache_analysis import (
+    ConventionalICacheAnalysis,
+    MethodCacheAnalysis,
+    ObjectCacheAnalysis,
+    StackCacheAnalysis,
+    StaticCacheAnalysis,
+    analyse_conventional_icache,
+    analyse_method_cache,
+    analyse_object_cache,
+    analyse_stack_cache,
+    analyse_static_cache,
+)
+from .ipet import IpetResult, solve_ipet
+
+
+@dataclass(frozen=True)
+class WcetOptions:
+    """Analysis configuration (which cache models / baselines to use)."""
+
+    #: "persistence", "always_miss" or "ideal".
+    method_cache: str = "persistence"
+    #: "persistence", "always_miss" or "ideal".
+    static_cache: str = "persistence"
+    #: "always_miss" or "ideal".
+    object_cache: str = "always_miss"
+    #: "refined" or "naive".
+    stack_cache: str = "refined"
+    #: Analyse the conventional instruction-cache baseline instead of the
+    #: method cache (experiment E4).
+    conventional_icache: bool = False
+    #: Analyse the unified data-cache baseline (experiment E5).
+    unified_data_cache: bool = False
+    #: TDMA schedule of the CMP configuration (adds worst-case arbitration).
+    tdma: Optional[TdmaSchedule] = None
+    #: Extra loop bounds: ``(function, header label) -> bound`` (overrides
+    #: block annotations).
+    loop_bounds: dict = field(default_factory=dict)
+
+
+@dataclass
+class FunctionWcet:
+    """WCET contribution of one function (including its sub-functions)."""
+
+    name: str
+    wcet_cycles: int
+    ipet: IpetResult
+    block_costs: dict[str, int]
+    callee_cycles: int = 0
+
+
+@dataclass
+class WcetResult:
+    """Result of a whole-program WCET analysis."""
+
+    entry: str
+    wcet_cycles: int
+    one_off_cycles: int
+    per_function: dict[str, FunctionWcet]
+    options: WcetOptions
+    method_cache: MethodCacheAnalysis | None = None
+    icache: ConventionalICacheAnalysis | None = None
+    static_cache: StaticCacheAnalysis | None = None
+    object_cache: ObjectCacheAnalysis | None = None
+    stack_cache: StackCacheAnalysis | None = None
+
+    def tightness(self, observed_cycles: int) -> float:
+        """Ratio of the WCET bound to an observed execution time (>= 1.0)."""
+        if observed_cycles <= 0:
+            raise WcetError("observed execution time must be positive")
+        return self.wcet_cycles / observed_cycles
+
+    def summary(self) -> str:
+        lines = [
+            f"WCET bound       : {self.wcet_cycles} cycles",
+            f"  one-off costs  : {self.one_off_cycles} cycles",
+            f"  entry function : {self.entry}",
+        ]
+        for name, func in self.per_function.items():
+            lines.append(f"  {name:24s}: {func.wcet_cycles} cycles")
+        return "\n".join(lines)
+
+
+class WcetAnalyzer:
+    """Static WCET analysis of a linked Patmos image."""
+
+    def __init__(self, image: Image, config: Optional[PatmosConfig] = None,
+                 options: WcetOptions = WcetOptions()):
+        self.image = image
+        self.config = config or image.config or DEFAULT_CONFIG
+        self.options = options
+        self.program = image.program
+
+    # ------------------------------------------------------------------
+
+    def analyze(self, entry: Optional[str] = None) -> WcetResult:
+        """Compute the WCET bound for the program starting at ``entry``."""
+        entry = entry or self.program.entry
+        options = self.options
+
+        method_cache = None
+        icache = None
+        if options.conventional_icache:
+            icache = analyse_conventional_icache(self.image, self.config)
+        else:
+            method_cache = analyse_method_cache(
+                self.image, self.config, mode=options.method_cache, entry=entry)
+        static_cache = analyse_static_cache(
+            self.image, self.config, mode=options.static_cache,
+            unified=options.unified_data_cache)
+        object_cache = analyse_object_cache(self.config, mode=options.object_cache)
+        frame_words = self._frame_words()
+        stack_cache = analyse_stack_cache(
+            self.program, self.config, frame_words, mode=options.stack_cache)
+
+        call_graph = CallGraph.build(self.program)
+        if call_graph.is_recursive():
+            raise WcetError("WCET analysis requires a non-recursive call graph")
+
+        per_function: dict[str, FunctionWcet] = {}
+        function_wcet: dict[str, int] = {}
+        order = call_graph.topological_order(root=entry)  # callees first
+        groups = self._analysis_groups()
+        for name in order:
+            function = self.program.function(name)
+            if function.is_subfunction:
+                continue
+            result = self._analyse_function(
+                function, groups.get(name, []), function_wcet, method_cache,
+                icache, static_cache, object_cache, stack_cache)
+            per_function[name] = result
+            function_wcet[name] = result.wcet_cycles
+
+        one_off = 0
+        one_off_transfers = 0
+        if method_cache is not None:
+            one_off += method_cache.one_off_cycles
+            one_off_transfers += method_cache.one_off_transfers
+        if icache is not None:
+            one_off += icache.one_off_cycles
+            one_off_transfers += icache.one_off_transfers
+        one_off += static_cache.one_off_cycles
+        one_off_transfers += static_cache.one_off_transfers
+        if options.tdma is not None and one_off_transfers > 0:
+            # Every one-off transfer may additionally wait for its TDMA slot.
+            one_off += one_off_transfers * options.tdma.worst_case_wait()
+
+        total = function_wcet[entry] + one_off
+        return WcetResult(
+            entry=entry, wcet_cycles=total, one_off_cycles=one_off,
+            per_function=per_function, options=options,
+            method_cache=method_cache, icache=icache,
+            static_cache=static_cache, object_cache=object_cache,
+            stack_cache=stack_cache)
+
+    # ------------------------------------------------------------------
+    # Per-function analysis
+    # ------------------------------------------------------------------
+
+    def _analysis_groups(self) -> dict[str, list[Function]]:
+        """Sub-functions grouped under their parent function."""
+        groups: dict[str, list[Function]] = {}
+        for function in self.program.functions.values():
+            if function.is_subfunction and function.parent:
+                groups.setdefault(function.parent, []).append(function)
+        return groups
+
+    def _merged_function(self, function: Function,
+                         subfunctions: list[Function]) -> Function:
+        """Merge a function with its sub-functions into one analysis CFG.
+
+        ``brcf`` transfers to a sub-function are rewritten to plain branches
+        to the sub-function's entry block so that the CFG sees them as
+        ordinary edges; the method-cache cost of the transfer is still charged
+        from the block summary (which is taken from the original blocks).
+        """
+        if not subfunctions:
+            return function
+        merged = function.copy()
+        entry_labels = {}
+        for sub in subfunctions:
+            entry_labels[sub.name] = sub.entry_block().label
+        for sub in subfunctions:
+            merged.blocks.extend(block.copy() for block in sub.blocks)
+        for block in merged.blocks:
+            rewritten = []
+            changed = False
+            for instr in block.instrs:
+                if instr.opcode is Opcode.BRCF and instr.target in entry_labels:
+                    rewritten.append(instr.with_target(entry_labels[instr.target]))
+                    changed = True
+                else:
+                    rewritten.append(instr)
+            if changed:
+                bundles = block.bundles
+                block.instrs = rewritten
+                block.bundles = bundles  # structure unchanged, keep schedule
+        return merged
+
+    def _frame_words(self) -> dict[str, int]:
+        """Words reserved by each function's sres (0 for frameless functions)."""
+        frames: dict[str, int] = {}
+        for function in self.program.functions.values():
+            words = 0
+            for block in function.blocks:
+                for instr in block.instrs:
+                    if instr.opcode is Opcode.SRES:
+                        words = max(words, instr.imm)
+            frames[function.name] = words
+        return frames
+
+    def _tdma_wait(self) -> int:
+        if self.options.tdma is None:
+            return 0
+        return self.options.tdma.worst_case_wait()
+
+    def _block_cost(self, summary: BlockSummary, function: Function,
+                    function_wcet: dict[str, int],
+                    method_cache: MethodCacheAnalysis | None,
+                    icache: ConventionalICacheAnalysis | None,
+                    static_cache: StaticCacheAnalysis,
+                    object_cache: ObjectCacheAnalysis,
+                    stack_cache: StackCacheAnalysis) -> tuple[int, int]:
+        """Worst-case cost of one block; returns ``(cost, callee_part)``."""
+        config = self.config
+        tdma = self._tdma_wait()
+        cost = summary.bundles
+        callee_part = 0
+
+        if summary.indirect_calls:
+            raise WcetError(
+                f"{summary.function}/{summary.label}: indirect calls (callr) "
+                "cannot be bounded without target annotations")
+
+        if icache is not None:
+            cost += summary.bundles * icache.per_fetch_cost
+            if icache.per_fetch_cost and tdma:
+                cost += summary.bundles * tdma
+
+        def transfer_event(base_cycles: int) -> int:
+            if base_cycles <= 0:
+                return 0
+            return base_cycles + tdma
+
+        # Calls: method-cache fill of the callee, the callee's own WCET and
+        # the method-cache fill of this function on return.
+        for callee in summary.calls:
+            if callee not in function_wcet:
+                raise WcetError(
+                    f"callee {callee!r} analysed after its caller "
+                    f"{summary.function!r} (call-graph order error)")
+            callee_part += function_wcet[callee]
+            if method_cache is not None:
+                cost += transfer_event(method_cache.transfer_cost(callee))
+                cost += transfer_event(
+                    method_cache.transfer_cost(summary.function))
+
+        # brcf into sub-functions (or other functions).
+        for target in summary.brcf_targets:
+            if method_cache is not None:
+                cost += transfer_event(method_cache.transfer_cost(target))
+
+        # Typed data accesses.
+        cost += summary.read_count(MemType.STATIC) * transfer_event(
+            static_cache.per_read_cost)
+        cost += summary.write_count(MemType.STATIC) * transfer_event(
+            static_cache.per_write_cost)
+        cost += summary.read_count(MemType.OBJECT) * transfer_event(
+            object_cache.per_read_cost)
+        cost += summary.write_count(MemType.OBJECT) * transfer_event(
+            object_cache.per_write_cost)
+        if self.options.unified_data_cache:
+            # Stack accesses also compete in the unified cache.
+            cost += summary.read_count(MemType.STACK) * transfer_event(
+                static_cache.per_read_cost)
+            cost += summary.write_count(MemType.STACK) * transfer_event(
+                static_cache.per_write_cost)
+        # Split main-memory loads are charged at the wait instruction.
+        cost += summary.wmem_count * transfer_event(config.memory.transfer_cycles(1))
+        cost += summary.write_count(MemType.MAIN) * transfer_event(
+            config.memory.transfer_cycles(1))
+
+        # Stack-control costs.
+        spill = stack_cache.spill_words.get(summary.function, 0)
+        for _ in summary.sres_words:
+            cost += transfer_event(config.memory.transfer_cycles(spill))
+        worst_fill = max(
+            (words for (caller, _), words in stack_cache.fill_words.items()
+             if caller == summary.function), default=0)
+        for _ in summary.sens_words:
+            cost += transfer_event(config.memory.transfer_cycles(worst_fill))
+
+        return cost, callee_part
+
+    def _analyse_function(self, function: Function,
+                          subfunctions: list[Function],
+                          function_wcet: dict[str, int],
+                          method_cache: MethodCacheAnalysis | None,
+                          icache: ConventionalICacheAnalysis | None,
+                          static_cache: StaticCacheAnalysis,
+                          object_cache: ObjectCacheAnalysis,
+                          stack_cache: StackCacheAnalysis) -> FunctionWcet:
+        merged = self._merged_function(function, subfunctions)
+        cfg = ControlFlowGraph.build(merged)
+
+        block_costs: dict[str, int] = {}
+        callee_total = 0
+        source_blocks = {block.label: (function, block) for block in function.blocks}
+        for sub in subfunctions:
+            for block in sub.blocks:
+                source_blocks[block.label] = (sub, block)
+        for label in merged.block_labels():
+            owner, block = source_blocks[label]
+            summary = summarise_block(owner, block)
+            # Summaries carry the owner's name; the stack/frame and call costs
+            # of sub-functions belong to the parent frame.
+            if owner.is_subfunction:
+                summary.function = function.name
+            cost, callee_part = self._block_cost(
+                summary, function, function_wcet, method_cache, icache,
+                static_cache, object_cache, stack_cache)
+            block_costs[label] = cost + callee_part
+            callee_total += callee_part
+
+        loop_bounds = {
+            label: bound
+            for (func_name, label), bound in self.options.loop_bounds.items()
+            if func_name == function.name
+        }
+        ipet = solve_ipet(cfg, block_costs, loop_bounds)
+        return FunctionWcet(name=function.name, wcet_cycles=ipet.wcet,
+                            ipet=ipet, block_costs=block_costs,
+                            callee_cycles=callee_total)
+
+
+def analyze_wcet(image: Image, config: Optional[PatmosConfig] = None,
+                 options: WcetOptions = WcetOptions(),
+                 entry: Optional[str] = None) -> WcetResult:
+    """Convenience wrapper: analyse ``image`` and return the WCET result."""
+    return WcetAnalyzer(image, config=config, options=options).analyze(entry=entry)

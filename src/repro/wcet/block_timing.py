@@ -1,0 +1,108 @@
+"""Per-basic-block timing and event extraction for the WCET analysis.
+
+Because the Patmos pipeline never stalls for hazards and all delays are
+exposed in the schedule, the *local* execution time of a basic block is simply
+its number of issued bundles — one of the central analysability claims of the
+paper (Sections 1 and 3).  Everything else that can cost time is an explicit,
+attributable event: method-cache accesses at calls/returns/brcf, typed data
+accesses, stack-control instructions and split-load waits.  This module
+extracts those events per block so the IPET formulation can price them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import WcetError
+from ..isa.instruction import Instruction
+from ..isa.opcodes import ControlKind, Format, MemType, Opcode
+from ..program.basic_block import BasicBlock
+from ..program.function import Function
+
+
+@dataclass
+class BlockSummary:
+    """Timing-relevant events of one scheduled basic block."""
+
+    function: str
+    label: str
+    #: Local pipeline cycles: one per issued bundle.
+    bundles: int = 0
+    instructions: int = 0
+    nops: int = 0
+    #: Callee names of direct calls (in program order).
+    calls: list[str] = field(default_factory=list)
+    #: Number of indirect calls (callr) — callee unknown statically.
+    indirect_calls: int = 0
+    returns: int = 0
+    #: Targets of branch-with-cache-fill transfers (sub-function names/labels).
+    brcf_targets: list[str] = field(default_factory=list)
+    #: Typed data reads per memory type.
+    reads: dict[MemType, int] = field(default_factory=dict)
+    #: Typed data writes per memory type.
+    writes: dict[MemType, int] = field(default_factory=dict)
+    #: Words reserved/ensured/freed by stack-control instructions.
+    sres_words: list[int] = field(default_factory=list)
+    sens_words: list[int] = field(default_factory=list)
+    sfree_words: list[int] = field(default_factory=list)
+    #: Number of split-load waits (wmem instructions).
+    wmem_count: int = 0
+
+    def read_count(self, mem_type: MemType) -> int:
+        return self.reads.get(mem_type, 0)
+
+    def write_count(self, mem_type: MemType) -> int:
+        return self.writes.get(mem_type, 0)
+
+
+def _record_instruction(summary: BlockSummary, instr: Instruction) -> None:
+    info = instr.info
+    summary.instructions += 1
+    if instr.is_nop:
+        summary.nops += 1
+        return
+    if info.is_load:
+        summary.reads[info.mem_type] = summary.reads.get(info.mem_type, 0) + 1
+    elif info.is_store:
+        summary.writes[info.mem_type] = summary.writes.get(info.mem_type, 0) + 1
+    elif info.fmt is Format.WAIT:
+        summary.wmem_count += 1
+    elif instr.opcode is Opcode.SRES:
+        summary.sres_words.append(instr.imm)
+    elif instr.opcode is Opcode.SENS:
+        summary.sens_words.append(instr.imm)
+    elif instr.opcode is Opcode.SFREE:
+        summary.sfree_words.append(instr.imm)
+    elif instr.opcode is Opcode.CALL:
+        if not isinstance(instr.target, str):
+            raise WcetError("WCET analysis requires symbolic call targets")
+        summary.calls.append(instr.target)
+    elif instr.opcode is Opcode.CALLR:
+        summary.indirect_calls += 1
+    elif info.control is ControlKind.RETURN:
+        summary.returns += 1
+    elif instr.opcode is Opcode.BRCF:
+        if isinstance(instr.target, str):
+            summary.brcf_targets.append(instr.target)
+
+
+def summarise_block(function: Function, block: BasicBlock) -> BlockSummary:
+    """Extract the timing events of one scheduled block."""
+    if block.bundles is None:
+        raise WcetError(
+            f"block {block.label} of {function.name} is not scheduled; "
+            "compile the program before WCET analysis")
+    summary = BlockSummary(function=function.name, label=block.label,
+                           bundles=len(block.bundles))
+    for bundle in block.bundles:
+        for instr in bundle.instructions():
+            _record_instruction(summary, instr)
+    return summary
+
+
+def summarise_function(function: Function) -> dict[str, BlockSummary]:
+    """Summaries of all blocks of a function, keyed by block label."""
+    return {
+        block.label: summarise_block(function, block)
+        for block in function.blocks
+    }

@@ -1,0 +1,154 @@
+"""Implicit path enumeration (IPET) over a function's control-flow graph.
+
+The classic IPET formulation bounds the WCET of a function by maximising
+``sum(cost_b * x_b)`` over all block execution-count vectors ``x`` that
+satisfy flow conservation and loop-bound constraints.  The problem is an
+integer linear program; it is solved with :func:`scipy.optimize.milp`.  A
+pure longest-path solver for loop-free (DAG) control flow is also provided —
+it is both a fallback and a cross-check used by the test-suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import optimize, sparse
+
+from ..errors import WcetError
+from ..program.cfg import ControlFlowGraph
+
+#: Virtual source/sink node names used in the edge-based formulation.
+SOURCE = "__source__"
+SINK = "__sink__"
+
+
+@dataclass
+class IpetResult:
+    """Solution of one IPET instance."""
+
+    wcet: int
+    block_counts: dict[str, int] = field(default_factory=dict)
+    edge_counts: dict[tuple[str, str], int] = field(default_factory=dict)
+    status: str = "optimal"
+
+
+def _edges_with_virtuals(cfg: ControlFlowGraph) -> list[tuple[str, str]]:
+    edges = [(SOURCE, cfg.entry)]
+    reachable = cfg.reachable()
+    for src, dst in cfg.edges():
+        if src in reachable and dst in reachable:
+            edges.append((src, dst))
+    for label in cfg.exits:
+        if label in reachable:
+            edges.append((label, SINK))
+    return edges
+
+
+def solve_ipet(cfg: ControlFlowGraph, block_costs: dict[str, int],
+               loop_bounds: dict[str, int] | None = None) -> IpetResult:
+    """Solve the IPET ILP for one function.
+
+    ``block_costs`` maps block labels to their worst-case cost in cycles.
+    ``loop_bounds`` maps loop-header labels to the maximum number of header
+    executions per loop entry; loops found in the CFG without a bound (either
+    here or as a block annotation) are an error, because the ILP would be
+    unbounded.
+    """
+    loop_bounds = dict(loop_bounds or {})
+    for loop in cfg.natural_loops():
+        if loop.header not in loop_bounds:
+            if loop.bound is None:
+                raise WcetError(
+                    f"loop at {loop.header!r} in {cfg.function.name} has no "
+                    "bound annotation; WCET is unbounded")
+            loop_bounds[loop.header] = loop.bound
+
+    edges = _edges_with_virtuals(cfg)
+    edge_index = {edge: i for i, edge in enumerate(edges)}
+    num_edges = len(edges)
+    reachable = cfg.reachable()
+
+    # Objective: maximise sum over blocks of cost * (sum of incoming edges).
+    objective = np.zeros(num_edges)
+    for (src, dst), index in edge_index.items():
+        if dst in block_costs:
+            objective[index] += block_costs[dst]
+
+    rows: list[np.ndarray] = []
+    lower: list[float] = []
+    upper: list[float] = []
+
+    def add_constraint(coeffs: dict[int, float], lo: float, hi: float) -> None:
+        row = np.zeros(num_edges)
+        for index, value in coeffs.items():
+            row[index] = value
+        rows.append(row)
+        lower.append(lo)
+        upper.append(hi)
+
+    # Source emits exactly one execution; sink absorbs exactly one.
+    add_constraint({edge_index[(SOURCE, cfg.entry)]: 1.0}, 1.0, 1.0)
+    sink_edges = {edge_index[e]: 1.0 for e in edges if e[1] == SINK}
+    if not sink_edges:
+        raise WcetError(f"function {cfg.function.name} has no exit block")
+    add_constraint(sink_edges, 1.0, 1.0)
+
+    # Flow conservation per block: sum(in) - sum(out) == 0.
+    for label in reachable:
+        coeffs: dict[int, float] = {}
+        for edge, index in edge_index.items():
+            if edge[1] == label:
+                coeffs[index] = coeffs.get(index, 0.0) + 1.0
+            if edge[0] == label:
+                coeffs[index] = coeffs.get(index, 0.0) - 1.0
+        add_constraint(coeffs, 0.0, 0.0)
+
+    # Loop bounds: header executions <= bound * entries from outside the loop.
+    for loop in cfg.natural_loops():
+        bound = loop_bounds[loop.header]
+        coeffs: dict[int, float] = {}
+        for edge, index in edge_index.items():
+            src, dst = edge
+            if dst == loop.header and (src, dst) in loop.back_edges:
+                coeffs[index] = coeffs.get(index, 0.0) + 1.0
+            elif dst == loop.header:
+                coeffs[index] = coeffs.get(index, 0.0) - float(bound - 1)
+        add_constraint(coeffs, -np.inf, 0.0)
+
+    constraints = optimize.LinearConstraint(
+        sparse.csr_matrix(np.vstack(rows)), np.array(lower), np.array(upper))
+    bounds = optimize.Bounds(lb=np.zeros(num_edges), ub=np.full(num_edges, np.inf))
+    result = optimize.milp(
+        c=-objective, constraints=constraints, bounds=bounds,
+        integrality=np.ones(num_edges))
+    if not result.success:
+        raise WcetError(
+            f"IPET ILP for {cfg.function.name} failed: {result.message}")
+
+    edge_counts = {
+        edge: int(round(result.x[index])) for edge, index in edge_index.items()
+    }
+    block_counts: dict[str, int] = {}
+    for (src, dst), count in edge_counts.items():
+        if dst in reachable:
+            block_counts[dst] = block_counts.get(dst, 0) + count
+    wcet = int(round(-result.fun))
+    return IpetResult(wcet=wcet, block_counts=block_counts,
+                      edge_counts=edge_counts)
+
+
+def longest_path_dag(cfg: ControlFlowGraph, block_costs: dict[str, int]) -> int:
+    """Longest-path WCET for loop-free control flow (cross-check for IPET)."""
+    if cfg.back_edges():
+        raise WcetError("longest_path_dag requires loop-free control flow")
+    order = cfg.topological_order()
+    best: dict[str, int] = {}
+    for label in order:
+        preds = [p for p in cfg.predecessors(label) if p in best]
+        incoming = max((best[p] for p in preds), default=0)
+        best[label] = incoming + block_costs.get(label, 0)
+    exits = [label for label in cfg.exits if label in best]
+    if not exits:
+        raise WcetError(f"function {cfg.function.name} has no reachable exit")
+    return max(best[label] for label in exits)

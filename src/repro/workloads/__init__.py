@@ -1,0 +1,52 @@
+"""Workload kernels for tests, examples and benchmarks."""
+
+from .kernel import Kernel, signed32
+from .kernels import (
+    build_bubble_sort,
+    build_call_tree,
+    build_checksum,
+    build_dot_product,
+    build_fir_filter,
+    build_large_function,
+    build_linear_search,
+    build_matmul,
+    build_mixed_access,
+    build_pointer_chase,
+    build_saturate,
+    build_stack_chain,
+    build_stream_checksum,
+    build_vector_sum,
+)
+from .suite import (
+    BRANCHY_SUITE,
+    KERNEL_BUILDERS,
+    PERFORMANCE_SUITE,
+    build_all,
+    build_kernel,
+)
+from .synthetic import random_alu_kernel
+
+__all__ = [
+    "BRANCHY_SUITE",
+    "KERNEL_BUILDERS",
+    "Kernel",
+    "PERFORMANCE_SUITE",
+    "build_all",
+    "build_bubble_sort",
+    "build_call_tree",
+    "build_checksum",
+    "build_dot_product",
+    "build_fir_filter",
+    "build_kernel",
+    "build_large_function",
+    "build_linear_search",
+    "build_matmul",
+    "build_mixed_access",
+    "build_pointer_chase",
+    "build_saturate",
+    "build_stack_chain",
+    "build_stream_checksum",
+    "build_vector_sum",
+    "random_alu_kernel",
+    "signed32",
+]

@@ -1,0 +1,30 @@
+"""Kernel container shared by all workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..program.program import Program
+from ..sim.state import to_signed
+
+
+@dataclass
+class Kernel:
+    """A workload: an unscheduled program plus its expected debug output.
+
+    ``expected_output`` holds the values the program writes with ``out``
+    (already converted to the signed 32-bit interpretation the simulator
+    reports), so tests and benchmarks can check functional correctness of any
+    compilation variant against a pure-Python reference.
+    """
+
+    name: str
+    program: Program
+    expected_output: list[int]
+    description: str = ""
+    attrs: dict = field(default_factory=dict)
+
+
+def signed32(value: int) -> int:
+    """Truncate a Python int to the signed 32-bit value ``out`` would report."""
+    return to_signed(value & 0xFFFF_FFFF)

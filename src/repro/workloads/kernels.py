@@ -1,0 +1,680 @@
+"""Kernel workloads written against the Patmos builder API.
+
+These kernels play the role of the embedded benchmarks the paper's software
+environment targets: small loop kernels (sums, filters, matrix multiply,
+sorting, searching, checksums), call-tree and stack-heavy programs for the
+method and stack caches, and main-memory streaming kernels for the split-load
+experiments.  Every kernel carries a pure-Python reference result so tests can
+check functional correctness of any compilation variant.
+
+Register conventions (see DESIGN.md): kernels use ``r1``–``r25`` and
+``p1``–``p4``; ``r26``–``r28`` and ``p5``–``p7`` are reserved for the
+single-path transformation, ``r29``–``r31`` for prologue/epilogue code.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..program.builder import ProgramBuilder
+from ..program.program import DataSpace
+from .kernel import Kernel, signed32
+
+
+def _values(count: int, seed: int, low: int = 0, high: int = 100) -> list[int]:
+    rng = random.Random(seed)
+    return [rng.randint(low, high) for _ in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Simple loop kernels
+# ---------------------------------------------------------------------------
+
+
+def build_vector_sum(n: int = 32, seed: int = 1) -> Kernel:
+    """Sum of an array held in static data (static/constant cache)."""
+    values = _values(n, seed)
+    b = ProgramBuilder("vector_sum")
+    b.data("values", values, space=DataSpace.CONST)
+    f = b.function("main")
+    f.li("r1", "values")
+    f.li("r2", n)
+    f.li("r3", 0)
+    f.label("loop")
+    f.emit("lwc", "r4", "r1", 0)
+    f.emit("add", "r3", "r3", "r4")
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("subi", "r2", "r2", 1)
+    f.emit("cmpineq", "p1", "r2", 0)
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    f.out("r3")
+    f.halt()
+    return Kernel(name="vector_sum", program=b.build(),
+                  expected_output=[signed32(sum(values))],
+                  description=f"sum of {n} words from the static/constant cache",
+                  attrs={"n": n})
+
+
+def build_dot_product(n: int = 16, seed: int = 2) -> Kernel:
+    """Dot product of two vectors, exercising the multiplier delay slots."""
+    a = _values(n, seed, 0, 50)
+    c = _values(n, seed + 100, 0, 50)
+    b = ProgramBuilder("dot_product")
+    b.data("vec_a", a, space=DataSpace.CONST)
+    b.data("vec_b", c, space=DataSpace.CONST)
+    f = b.function("main")
+    f.li("r1", "vec_a")
+    f.li("r2", "vec_b")
+    f.li("r3", n)
+    f.li("r4", 0)
+    f.label("loop")
+    f.emit("lwc", "r5", "r1", 0)
+    f.emit("lwc", "r6", "r2", 0)
+    f.emit("mul", "r5", "r6")
+    f.emit("mfs", "r7", "sl")
+    f.emit("add", "r4", "r4", "r7")
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("addi", "r2", "r2", 4)
+    f.emit("subi", "r3", "r3", 1)
+    f.emit("cmpineq", "p1", "r3", 0)
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    f.out("r4")
+    f.halt()
+    expected = sum(x * y for x, y in zip(a, c))
+    return Kernel(name="dot_product", program=b.build(),
+                  expected_output=[signed32(expected)],
+                  description=f"dot product of two {n}-element vectors",
+                  attrs={"n": n})
+
+
+def build_checksum(n: int = 48, seed: int = 5) -> Kernel:
+    """Rotate-and-xor checksum over a data block (ALU-heavy, branch-light)."""
+    values = _values(n, seed, 0, 2**31 - 1)
+    b = ProgramBuilder("checksum")
+    b.data("block", values, space=DataSpace.CONST)
+    f = b.function("main")
+    f.li("r1", "block")
+    f.li("r2", n)
+    f.li("r3", 0)
+    f.label("loop")
+    f.emit("lwc", "r4", "r1", 0)
+    f.emit("shli", "r5", "r3", 1)
+    f.emit("shri", "r6", "r3", 31)
+    f.emit("or", "r3", "r5", "r6")
+    f.emit("xor", "r3", "r3", "r4")
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("subi", "r2", "r2", 1)
+    f.emit("cmpineq", "p1", "r2", 0)
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    f.out("r3")
+    f.halt()
+
+    acc = 0
+    for value in values:
+        acc = (((acc << 1) & 0xFFFF_FFFF) | (acc >> 31)) ^ value
+        acc &= 0xFFFF_FFFF
+    return Kernel(name="checksum", program=b.build(),
+                  expected_output=[signed32(acc)],
+                  description=f"rotate/xor checksum over {n} words",
+                  attrs={"n": n})
+
+
+def build_fir_filter(taps: int = 4, n: int = 24, seed: int = 3) -> Kernel:
+    """FIR filter with nested loops; writes results to static data."""
+    signal = _values(n, seed, 0, 40)
+    coeffs = _values(taps, seed + 7, 0, 10)
+    outputs = n - taps + 1
+    b = ProgramBuilder("fir_filter")
+    b.data("signal", signal, space=DataSpace.CONST)
+    b.data("coeffs", coeffs, space=DataSpace.CONST)
+    b.zeros("filtered", outputs, space=DataSpace.DATA)
+    f = b.function("main")
+    f.li("r1", "signal")
+    f.li("r2", "coeffs")
+    f.li("r3", "filtered")
+    f.li("r4", outputs)
+    f.li("r12", 0)
+    f.label("outer")
+    f.li("r5", taps)
+    f.li("r6", 0)
+    f.mov("r7", "r1")
+    f.mov("r8", "r2")
+    f.label("inner")
+    f.emit("lwc", "r9", "r7", 0)
+    f.emit("lwc", "r10", "r8", 0)
+    f.emit("mul", "r9", "r10")
+    f.emit("mfs", "r11", "sl")
+    f.emit("add", "r6", "r6", "r11")
+    f.emit("addi", "r7", "r7", 4)
+    f.emit("addi", "r8", "r8", 4)
+    f.emit("subi", "r5", "r5", 1)
+    f.emit("cmpineq", "p1", "r5", 0)
+    f.br("inner", pred="p1")
+    f.loop_bound("inner", taps)
+    f.emit("swc", "r3", 0, "r6")
+    f.emit("add", "r12", "r12", "r6")
+    f.emit("addi", "r3", "r3", 4)
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("subi", "r4", "r4", 1)
+    f.emit("cmpineq", "p2", "r4", 0)
+    f.br("outer", pred="p2")
+    f.loop_bound("outer", outputs)
+    f.out("r12")
+    f.halt()
+
+    checksum = 0
+    for i in range(outputs):
+        checksum += sum(signal[i + j] * coeffs[j] for j in range(taps))
+    return Kernel(name="fir_filter", program=b.build(),
+                  expected_output=[signed32(checksum)],
+                  description=f"{taps}-tap FIR filter over {n} samples",
+                  attrs={"taps": taps, "n": n})
+
+
+def build_matmul(n: int = 4, seed: int = 4) -> Kernel:
+    """Dense n x n integer matrix multiplication (three nested loops)."""
+    a = _values(n * n, seed, 0, 20)
+    c = _values(n * n, seed + 13, 0, 20)
+    stride = 4 * n
+    b = ProgramBuilder("matmul")
+    b.data("mat_a", a, space=DataSpace.CONST)
+    b.data("mat_b", c, space=DataSpace.CONST)
+    b.zeros("mat_c", n * n, space=DataSpace.DATA)
+    f = b.function("main")
+    f.li("r1", "mat_a")
+    f.li("r2", "mat_b")
+    f.li("r3", "mat_c")
+    f.li("r4", n)
+    f.li("r13", 0)
+    f.label("i_loop")
+    f.li("r5", n)
+    f.mov("r7", "r2")
+    f.label("j_loop")
+    f.li("r8", n)
+    f.mov("r9", "r1")
+    f.mov("r10", "r7")
+    f.li("r6", 0)
+    f.label("k_loop")
+    f.emit("lwc", "r11", "r9", 0)
+    f.emit("lwc", "r12", "r10", 0)
+    f.emit("mul", "r11", "r12")
+    f.emit("mfs", "r14", "sl")
+    f.emit("add", "r6", "r6", "r14")
+    f.emit("addi", "r9", "r9", 4)
+    f.emit("addi", "r10", "r10", stride)
+    f.emit("subi", "r8", "r8", 1)
+    f.emit("cmpineq", "p1", "r8", 0)
+    f.br("k_loop", pred="p1")
+    f.loop_bound("k_loop", n)
+    f.emit("swc", "r3", 0, "r6")
+    f.emit("add", "r13", "r13", "r6")
+    f.emit("addi", "r3", "r3", 4)
+    f.emit("addi", "r7", "r7", 4)
+    f.emit("subi", "r5", "r5", 1)
+    f.emit("cmpineq", "p2", "r5", 0)
+    f.br("j_loop", pred="p2")
+    f.loop_bound("j_loop", n)
+    f.emit("addi", "r1", "r1", stride)
+    f.emit("subi", "r4", "r4", 1)
+    f.emit("cmpineq", "p3", "r4", 0)
+    f.br("i_loop", pred="p3")
+    f.loop_bound("i_loop", n)
+    f.out("r13")
+    f.halt()
+
+    checksum = 0
+    for i in range(n):
+        for j in range(n):
+            checksum += sum(a[i * n + k] * c[k * n + j] for k in range(n))
+    return Kernel(name="matmul", program=b.build(),
+                  expected_output=[signed32(checksum)],
+                  description=f"{n}x{n} integer matrix multiplication",
+                  attrs={"n": n})
+
+
+# ---------------------------------------------------------------------------
+# Branchy kernels (if-conversion / single-path)
+# ---------------------------------------------------------------------------
+
+
+def build_saturate(n: int = 32, low: int = 20, high: int = 80,
+                   seed: int = 6) -> Kernel:
+    """Clip every element into ``[low, high]`` and sum — two branches per element."""
+    values = _values(n, seed, 0, 100)
+    b = ProgramBuilder("saturate")
+    b.data("samples", values, space=DataSpace.CONST)
+    f = b.function("main")
+    f.li("r1", "samples")
+    f.li("r2", n)
+    f.li("r6", 0)
+    f.li("r9", low)
+    f.li("r10", high)
+    f.label("loop")
+    f.emit("lwc", "r5", "r1", 0)
+    f.emit("cmplt", "p1", "r5", "r9")
+    f.br("check_high", pred="!p1")
+    f.mov("r5", "r9")
+    f.br("accumulate")
+    f.label("check_high")
+    f.emit("cmplt", "p2", "r10", "r5")
+    f.br("accumulate", pred="!p2")
+    f.mov("r5", "r10")
+    f.label("accumulate")
+    f.emit("add", "r6", "r6", "r5")
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("subi", "r2", "r2", 1)
+    f.emit("cmpineq", "p3", "r2", 0)
+    f.br("loop", pred="p3")
+    f.loop_bound("loop", n)
+    f.out("r6")
+    f.halt()
+
+    expected = sum(min(max(v, low), high) for v in values)
+    return Kernel(name="saturate", program=b.build(),
+                  expected_output=[signed32(expected)],
+                  description=f"clip {n} samples into [{low}, {high}] and sum",
+                  attrs={"n": n, "low": low, "high": high})
+
+
+def build_linear_search(n: int = 32, key_index: int = 17, seed: int = 7) -> Kernel:
+    """Find the first occurrence of a key — iteration count is input-dependent.
+
+    The data-dependent exit makes the execution time vary with the key
+    position; the single-path transformation (experiment E7) removes that
+    variation.  The haystack lives in the compiler-managed scratchpad so the
+    only source of timing variation is the control flow itself, as in the
+    single-path programming papers the paper builds on.
+    """
+    values = _values(n, seed, 0, 1000)
+    values = [v * 2 for v in values]  # even values
+    key_index = key_index % n
+    key = values[key_index]
+    # Ensure the key appears exactly once.
+    for i, value in enumerate(values):
+        if i != key_index and value == key:
+            values[i] = value + 1
+
+    b = ProgramBuilder("linear_search")
+    b.data("haystack", values, space=DataSpace.LOCAL)
+    f = b.function("main")
+    f.li("r1", "haystack")
+    f.li("r2", n)
+    f.li("r3", key)
+    f.li("r4", 0)
+    f.li("r9", 0)
+    f.label("loop")
+    f.emit("lwl", "r5", "r1", 0)
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("addi", "r4", "r4", 1)
+    f.emit("cmpeq", "p2", "r5", "r3")
+    f.mov("r9", "r4", pred="p2")
+    f.emit("cmpneq", "p3", "r5", "r3")
+    f.emit("subi", "r2", "r2", 1)
+    f.emit("cmpineq", "p4", "r2", 0)
+    f.emit("pand", "p1", "p3", "p4")
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    f.out("r9")
+    f.halt()
+
+    expected = key_index + 1
+    return Kernel(name="linear_search", program=b.build(),
+                  expected_output=[expected],
+                  description=f"first-match linear search over {n} words",
+                  attrs={"n": n, "key_index": key_index})
+
+
+def build_bubble_sort(n: int = 8, seed: int = 8) -> Kernel:
+    """Bubble sort on a static array; outputs the sorted elements."""
+    values = _values(n, seed, 0, 500)
+    b = ProgramBuilder("bubble_sort")
+    b.data("array", values, space=DataSpace.DATA)
+    f = b.function("main")
+    f.li("r1", "array")
+    f.li("r3", n - 1)
+    f.label("outer")
+    f.mov("r5", "r1")
+    f.li("r6", n - 1)
+    f.label("inner")
+    f.emit("lwc", "r7", "r5", 0)
+    f.emit("lwc", "r8", "r5", 4)
+    f.emit("cmplt", "p1", "r8", "r7")
+    f.br("no_swap", pred="!p1")
+    f.emit("swc", "r5", 0, "r8")
+    f.emit("swc", "r5", 4, "r7")
+    f.label("no_swap")
+    f.emit("addi", "r5", "r5", 4)
+    f.emit("subi", "r6", "r6", 1)
+    f.emit("cmpineq", "p2", "r6", 0)
+    f.br("inner", pred="p2")
+    f.loop_bound("inner", n - 1)
+    f.emit("subi", "r3", "r3", 1)
+    f.emit("cmpineq", "p3", "r3", 0)
+    f.br("outer", pred="p3")
+    f.loop_bound("outer", n - 1)
+    # Emit the sorted array.
+    f.mov("r5", "r1")
+    f.li("r6", n)
+    f.label("emit")
+    f.emit("lwc", "r7", "r5", 0)
+    f.out("r7")
+    f.emit("addi", "r5", "r5", 4)
+    f.emit("subi", "r6", "r6", 1)
+    f.emit("cmpineq", "p4", "r6", 0)
+    f.br("emit", pred="p4")
+    f.loop_bound("emit", n)
+    f.halt()
+
+    return Kernel(name="bubble_sort", program=b.build(),
+                  expected_output=sorted(values),
+                  description=f"bubble sort of {n} words with predicable swaps",
+                  attrs={"n": n})
+
+
+# ---------------------------------------------------------------------------
+# Method-cache workloads
+# ---------------------------------------------------------------------------
+
+
+def build_call_tree(num_functions: int = 6, iterations: int = 8,
+                    pad_instructions: int = 24) -> Kernel:
+    """A loop calling several leaf functions — the method-cache workload.
+
+    ``pad_instructions`` controls the size of each leaf function so the whole
+    set either fits into the method cache (persistence) or thrashes.
+    """
+    b = ProgramBuilder("call_tree")
+    f = b.function("main")
+    f.li("r20", 0)
+    f.li("r1", iterations)
+    f.label("loop")
+    for index in range(num_functions):
+        f.call(f"work{index}")
+    f.emit("subi", "r1", "r1", 1)
+    f.emit("cmpineq", "p1", "r1", 0)
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", iterations)
+    f.out("r20")
+    f.halt()
+
+    for index in range(num_functions):
+        g = b.function(f"work{index}")
+        g.emit("addi", "r20", "r20", index + 1)
+        for pad in range(pad_instructions):
+            g.emit("addi", "r21", "r21", 1)
+        g.ret()
+
+    expected = iterations * sum(range(1, num_functions + 1))
+    return Kernel(name="call_tree", program=b.build(),
+                  expected_output=[expected],
+                  description=(f"{iterations} iterations calling "
+                               f"{num_functions} leaf functions"),
+                  attrs={"num_functions": num_functions,
+                         "iterations": iterations,
+                         "pad_instructions": pad_instructions})
+
+
+def build_large_function(blocks: int = 48, instructions_per_block: int = 24,
+                         iterations: int = 4, early_exit: bool = False) -> Kernel:
+    """A function larger than the method cache, called repeatedly (E11).
+
+    With ``early_exit=True`` the function returns right after its first block
+    at run time (the remaining code is still statically reachable), which is
+    the case where splitting for the method cache pays off most: only the
+    entered region has to be loaded.
+    """
+    b = ProgramBuilder("large_function")
+    f = b.function("main")
+    f.li("r20", 0)
+    f.li("r19", 1 if early_exit else 0)
+    f.li("r1", iterations)
+    f.label("loop")
+    f.call("big")
+    f.emit("subi", "r1", "r1", 1)
+    f.emit("cmpineq", "p1", "r1", 0)
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", iterations)
+    f.out("r20")
+    f.halt()
+
+    g = b.function("big")
+    g.emit("cmpineq", "p4", "r19", 0)
+    g.ret(pred="p4")
+    for block in range(blocks):
+        g.label(f"part{block}")
+        for _ in range(instructions_per_block):
+            g.emit("addi", "r20", "r20", 1)
+    g.ret()
+
+    expected = 0 if early_exit else iterations * blocks * instructions_per_block
+    return Kernel(name="large_function", program=b.build(),
+                  expected_output=[expected],
+                  description=(f"{blocks * instructions_per_block}-instruction "
+                               "function called in a loop"),
+                  attrs={"blocks": blocks,
+                         "instructions_per_block": instructions_per_block,
+                         "iterations": iterations,
+                         "early_exit": early_exit})
+
+
+# ---------------------------------------------------------------------------
+# Stack-cache workload
+# ---------------------------------------------------------------------------
+
+
+def build_stack_chain(depth: int = 8, frame_words: int = 40) -> Kernel:
+    """A call chain with per-function frames that overflow the stack cache.
+
+    Every function writes its frame slots, calls the next function in the
+    chain, then reads the slots back (verifying spill/fill correctness) and
+    accumulates them.
+    """
+    b = ProgramBuilder("stack_chain")
+    f = b.function("main")
+    f.li("r20", 0)
+    f.call("level0")
+    f.out("r20")
+    f.halt()
+
+    expected = 0
+    for level in range(depth):
+        g = b.function(f"level{level}")
+        g.frame(frame_words)
+        for slot in range(frame_words):
+            value = level * 100 + slot
+            expected += value
+            g.li("r21", value)
+            g.emit("sws", "r0", 4 * slot, "r21")
+        if level + 1 < depth:
+            g.call(f"level{level + 1}")
+        for slot in range(frame_words):
+            g.emit("lws", "r22", "r0", 4 * slot)
+            g.emit("add", "r20", "r20", "r22")
+        g.ret()
+
+    return Kernel(name="stack_chain", program=b.build(),
+                  expected_output=[signed32(expected)],
+                  description=(f"call chain of depth {depth} with "
+                               f"{frame_words}-word frames"),
+                  attrs={"depth": depth, "frame_words": frame_words})
+
+
+# ---------------------------------------------------------------------------
+# Main-memory (split-load) workloads
+# ---------------------------------------------------------------------------
+
+
+def build_stream_checksum(n: int = 32, seed: int = 9) -> Kernel:
+    """Checksum over uncached main memory using split loads (E6).
+
+    Each iteration starts the load of the next element and processes the
+    previous one while the transfer is in flight, so the scheduler can hide
+    the main-memory latency behind the checksum arithmetic.
+    """
+    values = _values(n, seed, 0, 2**30)
+    b = ProgramBuilder("stream_checksum")
+    b.data("stream", values, space=DataSpace.HEAP)
+    f = b.function("main")
+    f.li("r1", "stream")
+    f.li("r2", n)
+    f.li("r3", 0)   # checksum
+    f.li("r5", 0)   # previous element
+    f.label("loop")
+    f.emit("lwm", "r4", "r1", 0)
+    # Work on the previous element while the load is in flight.
+    f.emit("shli", "r6", "r3", 1)
+    f.emit("shri", "r7", "r3", 31)
+    f.emit("or", "r3", "r6", "r7")
+    f.emit("xor", "r3", "r3", "r5")
+    f.emit("shli", "r8", "r5", 3)
+    f.emit("add", "r3", "r3", "r8")
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("subi", "r2", "r2", 1)
+    f.emit("cmpineq", "p1", "r2", 0)
+    f.emit("wmem")
+    f.mov("r5", "r4")
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    # Fold in the final element.
+    f.emit("shli", "r6", "r3", 1)
+    f.emit("shri", "r7", "r3", 31)
+    f.emit("or", "r3", "r6", "r7")
+    f.emit("xor", "r3", "r3", "r5")
+    f.emit("shli", "r8", "r5", 3)
+    f.emit("add", "r3", "r3", "r8")
+    f.out("r3")
+    f.halt()
+
+    def step(acc: int, prev: int) -> int:
+        acc = ((acc << 1) & 0xFFFF_FFFF) | (acc >> 31)
+        acc ^= prev
+        acc = (acc + ((prev << 3) & 0xFFFF_FFFF)) & 0xFFFF_FFFF
+        return acc
+
+    acc = 0
+    prev = 0
+    for value in values:
+        acc = step(acc, prev)
+        prev = value
+    acc = step(acc, prev)
+    return Kernel(name="stream_checksum", program=b.build(),
+                  expected_output=[signed32(acc)],
+                  description=f"split-load checksum over {n} uncached words",
+                  attrs={"n": n})
+
+
+def build_pointer_chase(n: int = 24, seed: int = 10) -> Kernel:
+    """Pointer chasing through uncached main memory — latency cannot be hidden."""
+    rng = random.Random(seed)
+    order = list(range(1, n))
+    rng.shuffle(order)
+    order.append(0)
+    next_index = [0] * n
+    current = 0
+    visited = []
+    for nxt in order:
+        next_index[current] = nxt
+        visited.append(nxt)
+        current = nxt
+
+    b = ProgramBuilder("pointer_chase")
+    b.data("nodes", next_index, space=DataSpace.HEAP)
+    f = b.function("main")
+    f.li("r3", "nodes")
+    f.mov("r1", "r3")
+    f.li("r2", n)
+    f.li("r5", 0)
+    f.label("loop")
+    f.emit("lwm", "r4", "r1", 0)
+    f.emit("subi", "r2", "r2", 1)
+    f.emit("cmpineq", "p1", "r2", 0)
+    f.emit("wmem")
+    f.emit("shadd2", "r1", "r4", "r3")
+    f.emit("add", "r5", "r5", "r4")
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    f.out("r5")
+    f.halt()
+
+    expected = sum(next_index[i] for i in _chase_order(next_index, n))
+    return Kernel(name="pointer_chase", program=b.build(),
+                  expected_output=[signed32(expected)],
+                  description=f"pointer chase over {n} uncached list nodes",
+                  attrs={"n": n})
+
+
+def _chase_order(next_index: list[int], n: int) -> list[int]:
+    order = []
+    current = 0
+    for _ in range(n):
+        order.append(current)
+        current = next_index[current]
+    return order
+
+
+# ---------------------------------------------------------------------------
+# Scratchpad / heap variants (split data cache experiment)
+# ---------------------------------------------------------------------------
+
+
+def build_mixed_access(n: int = 24, seed: int = 11) -> Kernel:
+    """A kernel mixing static, heap, stack and scratchpad accesses (E5).
+
+    Each iteration reads a coefficient from static data, a sample from a
+    heap-allocated buffer, keeps a running window in the stack frame and a
+    histogram in the scratchpad.
+    """
+    coeffs = _values(n, seed, 1, 9)
+    samples = _values(n, seed + 3, 0, 99)
+    b = ProgramBuilder("mixed_access")
+    b.data("coeffs", coeffs, space=DataSpace.CONST)
+    b.data("samples", samples, space=DataSpace.HEAP)
+    b.zeros("histogram", 16, space=DataSpace.LOCAL)
+    f = b.function("main")
+    f.frame(4)
+    f.li("r1", "coeffs")
+    f.li("r2", "samples")
+    f.li("r3", "histogram")
+    f.li("r4", n)
+    f.li("r5", 0)          # accumulator
+    f.li("r21", 0)
+    f.emit("sws", "r0", 0, "r21")   # window[0] = 0
+    f.label("loop")
+    f.emit("lwc", "r6", "r1", 0)          # static coefficient
+    f.emit("lwo", "r7", "r2", 0)          # heap sample
+    f.emit("mul", "r6", "r7")
+    f.emit("mfs", "r8", "sl")
+    f.emit("lws", "r9", "r0", 0)          # stack window
+    f.emit("add", "r9", "r9", "r8")
+    f.emit("sws", "r0", 0, "r9")
+    f.emit("andi", "r10", "r7", 60)       # histogram bucket (16 buckets * 4)
+    f.emit("add", "r10", "r10", "r3")
+    f.emit("lwl", "r11", "r10", 0)        # scratchpad histogram
+    f.emit("addi", "r11", "r11", 1)
+    f.emit("swl", "r10", 0, "r11")
+    f.emit("add", "r5", "r5", "r8")
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("addi", "r2", "r2", 4)
+    f.emit("subi", "r4", "r4", 1)
+    f.emit("cmpineq", "p1", "r4", 0)
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    f.emit("lws", "r9", "r0", 0)
+    f.out("r5")
+    f.out("r9")
+    f.halt()
+
+    window = 0
+    acc = 0
+    for coeff, sample in zip(coeffs, samples):
+        product = coeff * sample
+        window += product
+        acc += product
+    return Kernel(name="mixed_access", program=b.build(),
+                  expected_output=[signed32(acc), signed32(window)],
+                  description=(f"{n} iterations touching static, heap, stack "
+                               "and scratchpad data"),
+                  attrs={"n": n})

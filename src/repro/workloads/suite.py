@@ -1,0 +1,72 @@
+"""The kernel suite: registry of all workloads with default parameters."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .kernel import Kernel
+from .kernels import (
+    build_bubble_sort,
+    build_call_tree,
+    build_checksum,
+    build_dot_product,
+    build_fir_filter,
+    build_large_function,
+    build_linear_search,
+    build_matmul,
+    build_mixed_access,
+    build_pointer_chase,
+    build_saturate,
+    build_stack_chain,
+    build_stream_checksum,
+    build_vector_sum,
+)
+
+#: All kernel builders keyed by kernel name (default parameters).
+KERNEL_BUILDERS: dict[str, Callable[[], Kernel]] = {
+    "vector_sum": build_vector_sum,
+    "dot_product": build_dot_product,
+    "checksum": build_checksum,
+    "fir_filter": build_fir_filter,
+    "matmul": build_matmul,
+    "saturate": build_saturate,
+    "linear_search": build_linear_search,
+    "bubble_sort": build_bubble_sort,
+    "call_tree": build_call_tree,
+    "large_function": build_large_function,
+    "stack_chain": build_stack_chain,
+    "stream_checksum": build_stream_checksum,
+    "pointer_chase": build_pointer_chase,
+    "mixed_access": build_mixed_access,
+}
+
+#: The subset of kernels used for general performance comparisons (E2):
+#: ordinary loop kernels without special memory behaviour.
+PERFORMANCE_SUITE = (
+    "vector_sum",
+    "dot_product",
+    "checksum",
+    "fir_filter",
+    "matmul",
+    "saturate",
+    "bubble_sort",
+)
+
+#: Kernels whose control flow is data-dependent (if-conversion / single-path).
+BRANCHY_SUITE = ("saturate", "linear_search", "bubble_sort")
+
+
+def build_kernel(name: str, **kwargs) -> Kernel:
+    """Build a kernel by name with optional parameter overrides."""
+    try:
+        builder = KERNEL_BUILDERS[name]
+    except KeyError as exc:
+        raise KeyError(f"unknown kernel {name!r}; available: "
+                       f"{sorted(KERNEL_BUILDERS)}") from exc
+    return builder(**kwargs)
+
+
+def build_all(names: tuple[str, ...] | None = None) -> list[Kernel]:
+    """Build every kernel (or the given subset) with default parameters."""
+    selected = names if names is not None else tuple(KERNEL_BUILDERS)
+    return [build_kernel(name) for name in selected]

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import (
+    MemoryConfig,
+    MethodCacheConfig,
+    PatmosConfig,
+    SetAssocCacheConfig,
+    StackCacheConfig,
+)
+
+
+@pytest.fixture
+def config() -> PatmosConfig:
+    """The default Patmos configuration."""
+    return PatmosConfig()
+
+
+@pytest.fixture
+def small_config() -> PatmosConfig:
+    """A configuration with tiny caches, for eviction/spill tests."""
+    return PatmosConfig(
+        method_cache=MethodCacheConfig(size_bytes=512, num_blocks=4),
+        stack_cache=StackCacheConfig(size_bytes=128),
+        static_cache=SetAssocCacheConfig(size_bytes=256, line_bytes=16,
+                                         associativity=2),
+        data_cache=SetAssocCacheConfig(size_bytes=128, line_bytes=16,
+                                       associativity=4),
+        memory=MemoryConfig(size_bytes=2 * 1024 * 1024, burst_words=4,
+                            setup_cycles=6, cycles_per_word=2),
+    )

@@ -1,0 +1,375 @@
+"""Tests for the WCET-aware compiler passes."""
+
+import pytest
+
+from repro import (
+    CompileOptions,
+    CycleSimulator,
+    PatmosConfig,
+    ProgramBuilder,
+    compile_and_link,
+    compile_program,
+)
+from repro.compiler import (
+    BlockScheduler,
+    build_dependence_graph,
+    if_convert_function,
+    schedule_program,
+    single_path_function,
+    split_program,
+)
+from repro.compiler.simplify import merge_straightline_blocks
+from repro.compiler.stack_alloc import allocate_function, frame_size_words
+from repro.config import MethodCacheConfig
+from repro.errors import CompilerError
+from repro.isa import ControlKind, Instruction, Opcode
+from repro.workloads import (
+    build_call_tree,
+    build_large_function,
+    build_linear_search,
+    build_saturate,
+    build_stack_chain,
+)
+
+
+def _instr(mnemonic, *ops, pred=None):
+    from repro.program.builder import _make_instruction, parse_guard
+    from repro.isa.opcodes import opcode_from_mnemonic
+    return _make_instruction(opcode_from_mnemonic(mnemonic), ops,
+                             parse_guard(pred))
+
+
+class TestDependenceGraph:
+    def test_raw_distance_for_alu(self, config):
+        instrs = [_instr("addi", "r1", "r0", 1), _instr("add", "r2", "r1", "r1")]
+        graph = build_dependence_graph(instrs, config.pipeline)
+        raw = [e for e in graph.edges if e.kind == "raw"]
+        assert raw and raw[0].distance == 1
+
+    def test_raw_distance_for_load(self, config):
+        instrs = [_instr("lwc", "r1", "r2", 0), _instr("add", "r3", "r1", "r1")]
+        graph = build_dependence_graph(instrs, config.pipeline)
+        raw = [e for e in graph.edges if e.kind == "raw"]
+        assert raw[0].distance == 1 + config.pipeline.load_delay_slots
+
+    def test_raw_distance_for_mul(self, config):
+        instrs = [_instr("mul", "r1", "r2"), _instr("mfs", "r3", "sl")]
+        graph = build_dependence_graph(instrs, config.pipeline)
+        raw = [e for e in graph.edges if e.kind == "raw"]
+        assert raw[0].distance == 1 + config.pipeline.mul_delay_slots
+
+    def test_war_allows_same_bundle(self, config):
+        instrs = [_instr("add", "r3", "r1", "r2"), _instr("addi", "r1", "r0", 5)]
+        graph = build_dependence_graph(instrs, config.pipeline)
+        war = [e for e in graph.edges if e.kind == "war"]
+        assert war and war[0].distance == 0
+
+    def test_memory_operations_keep_order(self, config):
+        instrs = [_instr("swc", "r1", 0, "r2"), _instr("lwc", "r3", "r1", 0)]
+        graph = build_dependence_graph(instrs, config.pipeline)
+        order = [e for e in graph.edges if e.kind == "order"]
+        assert order and order[0].distance >= 1
+
+    def test_wmem_defines_split_load_register(self, config):
+        instrs = [_instr("lwm", "r1", "r2", 0), _instr("wmem"),
+                  _instr("add", "r3", "r1", "r1")]
+        graph = build_dependence_graph(instrs, config.pipeline)
+        raw_from_wmem = [e for e in graph.edges
+                         if e.kind == "raw" and e.src == 1 and e.dst == 2]
+        assert raw_from_wmem
+
+    def test_split_load_distance_hint(self, config):
+        instrs = [_instr("lwm", "r1", "r2", 0), _instr("wmem")]
+        graph = build_dependence_graph(instrs, config.pipeline,
+                                       split_load_distance=14)
+        order = [e for e in graph.edges if e.dst == 1]
+        assert max(e.distance for e in order) == 14
+
+    def test_critical_path_lengths(self, config):
+        instrs = [_instr("lwc", "r1", "r2", 0), _instr("add", "r3", "r1", "r1"),
+                  _instr("add", "r4", "r3", "r3")]
+        graph = build_dependence_graph(instrs, config.pipeline)
+        lengths = graph.critical_path_lengths()
+        assert lengths[0] > lengths[1] > lengths[2] == 0
+
+
+class TestScheduler:
+    def _schedule(self, instrs, config, **kwargs):
+        from repro.program.basic_block import BasicBlock
+        block = BasicBlock(label="b", instrs=list(instrs))
+        return BlockScheduler(config, **kwargs).schedule_block(block)
+
+    def test_independent_instructions_are_paired(self, config):
+        bundles = self._schedule(
+            [_instr("addi", "r1", "r0", 1), _instr("addi", "r2", "r0", 2)], config)
+        assert len(bundles) == 1 and len(bundles[0]) == 2
+
+    def test_dependent_instructions_are_serialised(self, config):
+        bundles = self._schedule(
+            [_instr("addi", "r1", "r0", 1), _instr("add", "r2", "r1", "r1")],
+            config)
+        assert len(bundles) == 2
+
+    def test_single_issue_never_pairs(self, config):
+        bundles = self._schedule(
+            [_instr("addi", "r1", "r0", 1), _instr("addi", "r2", "r0", 2)],
+            config, dual_issue=False)
+        assert all(len(b) == 1 for b in bundles)
+
+    def test_two_slot0_only_instructions_not_paired(self, config):
+        bundles = self._schedule(
+            [_instr("lwc", "r1", "r0", 0), _instr("lwc", "r2", "r0", 4)], config)
+        assert len(bundles) >= 2
+
+    def test_slot0_only_placed_first_in_bundle(self, config):
+        bundles = self._schedule(
+            [_instr("addi", "r1", "r0", 1), _instr("lwc", "r2", "r0", 0)], config)
+        paired = [b for b in bundles if len(b) == 2]
+        assert paired and paired[0].first.opcode is Opcode.LWC
+
+    def test_branch_gets_exact_delay_slots(self, config):
+        instrs = [_instr("addi", "r1", "r0", 1), _instr("br", "target")]
+        bundles = self._schedule(instrs, config)
+        branch_index = next(i for i, b in enumerate(bundles)
+                            if b.first.opcode is Opcode.BR)
+        assert len(bundles) - 1 - branch_index == config.pipeline.branch_delay_slots
+
+    def test_call_gets_exact_delay_slots(self, config):
+        instrs = [_instr("call", "callee")]
+        bundles = self._schedule(instrs, config)
+        assert len(bundles) == 1 + config.pipeline.call_delay_slots
+
+    def test_load_delay_padded_at_block_end(self, config):
+        bundles = self._schedule([_instr("lwc", "r1", "r0", 0)], config)
+        # The load needs one exposed delay slot before the block boundary.
+        assert len(bundles) == 2
+
+    def test_terminator_waits_for_guard_producer(self, config):
+        instrs = [_instr("cmpineq", "p1", "r1", 0), _instr("br", "loop", pred="p1")]
+        bundles = self._schedule(instrs, config)
+        cmp_index = next(i for i, b in enumerate(bundles)
+                         if b.first.opcode is Opcode.CMPINEQ)
+        br_index = next(i for i, b in enumerate(bundles)
+                        if b.first.opcode is Opcode.BR)
+        assert br_index > cmp_index
+
+    def test_schedule_stats(self, config):
+        kernel = build_saturate(8)
+        program = kernel.program.copy()
+        from repro.compiler import ScheduleStats
+        stats = ScheduleStats()
+        schedule_program(program, config, stats=stats)
+        assert stats.blocks > 0
+        assert stats.bundles >= stats.blocks
+        assert 0.0 < stats.slot_utilisation <= 1.0
+
+
+class TestIfConversion:
+    def test_saturate_branches_removed(self):
+        kernel = build_saturate(8)
+        function = kernel.program.copy().function("main")
+        blocks_before = len(function.blocks)
+        stats = if_convert_function(function)
+        assert stats.converted_triangles + stats.converted_diamonds >= 2
+        assert len(function.blocks) < blocks_before
+        # The loop collapses to a single self-loop block.
+        loop = function.block("loop")
+        assert loop.terminator().target == "loop"
+
+    def test_semantics_preserved(self, config):
+        kernel = build_saturate(16)
+        baseline, _ = compile_and_link(kernel.program, config)
+        converted, _ = compile_and_link(kernel.program, config,
+                                        CompileOptions(if_convert=True))
+        base_run = CycleSimulator(baseline, strict=True).run()
+        conv_run = CycleSimulator(converted, strict=True).run()
+        assert base_run.output == conv_run.output == kernel.expected_output
+
+    def test_bubble_sort_swap_predicated(self, config):
+        from repro.workloads import build_bubble_sort
+        kernel = build_bubble_sort(6)
+        image, result = compile_and_link(kernel.program, config,
+                                         CompileOptions(if_convert=True))
+        assert result.if_conversion.converted_triangles >= 1
+        run = CycleSimulator(image, strict=True).run()
+        assert run.output == kernel.expected_output
+
+    def test_calls_are_not_converted(self):
+        b = ProgramBuilder("p")
+        f = b.function("main")
+        f.emit("cmpineq", "p1", "r1", 0)
+        f.br("skip", pred="p1")
+        f.call("helper")
+        f.label("skip")
+        f.halt()
+        g = b.function("helper")
+        g.ret()
+        program = b.build()
+        function = program.function("main")
+        stats = if_convert_function(function)
+        assert stats.converted_triangles == 0
+
+    def test_merge_straightline_blocks(self):
+        b = ProgramBuilder("p")
+        f = b.function("main")
+        f.li("r1", 1)
+        f.br("tail")
+        f.label("tail")
+        f.out("r1")
+        f.halt()
+        function = b.build().function("main")
+        merges = merge_straightline_blocks(function)
+        assert merges >= 1
+        assert len(function.blocks) == 1
+
+
+class TestSinglePath:
+    def test_linear_search_time_independent_of_key(self, config):
+        outputs = []
+        cycles = {"baseline": [], "single_path": []}
+        for key_index in (2, 15, 30):
+            kernel = build_linear_search(32, key_index=key_index)
+            base_image, _ = compile_and_link(kernel.program, config)
+            sp_image, _ = compile_and_link(kernel.program, config,
+                                           CompileOptions(single_path=True))
+            base = CycleSimulator(base_image, strict=True).run()
+            sp = CycleSimulator(sp_image, strict=True).run()
+            assert base.output == kernel.expected_output
+            assert sp.output == kernel.expected_output
+            outputs.append(sp.output)
+            cycles["baseline"].append(base.cycles)
+            cycles["single_path"].append(sp.cycles)
+        # Baseline execution time depends on the key position ...
+        assert len(set(cycles["baseline"])) > 1
+        # ... single-path execution time does not (the paper's E7 claim).
+        assert len(set(cycles["single_path"])) == 1
+
+    def test_single_path_requires_loop_bound(self):
+        b = ProgramBuilder("p")
+        f = b.function("main")
+        f.li("r1", 3)
+        f.label("loop")
+        f.emit("subi", "r1", "r1", 1)
+        f.emit("cmpineq", "p1", "r1", 0)
+        f.br("loop", pred="p1")
+        f.halt()
+        function = b.build().function("main")
+        with pytest.raises(CompilerError):
+            single_path_function(function)
+
+    def test_saturate_single_path_preserves_results(self, config):
+        kernel = build_saturate(16)
+        image, _ = compile_and_link(kernel.program, config,
+                                    CompileOptions(single_path=True))
+        run = CycleSimulator(image, strict=True).run()
+        assert run.output == kernel.expected_output
+
+
+class TestStackAllocation:
+    def test_frames_inserted_for_non_leaf(self):
+        kernel = build_call_tree(num_functions=2, iterations=1)
+        program = kernel.program.copy()
+        main = program.function("main")
+        allocate_function(main)
+        opcodes = [i.opcode for i in main.instructions()]
+        assert Opcode.SRES in opcodes
+        assert Opcode.SENS in opcodes
+        assert frame_size_words(main) == 2  # saved srb/sro only
+
+    def test_leaf_without_frame_untouched(self):
+        b = ProgramBuilder("p")
+        f = b.function("main")
+        f.li("r1", 1)
+        f.halt()
+        function = b.build().function("main")
+        allocate_function(function)
+        assert all(i.opcode is not Opcode.SRES for i in function.instructions())
+
+    def test_manual_stack_control_rejected(self):
+        b = ProgramBuilder("p")
+        f = b.function("main")
+        f.frame(4)
+        f.emit("sres", 4)
+        f.halt()
+        function = b.build().function("main")
+        with pytest.raises(CompilerError):
+            allocate_function(function)
+
+    def test_stack_chain_runs_with_spills(self, config):
+        kernel = build_stack_chain(depth=8, frame_words=40)
+        image, _ = compile_and_link(kernel.program, config)
+        sim = CycleSimulator(image, strict=True)
+        run = sim.run()
+        assert run.output == kernel.expected_output
+        assert sim.stack_cache.total_spilled_words > 0
+        assert sim.stack_cache.total_filled_words > 0
+
+
+class TestFunctionSplitting:
+    def test_oversized_function_is_split(self, config):
+        kernel = build_large_function(blocks=48, instructions_per_block=24,
+                                      iterations=1)
+        result = compile_program(kernel.program, config)
+        split_names = [name for name in result.program.functions
+                       if name.startswith("big.part")]
+        assert split_names, "expected sub-functions to be created"
+        for name in split_names:
+            func = result.program.function(name)
+            assert func.is_subfunction and func.parent == "big"
+            assert func.scheduled_size_bytes() <= config.method_cache.size_bytes
+
+    def test_split_program_semantics_preserved(self, config):
+        kernel = build_large_function(blocks=48, instructions_per_block=24,
+                                      iterations=2)
+        split_image, _ = compile_and_link(kernel.program, config)
+        unsplit_image, _ = compile_and_link(
+            kernel.program, config, CompileOptions(split_functions=False))
+        split_run = CycleSimulator(split_image, strict=True).run()
+        unsplit_run = CycleSimulator(unsplit_image, strict=True).run()
+        assert split_run.output == unsplit_run.output == kernel.expected_output
+
+    def test_small_functions_untouched(self, config):
+        kernel = build_call_tree()
+        program = compile_program(kernel.program, config).program
+        assert all(not f.is_subfunction for f in program.functions.values())
+
+    def test_split_respects_budget(self, config):
+        kernel = build_large_function(blocks=48, instructions_per_block=24,
+                                      iterations=1)
+        program = kernel.program.copy()
+        schedule_program(program, config)
+        stats = split_program(program, config, max_bytes=1024)
+        assert stats.functions_split == 1
+        for sizes in stats.region_sizes.values():
+            assert all(size <= 1024 for size in sizes)
+
+
+class TestPassManager:
+    def test_compile_program_leaves_input_unscheduled(self, config):
+        kernel = build_saturate(8)
+        result = compile_program(kernel.program, config)
+        assert result.program.is_scheduled
+        assert not kernel.program.is_scheduled
+
+    def test_all_options_produce_correct_code(self, config):
+        kernel = build_saturate(12)
+        for options in (
+            CompileOptions(),
+            CompileOptions(dual_issue=False),
+            CompileOptions(if_convert=True),
+            CompileOptions(single_path=True),
+            CompileOptions(hide_split_loads=False),
+        ):
+            image, _ = compile_and_link(kernel.program, config, options)
+            run = CycleSimulator(image, strict=True).run()
+            assert run.output == kernel.expected_output, options
+
+    def test_small_method_cache_forces_splitting(self):
+        config = PatmosConfig(method_cache=MethodCacheConfig(size_bytes=1024,
+                                                             num_blocks=8))
+        kernel = build_large_function(blocks=24, instructions_per_block=24,
+                                      iterations=1)
+        image, result = compile_and_link(kernel.program, config)
+        assert result.split.functions_split == 1
+        run = CycleSimulator(image, config=config, strict=True).run()
+        assert run.output == kernel.expected_output

@@ -1,0 +1,98 @@
+"""Tests for the processor configuration."""
+
+import pytest
+
+from repro.config import (
+    MemoryConfig,
+    MethodCacheConfig,
+    PatmosConfig,
+    PipelineConfig,
+    SetAssocCacheConfig,
+    StackCacheConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestMemoryConfig:
+    def test_burst_cycles(self):
+        mem = MemoryConfig(burst_words=4, setup_cycles=6, cycles_per_word=2)
+        assert mem.burst_cycles() == 14
+
+    def test_transfer_cycles_single_burst(self):
+        mem = MemoryConfig(burst_words=4, setup_cycles=6, cycles_per_word=2)
+        assert mem.transfer_cycles(1) == 14
+        assert mem.transfer_cycles(4) == 14
+
+    def test_transfer_cycles_multiple_bursts(self):
+        mem = MemoryConfig(burst_words=4, setup_cycles=6, cycles_per_word=2)
+        assert mem.transfer_cycles(5) == 28
+        assert mem.transfer_cycles(8) == 28
+        assert mem.transfer_cycles(9) == 42
+
+    def test_transfer_cycles_zero(self):
+        mem = MemoryConfig()
+        assert mem.transfer_cycles(0) == 0
+
+    def test_invalid_memory_config_rejected(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig(memory=MemoryConfig(size_bytes=0))
+        with pytest.raises(ConfigError):
+            PatmosConfig(memory=MemoryConfig(cycles_per_word=0))
+
+
+class TestMethodCacheConfig:
+    def test_block_bytes(self):
+        cache = MethodCacheConfig(size_bytes=4096, num_blocks=16)
+        assert cache.block_bytes == 256
+
+    def test_size_must_be_multiple_of_blocks(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig(method_cache=MethodCacheConfig(size_bytes=1000,
+                                                        num_blocks=16))
+
+    def test_replacement_validated(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig(method_cache=MethodCacheConfig(replacement="random"))
+
+
+class TestCacheConfigs:
+    def test_stack_cache_power_of_two(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig(stack_cache=StackCacheConfig(size_bytes=1000))
+
+    def test_set_assoc_geometry_validated(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig(static_cache=SetAssocCacheConfig(
+                size_bytes=100, line_bytes=16, associativity=2))
+
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig(static_cache=SetAssocCacheConfig(
+                size_bytes=2048, line_bytes=12, associativity=2))
+
+
+class TestPatmosConfig:
+    def test_default_config_is_valid(self):
+        config = PatmosConfig()
+        assert config.pipeline.dual_issue
+        assert config.method_cache.size_bytes == 4096
+
+    def test_single_issue_copy(self):
+        config = PatmosConfig()
+        single = config.single_issue()
+        assert not single.pipeline.dual_issue
+        assert config.pipeline.dual_issue  # original unchanged
+
+    def test_with_replaces_fields(self):
+        config = PatmosConfig()
+        other = config.with_(pipeline=PipelineConfig(branch_delay_slots=3))
+        assert other.pipeline.branch_delay_slots == 3
+        assert config.pipeline.branch_delay_slots == 2
+
+    def test_negative_delay_slots_rejected(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig(pipeline=PipelineConfig(load_delay_slots=-1))
+
+    def test_memory_map_must_fit(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig(memory=MemoryConfig(size_bytes=1024))

@@ -1,0 +1,220 @@
+"""Binary encoding/decoding tests, including property-based round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import Bundle, Guard, Instruction, Opcode, SpecialReg
+from repro.isa.encoding import (
+    decode_bundle,
+    decode_bundles,
+    decode_instruction,
+    encode_bundle,
+    encode_bundles,
+    encode_instruction,
+    sign_extend,
+)
+
+REPRESENTATIVE = [
+    Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3),
+    Instruction(Opcode.NOR, rd=31, rs1=0, rs2=17, guard=Guard(3, True)),
+    Instruction(Opcode.ADDI, rd=4, rs1=5, imm=-2048),
+    Instruction(Opcode.SRAI, rd=4, rs1=5, imm=31),
+    Instruction(Opcode.CMPIEQ, pd=3, rs1=7, imm=2047),
+    Instruction(Opcode.CMPULT, pd=7, rs1=1, rs2=2),
+    Instruction(Opcode.LIL, rd=9, imm=-32768),
+    Instruction(Opcode.LIH, rd=9, imm=0xFFFF),
+    Instruction(Opcode.ADDL, rd=10, rs1=0, imm=0x12345678),
+    Instruction(Opcode.MUL, rs1=3, rs2=4),
+    Instruction(Opcode.PAND, pd=1, ps1=2, ps2=3),
+    Instruction(Opcode.PNOT, pd=4, ps1=5),
+    Instruction(Opcode.LWC, rd=1, rs1=2, imm=32),
+    Instruction(Opcode.LBUM, rd=1, rs1=2, imm=-16),
+    Instruction(Opcode.LHS, rd=3, rs1=0, imm=6),
+    Instruction(Opcode.SWC, rs1=2, rs2=4, imm=-64),
+    Instruction(Opcode.SBL, rs1=2, rs2=4, imm=7),
+    Instruction(Opcode.SRES, imm=42),
+    Instruction(Opcode.SENS, imm=0),
+    Instruction(Opcode.SFREE, imm=100000),
+    Instruction(Opcode.BR, target=0x10040, guard=Guard(1, False)),
+    Instruction(Opcode.BRCF, target=0x0FF00),
+    Instruction(Opcode.CALL, target=0x20000),
+    Instruction(Opcode.CALLR, rs1=5),
+    Instruction(Opcode.RET),
+    Instruction(Opcode.MTS, special=SpecialReg.SS, rs1=7),
+    Instruction(Opcode.MFS, rd=8, special=SpecialReg.SH),
+    Instruction(Opcode.WMEM),
+    Instruction(Opcode.NOP),
+    Instruction(Opcode.HALT),
+    Instruction(Opcode.OUT, rs1=12),
+]
+
+
+class TestInstructionRoundTrip:
+    @pytest.mark.parametrize("instr", REPRESENTATIVE, ids=lambda i: str(i))
+    def test_round_trip(self, instr):
+        addr = 0x10000
+        encoded = encode_instruction(instr, addr=addr)
+        words = list(encoded.words)
+        decoded, consumed = decode_instruction(
+            words[0], addr=addr, next_word=words[1] if len(words) > 1 else None)
+        assert consumed == len(words)
+        assert decoded.opcode is instr.opcode
+        assert decoded.guard == instr.guard
+        for fieldname in ("rd", "rs1", "rs2", "pd", "ps1", "special"):
+            expected = getattr(instr, fieldname)
+            if expected is not None:
+                assert getattr(decoded, fieldname) == expected, fieldname
+
+    def test_branch_target_reconstructed(self):
+        instr = Instruction(Opcode.BR, target=0x10080)
+        words = encode_instruction(instr, addr=0x10000).words
+        decoded, _ = decode_instruction(words[0], addr=0x10000)
+        assert decoded.target == 0x10080
+
+    def test_negative_branch_offset(self):
+        instr = Instruction(Opcode.BR, target=0x0FF00)
+        words = encode_instruction(instr, addr=0x10000).words
+        decoded, _ = decode_instruction(words[0], addr=0x10000)
+        assert decoded.target == 0x0FF00
+
+    def test_call_target_is_absolute(self):
+        instr = Instruction(Opcode.CALL, target=0x40000)
+        words = encode_instruction(instr, addr=0x10000).words
+        decoded, _ = decode_instruction(words[0], addr=0x99999 & ~3)
+        assert decoded.target == 0x40000
+
+
+class TestEncodingErrors:
+    def test_immediate_overflow_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5000))
+
+    def test_unaligned_load_offset_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(Instruction(Opcode.LWC, rd=1, rs1=2, imm=3))
+
+    def test_symbolic_target_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(Instruction(Opcode.BR, target="loop"))
+
+    def test_unresolved_symbol_in_long_immediate(self):
+        with pytest.raises(EncodingError):
+            encode_instruction(Instruction(Opcode.ADDL, rd=1, rs1=0,
+                                           target="symbol"))
+
+    def test_decode_invalid_opclass(self):
+        with pytest.raises(EncodingError):
+            decode_instruction(31 << 22)
+
+
+class TestBundleEncoding:
+    def test_single_bundle_round_trip(self):
+        bundle = Bundle(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+        words = encode_bundle(bundle, addr=0x10000)
+        assert len(words) == 1
+        decoded, consumed = decode_bundle(words, addr=0x10000)
+        assert consumed == 1
+        assert decoded.first.opcode is Opcode.ADD
+
+    def test_dual_bundle_sets_bundle_bit(self):
+        bundle = Bundle(Instruction(Opcode.LWC, rd=1, rs1=2, imm=0),
+                        Instruction(Opcode.ADD, rd=3, rs1=4, rs2=5))
+        words = encode_bundle(bundle, addr=0)
+        assert len(words) == 2
+        assert words[0] >> 31 == 1
+        assert words[1] >> 31 == 0
+        decoded, consumed = decode_bundle(words, addr=0)
+        assert consumed == 2
+        assert len(decoded) == 2
+
+    def test_long_immediate_bundle(self):
+        bundle = Bundle(Instruction(Opcode.ORL, rd=2, rs1=3, imm=0xDEADBEEF))
+        words = encode_bundle(bundle, addr=0)
+        assert len(words) == 2
+        decoded, consumed = decode_bundle(words, addr=0)
+        assert consumed == 2
+        assert decoded.first.imm & 0xFFFFFFFF == 0xDEADBEEF
+
+    def test_stream_round_trip(self):
+        bundles = [
+            Bundle(Instruction(Opcode.LIL, rd=1, imm=100)),
+            Bundle(Instruction(Opcode.ADDL, rd=2, rs1=1, imm=1 << 20)),
+            Bundle(Instruction(Opcode.LWC, rd=3, rs1=2, imm=4),
+                   Instruction(Opcode.ADD, rd=4, rs1=1, rs2=1)),
+            Bundle(Instruction(Opcode.HALT)),
+        ]
+        words = encode_bundles(bundles, base_addr=0x10000)
+        decoded = decode_bundles(words, base_addr=0x10000)
+        assert len(decoded) == len(bundles)
+        opcodes = [entry[1].first.opcode for entry in decoded]
+        assert opcodes == [Opcode.LIL, Opcode.ADDL, Opcode.LWC, Opcode.HALT]
+
+
+class TestSignExtend:
+    @pytest.mark.parametrize("value,width,expected", [
+        (0, 12, 0),
+        (2047, 12, 2047),
+        (2048, 12, -2048),
+        (4095, 12, -1),
+        (0xFFFF, 16, -1),
+        (0x7FFF, 16, 32767),
+    ])
+    def test_sign_extend(self, value, width, expected):
+        assert sign_extend(value, width) == expected
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trips
+# ---------------------------------------------------------------------------
+
+_gpr = st.integers(min_value=0, max_value=31)
+_pred = st.integers(min_value=0, max_value=7)
+_guard = st.builds(Guard, _pred, st.booleans())
+
+
+@st.composite
+def alu_instructions(draw):
+    opcode = draw(st.sampled_from([Opcode.ADD, Opcode.SUB, Opcode.AND,
+                                   Opcode.OR, Opcode.XOR, Opcode.SHADD2]))
+    return Instruction(opcode, guard=draw(_guard), rd=draw(_gpr),
+                       rs1=draw(_gpr), rs2=draw(_gpr))
+
+
+@st.composite
+def imm_instructions(draw):
+    opcode = draw(st.sampled_from([Opcode.ADDI, Opcode.SUBI, Opcode.ANDI,
+                                   Opcode.ORI, Opcode.XORI]))
+    return Instruction(opcode, guard=draw(_guard), rd=draw(_gpr),
+                       rs1=draw(_gpr),
+                       imm=draw(st.integers(min_value=-2048, max_value=2047)))
+
+
+@st.composite
+def load_instructions(draw):
+    opcode = draw(st.sampled_from([Opcode.LWC, Opcode.LWS, Opcode.LWL,
+                                   Opcode.LWO, Opcode.LWM]))
+    offset = draw(st.integers(min_value=-64, max_value=63)) * 4
+    return Instruction(opcode, guard=draw(_guard), rd=draw(_gpr),
+                       rs1=draw(_gpr), imm=offset)
+
+
+@given(st.one_of(alu_instructions(), imm_instructions(), load_instructions()))
+@settings(max_examples=200, deadline=None)
+def test_property_encode_decode_round_trip(instr):
+    words = encode_instruction(instr, addr=0x10000).words
+    decoded, consumed = decode_instruction(
+        words[0], addr=0x10000, next_word=words[1] if len(words) > 1 else None)
+    assert consumed == len(words)
+    assert decoded == instr
+
+
+@given(st.integers(min_value=-(1 << 21), max_value=(1 << 21) - 1))
+@settings(max_examples=100, deadline=None)
+def test_property_branch_offsets_round_trip(offset_words):
+    addr = 0x400000
+    target = addr + 4 * offset_words
+    instr = Instruction(Opcode.BR, target=target)
+    words = encode_instruction(instr, addr=addr).words
+    decoded, _ = decode_instruction(words[0], addr=addr)
+    assert decoded.target == target

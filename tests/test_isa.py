@@ -1,0 +1,220 @@
+"""Tests for registers, opcodes, instructions and bundles."""
+
+import pytest
+
+from repro.config import PipelineConfig
+from repro.errors import IsaError
+from repro.isa import (
+    ALWAYS,
+    Bundle,
+    ControlKind,
+    Format,
+    Guard,
+    Instruction,
+    MemType,
+    NOP,
+    OPCODE_TABLE,
+    Opcode,
+    SpecialReg,
+    control_delay_slots,
+    opcode_from_mnemonic,
+    parse_gpr,
+    parse_pred,
+    parse_special,
+    result_delay_slots,
+)
+
+
+class TestRegisters:
+    def test_parse_gpr(self):
+        assert parse_gpr("r0") == 0
+        assert parse_gpr("R31") == 31
+        assert parse_gpr(5) == 5
+
+    def test_parse_gpr_rejects_bad_names(self):
+        with pytest.raises(IsaError):
+            parse_gpr("r32")
+        with pytest.raises(IsaError):
+            parse_gpr("x1")
+        with pytest.raises(IsaError):
+            parse_gpr("rx")
+
+    def test_parse_pred(self):
+        assert parse_pred("p0") == 0
+        assert parse_pred("p7") == 7
+        with pytest.raises(IsaError):
+            parse_pred("p8")
+
+    def test_parse_special(self):
+        assert parse_special("st") is SpecialReg.ST
+        assert parse_special(SpecialReg.SL) is SpecialReg.SL
+        with pytest.raises(IsaError):
+            parse_special("zz")
+
+
+class TestOpcodeTable:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_TABLE
+            assert OPCODE_TABLE[opcode].mnemonic == opcode.value
+
+    def test_mnemonic_lookup(self):
+        assert opcode_from_mnemonic("add") is Opcode.ADD
+        assert opcode_from_mnemonic("LWC") is Opcode.LWC
+        with pytest.raises(IsaError):
+            opcode_from_mnemonic("bogus")
+
+    def test_typed_loads_cover_all_areas(self):
+        load_types = {op.info.mem_type for op in Opcode if op.info.is_load}
+        assert load_types == set(MemType)
+
+    def test_typed_stores_cover_all_areas(self):
+        store_types = {op.info.mem_type for op in Opcode if op.info.is_store}
+        assert store_types == set(MemType)
+
+    def test_memory_and_control_are_slot0_only(self):
+        for opcode in Opcode:
+            info = opcode.info
+            if info.is_mem_access or info.is_control_flow or info.is_stack_control:
+                assert info.slot0_only, opcode
+
+    def test_main_memory_loads_are_decoupled(self):
+        assert Opcode.LWM.info.is_decoupled_load
+        assert not Opcode.LWC.info.is_decoupled_load
+
+    def test_control_kinds(self):
+        assert Opcode.BR.info.control is ControlKind.BRANCH
+        assert Opcode.CALL.info.control is ControlKind.CALL
+        assert Opcode.RET.info.control is ControlKind.RETURN
+        assert Opcode.ADD.info.control is None
+
+    def test_method_cache_users(self):
+        assert Opcode.CALL.info.uses_method_cache
+        assert Opcode.RET.info.uses_method_cache
+        assert Opcode.BRCF.info.uses_method_cache
+        assert not Opcode.BR.info.uses_method_cache
+
+    def test_result_delays(self):
+        pipeline = PipelineConfig()
+        assert result_delay_slots(Opcode.ADD.info, pipeline) == 0
+        assert result_delay_slots(Opcode.LWC.info, pipeline) == 1
+        assert result_delay_slots(Opcode.MUL.info, pipeline) == 2
+        assert result_delay_slots(Opcode.LWM.info, pipeline) == 0
+
+    def test_control_delays(self):
+        pipeline = PipelineConfig()
+        assert control_delay_slots(Opcode.BR.info, pipeline) == 2
+        assert control_delay_slots(Opcode.BRCF.info, pipeline) == 3
+        assert control_delay_slots(Opcode.CALL.info, pipeline) == 3
+        assert control_delay_slots(Opcode.RET.info, pipeline) == 3
+        assert control_delay_slots(Opcode.ADD.info, pipeline) == 0
+
+
+class TestGuard:
+    def test_default_guard_is_always(self):
+        assert ALWAYS.is_always
+        assert not Guard(1, False).is_always
+        assert not Guard(0, True).is_always
+
+    def test_guard_rendering(self):
+        assert str(Guard(3, False)) == "(p3)"
+        assert str(Guard(3, True)) == "(!p3)"
+
+    def test_guard_range_checked(self):
+        with pytest.raises(IsaError):
+            Guard(9, False)
+
+
+class TestInstructionValidation:
+    def test_alu_requires_operands(self):
+        instr = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3)
+        assert instr.rd == 1
+        with pytest.raises(IsaError):
+            Instruction(Opcode.ADD, rd=1, rs1=2)  # missing rs2
+        with pytest.raises(IsaError):
+            Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3, imm=5)  # extra imm
+
+    def test_load_requires_imm(self):
+        Instruction(Opcode.LWC, rd=1, rs1=2, imm=4)
+        with pytest.raises(IsaError):
+            Instruction(Opcode.LWC, rd=1, rs1=2)
+
+    def test_branch_requires_target(self):
+        Instruction(Opcode.BR, target="loop")
+        with pytest.raises(IsaError):
+            Instruction(Opcode.BR)
+
+    def test_special_move_requires_special(self):
+        Instruction(Opcode.MTS, special=SpecialReg.ST, rs1=1)
+        with pytest.raises(IsaError):
+            Instruction(Opcode.MTS, rs1=1)
+
+    def test_register_range_checked(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.ADD, rd=32, rs1=0, rs2=0)
+
+    def test_defs_and_uses(self):
+        instr = Instruction(Opcode.ADD, rd=3, rs1=1, rs2=2)
+        assert instr.gpr_defs() == frozenset({3})
+        assert instr.gpr_uses() == frozenset({1, 2})
+
+    def test_r0_never_defined(self):
+        instr = Instruction(Opcode.ADD, rd=0, rs1=1, rs2=2)
+        assert instr.gpr_defs() == frozenset()
+
+    def test_predicate_defs_uses(self):
+        cmp = Instruction(Opcode.CMPLT, pd=2, rs1=1, rs2=3)
+        assert cmp.pred_defs() == frozenset({2})
+        guarded = Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3,
+                              guard=Guard(4, True))
+        assert 4 in guarded.pred_uses()
+
+    def test_mul_defines_specials(self):
+        instr = Instruction(Opcode.MUL, rs1=1, rs2=2)
+        assert instr.special_defs() == frozenset({SpecialReg.SL, SpecialReg.SH})
+
+    def test_ret_uses_return_registers(self):
+        instr = Instruction(Opcode.RET)
+        assert instr.special_uses() == frozenset({SpecialReg.SRB, SpecialReg.SRO})
+
+    def test_stack_load_uses_stack_top(self):
+        instr = Instruction(Opcode.LWS, rd=1, rs1=0, imm=0)
+        assert SpecialReg.ST in instr.special_uses()
+
+    def test_lih_reads_its_destination(self):
+        instr = Instruction(Opcode.LIH, rd=5, imm=0x1234)
+        assert 5 in instr.gpr_uses()
+
+    def test_rendering(self):
+        instr = Instruction(Opcode.ADDI, rd=1, rs1=2, imm=5, guard=Guard(1, True))
+        assert str(instr) == "(!p1) addi r1 = r2, 5"
+        store = Instruction(Opcode.SWC, rs1=3, rs2=4, imm=8)
+        assert str(store) == "swc [r3 + 8] = r4"
+
+
+class TestBundle:
+    def test_single_slot_bundle(self):
+        bundle = Bundle(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3))
+        assert bundle.size_bytes == 4
+        assert bundle.second is None
+
+    def test_dual_slot_bundle(self):
+        bundle = Bundle(Instruction(Opcode.LWC, rd=1, rs1=2, imm=0),
+                        Instruction(Opcode.ADD, rd=3, rs1=4, rs2=5))
+        assert bundle.size_bytes == 8
+        assert len(bundle) == 2
+
+    def test_long_immediate_occupies_whole_bundle(self):
+        bundle = Bundle(Instruction(Opcode.ADDL, rd=1, rs1=0, imm=0x12345678))
+        assert bundle.size_bytes == 8
+        with pytest.raises(IsaError):
+            Bundle(Instruction(Opcode.ADDL, rd=1, rs1=0, imm=1), NOP)
+
+    def test_slot0_only_rejected_in_second_slot(self):
+        with pytest.raises(IsaError):
+            Bundle(Instruction(Opcode.ADD, rd=1, rs1=2, rs2=3),
+                   Instruction(Opcode.LWC, rd=4, rs1=5, imm=0))
+
+    def test_too_many_slots_rejected(self):
+        with pytest.raises(IsaError):
+            Bundle(NOP, NOP, NOP)

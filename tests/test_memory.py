@@ -1,0 +1,174 @@
+"""Tests for main memory, the memory controller, TDMA and the scratchpad."""
+
+import pytest
+
+from repro.config import MemoryConfig, ScratchpadConfig
+from repro.errors import ConfigError, MemoryAccessError, SimulationError
+from repro.memory import (
+    MainMemory,
+    MemoryController,
+    RoundRobinArbiter,
+    Scratchpad,
+    TdmaArbiter,
+    TdmaSchedule,
+)
+
+
+class TestMainMemory:
+    def test_word_round_trip(self):
+        mem = MainMemory(1024)
+        mem.write_word(16, 0xDEADBEEF)
+        assert mem.read_word(16) == 0xDEADBEEF
+
+    def test_little_endian_subword_access(self):
+        mem = MainMemory(64)
+        mem.write_word(0, 0x01020304)
+        assert mem.read(0, 1) == 0x04
+        assert mem.read(2, 2) == 0x0102
+
+    def test_signed_reads(self):
+        mem = MainMemory(64)
+        mem.write(0, 0xFF, 1)
+        assert mem.read(0, 1, signed=True) == -1
+        assert mem.read(0, 1, signed=False) == 255
+
+    def test_uninitialised_reads_zero(self):
+        mem = MainMemory(64)
+        assert mem.read_word(32) == 0
+
+    def test_misaligned_access_rejected(self):
+        mem = MainMemory(64)
+        with pytest.raises(MemoryAccessError):
+            mem.read(2, 4)
+        with pytest.raises(MemoryAccessError):
+            mem.write(1, 0, 2)
+
+    def test_out_of_range_rejected(self):
+        mem = MainMemory(64)
+        with pytest.raises(MemoryAccessError):
+            mem.read_word(64)
+        with pytest.raises(MemoryAccessError):
+            mem.read_word(-4)
+
+    def test_load_words(self):
+        mem = MainMemory(64)
+        mem.load_words({0: 1, 4: 2, 8: 3})
+        assert mem.read_words(0, 3) == [1, 2, 3]
+
+
+class TestScratchpad:
+    def test_read_write_within_bounds(self):
+        spm = Scratchpad(ScratchpadConfig(size_bytes=64))
+        spm.write(8, 123, 4)
+        assert spm.read(8, 4) == 123
+        assert spm.accesses == 2
+
+    def test_out_of_bounds_rejected(self):
+        spm = Scratchpad(ScratchpadConfig(size_bytes=64))
+        with pytest.raises(MemoryAccessError):
+            spm.read(64, 4)
+
+
+class TestMemoryController:
+    def _controller(self, **kwargs):
+        config = MemoryConfig(burst_words=4, setup_cycles=6, cycles_per_word=2)
+        return MemoryController(MainMemory(4096), config, **kwargs)
+
+    def test_read_block_latency(self):
+        ctrl = self._controller()
+        ctrl.memory.load_words({0: 10, 4: 20})
+        values, latency = ctrl.read_block(0, 2, cycle=0)
+        assert values == [10, 20]
+        assert latency == 14
+
+    def test_split_load_completes_after_latency(self):
+        ctrl = self._controller()
+        ctrl.memory.write_word(8, 77)
+        ctrl.start_load(rd=3, addr=8, width=4, signed=False, cycle=0)
+        assert ctrl.has_pending_load
+        pending, stall = ctrl.wait_for_load(cycle=0)
+        assert pending.value == 77
+        assert stall == 14
+        assert not ctrl.has_pending_load
+
+    def test_split_load_wait_after_work_is_cheaper(self):
+        ctrl = self._controller()
+        ctrl.start_load(rd=1, addr=0, width=4, signed=False, cycle=0)
+        _, stall = ctrl.wait_for_load(cycle=10)
+        assert stall == 4
+
+    def test_second_outstanding_load_rejected(self):
+        ctrl = self._controller()
+        ctrl.start_load(rd=1, addr=0, width=4, signed=False, cycle=0)
+        with pytest.raises(SimulationError):
+            ctrl.start_load(rd=2, addr=4, width=4, signed=False, cycle=1)
+
+    def test_wait_without_pending_load(self):
+        ctrl = self._controller()
+        pending, stall = ctrl.wait_for_load(cycle=5)
+        assert pending is None and stall == 0
+
+    def test_store_buffer_absorbs_until_full(self):
+        ctrl = self._controller(store_buffer_entries=2)
+        assert ctrl.store(0, 1, 4, cycle=0) == 0
+        assert ctrl.store(4, 2, 4, cycle=1) == 0
+        # Buffer full: the third store stalls until the first drains.
+        stall = ctrl.store(8, 3, 4, cycle=2)
+        assert stall > 0
+        assert ctrl.memory.read_word(8) == 3
+
+    def test_zero_entry_buffer_always_stalls(self):
+        ctrl = self._controller(store_buffer_entries=0)
+        assert ctrl.store(0, 1, 4, cycle=0) == 14
+
+    def test_drain_cycles(self):
+        ctrl = self._controller(store_buffer_entries=4)
+        ctrl.store(0, 1, 4, cycle=0)
+        assert ctrl.drain_cycles(0) == 14
+        assert ctrl.drain_cycles(100) == 0
+
+
+class TestTdma:
+    def test_slot_start_own_slot(self):
+        schedule = TdmaSchedule(num_cores=4, slot_cycles=14)
+        assert schedule.slot_start(0, 0) == 0
+        assert schedule.slot_start(1, 0) == 14
+        assert schedule.slot_start(0, 1) == 56
+
+    def test_wait_cycles_bounded_by_period(self):
+        schedule = TdmaSchedule(num_cores=4, slot_cycles=14)
+        for cycle in range(0, 120, 7):
+            for core in range(4):
+                wait = schedule.wait_cycles(core, cycle, 14)
+                assert 0 <= wait <= schedule.worst_case_wait()
+
+    def test_worst_case_wait(self):
+        schedule = TdmaSchedule(num_cores=4, slot_cycles=14)
+        assert schedule.worst_case_wait() == 55
+        assert schedule.period == 56
+
+    def test_transfer_must_fit_slot(self):
+        schedule = TdmaSchedule(num_cores=2, slot_cycles=10)
+        with pytest.raises(ConfigError):
+            schedule.wait_cycles(0, 0, 11)
+
+    def test_invalid_schedule_rejected(self):
+        with pytest.raises(ConfigError):
+            TdmaSchedule(num_cores=0, slot_cycles=10)
+        with pytest.raises(ConfigError):
+            TdmaSchedule(num_cores=2, slot_cycles=0)
+
+    def test_arbiter_accumulates_stats(self):
+        schedule = TdmaSchedule(num_cores=2, slot_cycles=14)
+        arbiter = TdmaArbiter(schedule, core_id=1)
+        wait = arbiter.arbitration_delay(cycle=0, transfer_cycles=14)
+        assert wait == 14
+        assert arbiter.requests == 1
+        assert arbiter.total_wait_cycles == 14
+        assert arbiter.worst_case_delay() == schedule.worst_case_wait()
+
+    def test_round_robin_worst_case(self):
+        arbiter = RoundRobinArbiter(num_cores=4, transfer_cycles=14, core_id=0)
+        assert arbiter.worst_case_delay() == 42
+        assert arbiter.arbitration_delay(0, 14, competing_cores=0) == 0
+        assert arbiter.arbitration_delay(0, 14, competing_cores=3) == 42

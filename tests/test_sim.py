@@ -1,0 +1,464 @@
+"""Tests of the functional and cycle-accurate simulators.
+
+The helper builds small programs through the builder + compiler so that the
+architectural behaviour (predication, exposed delays, calls/returns, typed
+memory, split loads, stack control) is tested end to end.
+"""
+
+import pytest
+
+from repro import (
+    CompileOptions,
+    CycleSimulator,
+    FunctionalSimulator,
+    PatmosConfig,
+    ProgramBuilder,
+    compile_and_link,
+)
+from repro.errors import ScheduleViolation, SimulationError
+from repro.isa import Bundle, Instruction, Opcode
+from repro.program import DataSpace, link
+from repro.program.basic_block import BasicBlock
+from repro.program.function import Function
+from repro.program.program import Program
+from repro.sim.state import to_signed, to_unsigned
+
+
+def run_program(build, config=None, simulator=CycleSimulator, strict=True,
+                options=CompileOptions()):
+    """Build a program with ``build(builder, function)`` and run it."""
+    config = config or PatmosConfig()
+    b = ProgramBuilder("t")
+    f = b.function("main")
+    build(b, f)
+    image, _ = compile_and_link(b.build(), config, options)
+    sim = simulator(image, config=config, strict=strict)
+    return sim.run(), sim
+
+
+class TestArithmetic:
+    def test_basic_alu(self):
+        def build(b, f):
+            f.li("r1", 21)
+            f.emit("add", "r2", "r1", "r1")
+            f.emit("subi", "r3", "r2", 2)
+            f.emit("shli", "r4", "r1", 2)
+            f.out("r2")
+            f.out("r3")
+            f.out("r4")
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [42, 40, 84]
+
+    def test_negative_values_and_sra(self):
+        def build(b, f):
+            f.li("r1", -64)
+            f.emit("srai", "r2", "r1", 3)
+            f.emit("shri", "r3", "r1", 28)
+            f.out("r2")
+            f.out("r3")
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [-8, 0xF]
+
+    def test_wraparound_add(self):
+        def build(b, f):
+            f.li("r1", 0x7FFFFFFF)
+            f.emit("addi", "r2", "r1", 1)
+            f.out("r2")
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [to_signed(0x80000000)]
+
+    def test_lil_lih_builds_32bit_constant(self):
+        def build(b, f):
+            f.emit("lil", "r1", 0x5678)
+            f.emit("lih", "r1", 0x1234)
+            f.out("r1")
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [0x12345678]
+
+    def test_mul_and_special_registers(self):
+        def build(b, f):
+            f.li("r1", 100000)
+            f.li("r2", 70000)
+            f.emit("mul", "r1", "r2")
+            f.emit("mfs", "r3", "sl")
+            f.emit("mfs", "r4", "sh")
+            f.out("r3")
+            f.out("r4")
+            f.halt()
+        result, _ = run_program(build)
+        product = 100000 * 70000
+        assert result.output == [to_signed(product & 0xFFFFFFFF), product >> 32]
+
+    def test_r0_reads_zero_and_ignores_writes(self):
+        def build(b, f):
+            f.emit("addi", "r0", "r0", 99)
+            f.emit("add", "r1", "r0", "r0")
+            f.out("r1")
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [0]
+
+
+class TestPredication:
+    def test_guarded_instructions(self):
+        def build(b, f):
+            f.li("r1", 5)
+            f.li("r2", 9)
+            f.emit("cmplt", "p1", "r1", "r2")
+            f.emit("addi", "r3", "r0", 111, pred="p1")
+            f.emit("addi", "r4", "r0", 222, pred="!p1")
+            f.out("r3")
+            f.out("r4")
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [111, 0]
+
+    def test_predicate_combines(self):
+        def build(b, f):
+            f.emit("cmpieq", "p1", "r0", 0)   # true
+            f.emit("cmpineq", "p2", "r0", 0)  # false
+            f.emit("pand", "p3", "p1", "p2")
+            f.emit("por", "p4", "p1", "p2")
+            f.emit("pxor", "p5", "p1", "p2")
+            f.emit("pnot", "p6", "p2")
+            for pred, reg in (("p3", "r3"), ("p4", "r4"), ("p5", "r5"), ("p6", "r6")):
+                f.emit("addi", reg, "r0", 1, pred=pred)
+            for reg in ("r3", "r4", "r5", "r6"):
+                f.out(reg)
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [0, 1, 1, 1]
+
+    def test_p0_always_true_and_unwritable(self):
+        def build(b, f):
+            f.emit("cmpineq", "p0", "r0", 0)  # would set p0 false; must be ignored
+            f.emit("addi", "r1", "r0", 7, pred="p0")
+            f.out("r1")
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [7]
+
+    def test_btest(self):
+        def build(b, f):
+            f.li("r1", 0b1010)
+            f.li("r2", 3)
+            f.emit("btest", "p1", "r1", "r2")
+            f.emit("addi", "r3", "r0", 1, pred="p1")
+            f.out("r3")
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [1]
+
+
+class TestControlFlow:
+    def test_loop_and_branch(self):
+        def build(b, f):
+            f.li("r1", 5)
+            f.li("r2", 0)
+            f.label("loop")
+            f.emit("add", "r2", "r2", "r1")
+            f.emit("subi", "r1", "r1", 1)
+            f.emit("cmpineq", "p1", "r1", 0)
+            f.br("loop", pred="p1")
+            f.loop_bound("loop", 5)
+            f.out("r2")
+            f.halt()
+        result, _ = run_program(build)
+        assert result.output == [15]
+
+    def test_call_and_return(self):
+        b = ProgramBuilder("t")
+        f = b.function("main")
+        f.li("r1", 10)
+        f.call("double")
+        f.out("r2")
+        f.halt()
+        g = b.function("double")
+        g.emit("add", "r2", "r1", "r1")
+        g.ret()
+        image, _ = compile_and_link(b.build())
+        result = CycleSimulator(image, strict=True).run()
+        assert result.output == [20]
+        assert result.call_counts == {"double": 1}
+
+    def test_nested_calls_restore_return_info(self):
+        b = ProgramBuilder("t")
+        f = b.function("main")
+        f.li("r1", 1)
+        f.call("outer")
+        f.out("r1")
+        f.halt()
+        outer = b.function("outer")
+        outer.emit("addi", "r1", "r1", 10)
+        outer.call("inner")
+        outer.emit("addi", "r1", "r1", 100)
+        outer.ret()
+        inner = b.function("inner")
+        inner.emit("addi", "r1", "r1", 1000)
+        inner.ret()
+        image, _ = compile_and_link(b.build())
+        result = CycleSimulator(image, strict=True).run()
+        assert result.output == [1111]
+
+    def test_block_counts_track_loop_iterations(self):
+        def build(b, f):
+            f.li("r1", 7)
+            f.label("loop")
+            f.emit("subi", "r1", "r1", 1)
+            f.emit("cmpineq", "p1", "r1", 0)
+            f.br("loop", pred="p1")
+            f.loop_bound("loop", 7)
+            f.halt()
+        result, _ = run_program(build)
+        assert result.block_counts[("main", "loop")] == 7
+
+    def test_non_halting_program_detected(self):
+        def build(b, f):
+            f.label("loop")
+            f.br("loop")
+        b = ProgramBuilder("t")
+        f = b.function("main")
+        build(b, f)
+        image, _ = compile_and_link(b.build())
+        with pytest.raises(SimulationError):
+            CycleSimulator(image).run(max_bundles=1000)
+
+
+class TestExposedDelays:
+    def _image_with_raw_blocks(self, bundles):
+        """Build an image from hand-scheduled bundles (bypassing the scheduler)."""
+        block = BasicBlock(label="entry", instrs=[i for b in bundles for i in b],
+                           bundles=[Bundle(*b) for b in bundles])
+        function = Function(name="main", blocks=[block])
+        program = Program(name="raw", functions={"main": function}, entry="main")
+        return link(program, PatmosConfig())
+
+    def test_load_delay_slot_returns_old_value_when_violated(self):
+        # lwc r1 = [r0+0]; add r2 = r1, r0 in the very next bundle: the add
+        # still sees the old r1 (exposed delay), per Section 3 of the paper.
+        bundles = [
+            [Instruction(Opcode.LIL, rd=1, imm=999)],
+            [Instruction(Opcode.LWC, rd=1, rs1=0, imm=0)],
+            [Instruction(Opcode.ADD, rd=2, rs1=1, rs2=0)],
+            [Instruction(Opcode.NOP)],
+            [Instruction(Opcode.ADD, rd=3, rs1=1, rs2=0)],
+            [Instruction(Opcode.OUT, rs1=2)],
+            [Instruction(Opcode.OUT, rs1=3)],
+            [Instruction(Opcode.HALT)],
+        ]
+        image = self._image_with_raw_blocks(bundles)
+        result = FunctionalSimulator(image, strict=False).run()
+        assert result.output[0] == 999   # stale value
+        assert result.output[1] == 0     # value from memory (zero)
+
+    def test_strict_mode_raises_on_premature_use(self):
+        bundles = [
+            [Instruction(Opcode.LWC, rd=1, rs1=0, imm=0)],
+            [Instruction(Opcode.ADD, rd=2, rs1=1, rs2=0)],
+            [Instruction(Opcode.HALT)],
+        ]
+        image = self._image_with_raw_blocks(bundles)
+        with pytest.raises(ScheduleViolation):
+            FunctionalSimulator(image, strict=True).run()
+
+    def test_branch_delay_slots_execute(self):
+        # The two bundles after a taken branch execute (branch delay slots).
+        bundles = [
+            [Instruction(Opcode.LIL, rd=1, imm=0)],
+            [Instruction(Opcode.BR, target="skip")],
+            [Instruction(Opcode.ADDI, rd=1, rs1=1, imm=1)],   # delay slot 1
+            [Instruction(Opcode.ADDI, rd=1, rs1=1, imm=2)],   # delay slot 2
+            [Instruction(Opcode.ADDI, rd=1, rs1=1, imm=100)],  # skipped
+        ]
+        block = BasicBlock(label="entry",
+                           instrs=[i for b in bundles for i in b],
+                           bundles=[Bundle(*b) for b in bundles])
+        tail = BasicBlock(label="skip",
+                          instrs=[Instruction(Opcode.OUT, rs1=1),
+                                  Instruction(Opcode.HALT)],
+                          bundles=[Bundle(Instruction(Opcode.OUT, rs1=1)),
+                                   Bundle(Instruction(Opcode.HALT))])
+        function = Function(name="main", blocks=[block, tail])
+        program = Program(name="raw", functions={"main": function}, entry="main")
+        image = link(program, PatmosConfig())
+        result = FunctionalSimulator(image).run()
+        assert result.output == [3]
+
+    def test_scheduled_code_never_violates_delays(self):
+        # The compiler's output must satisfy strict mode by construction.
+        def build(b, f):
+            f.li("r1", 3)
+            f.emit("mul", "r1", "r1")
+            f.emit("mfs", "r2", "sl")
+            f.emit("add", "r3", "r2", "r2")
+            f.out("r3")
+            f.halt()
+        result, _ = run_program(build, strict=True)
+        assert result.output == [18]
+
+
+class TestTypedMemory:
+    def test_scratchpad_and_static_data(self):
+        b = ProgramBuilder("t")
+        b.data("table", [5, 6, 7], space=DataSpace.CONST)
+        b.zeros("local", 4, space=DataSpace.LOCAL)
+        f = b.function("main")
+        f.li("r1", "table")
+        f.li("r2", "local")
+        f.emit("lwc", "r3", "r1", 4)
+        f.emit("swl", "r2", 0, "r3")
+        f.emit("lwl", "r4", "r2", 0)
+        f.out("r4")
+        f.halt()
+        image, _ = compile_and_link(b.build())
+        result = CycleSimulator(image, strict=True).run()
+        assert result.output == [6]
+
+    def test_byte_and_half_access(self):
+        b = ProgramBuilder("t")
+        b.data("word", [0x80FF7F01], space=DataSpace.DATA)
+        f = b.function("main")
+        f.li("r1", "word")
+        f.emit("lbc", "r2", "r1", 0)    # 0x01 signed
+        f.emit("lbc", "r3", "r1", 3)    # 0x80 signed -> -128
+        f.emit("lbuc", "r4", "r1", 3)   # 0x80 unsigned -> 128
+        f.emit("lhc", "r5", "r1", 2)    # 0x80FF -> negative
+        f.emit("lhuc", "r6", "r1", 2)
+        for reg in ("r2", "r3", "r4", "r5", "r6"):
+            f.out(reg)
+        f.halt()
+        image, _ = compile_and_link(b.build())
+        result = CycleSimulator(image, strict=True).run()
+        assert result.output == [1, -128, 128, to_signed(0xFFFF80FF), 0x80FF]
+
+    def test_heap_access_through_object_cache(self):
+        b = ProgramBuilder("t")
+        b.data("object", [11, 22], space=DataSpace.HEAP)
+        f = b.function("main")
+        f.li("r1", "object")
+        f.emit("lwo", "r2", "r1", 4)
+        f.emit("swo", "r1", 0, "r2")
+        f.emit("lwo", "r3", "r1", 0)
+        f.out("r3")
+        f.halt()
+        image, _ = compile_and_link(b.build())
+        result = CycleSimulator(image, strict=True).run()
+        assert result.output == [22]
+
+    def test_split_load_requires_wmem_for_value(self):
+        b = ProgramBuilder("t")
+        b.data("stream", [77], space=DataSpace.HEAP)
+        f = b.function("main")
+        f.li("r1", "stream")
+        f.emit("lwm", "r2", "r1", 0)
+        f.emit("wmem")
+        f.out("r2")
+        f.halt()
+        image, _ = compile_and_link(b.build())
+        result = CycleSimulator(image, strict=True).run()
+        assert result.output == [77]
+        assert result.stalls.split_load_wait >= 0
+
+    def test_main_memory_store(self):
+        b = ProgramBuilder("t")
+        b.zeros("buffer", 2, space=DataSpace.HEAP)
+        f = b.function("main")
+        f.li("r1", "buffer")
+        f.li("r2", 1234)
+        f.emit("swm", "r1", 4, "r2")
+        f.emit("lwm", "r3", "r1", 4)
+        f.emit("wmem")
+        f.out("r3")
+        f.halt()
+        image, _ = compile_and_link(b.build())
+        result = CycleSimulator(image, strict=True).run()
+        assert result.output == [1234]
+
+
+class TestCycleAccounting:
+    def test_functional_cycles_equal_bundles(self):
+        def build(b, f):
+            f.li("r1", 4)
+            f.emit("add", "r2", "r1", "r1")
+            f.out("r2")
+            f.halt()
+        result, _ = run_program(build, simulator=FunctionalSimulator)
+        assert result.cycles == result.bundles
+
+    def test_cycle_sim_charges_method_cache_for_entry(self):
+        def build(b, f):
+            f.halt()
+        result, _ = run_program(build)
+        assert result.stalls.method_cache > 0
+        assert result.cycles == result.bundles + result.stalls.total()
+
+    def test_static_cache_miss_then_hit(self):
+        b = ProgramBuilder("t")
+        b.data("table", [1, 2, 3, 4], space=DataSpace.CONST)
+        f = b.function("main")
+        f.li("r1", "table")
+        f.emit("lwc", "r2", "r1", 0)
+        f.emit("lwc", "r3", "r1", 4)   # same line: hit
+        f.out("r2")
+        f.out("r3")
+        f.halt()
+        image, _ = compile_and_link(b.build())
+        sim = CycleSimulator(image, strict=True)
+        result = sim.run()
+        stats = result.cache_stats["static_cache"]
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_dual_issue_reduces_cycles(self):
+        def program():
+            b = ProgramBuilder("t")
+            f = b.function("main")
+            f.li("r1", 1)
+            f.li("r2", 2)
+            f.li("r3", 3)
+            f.li("r4", 4)
+            for _ in range(6):
+                f.emit("add", "r5", "r1", "r2")
+                f.emit("add", "r6", "r3", "r4")
+            f.out("r5")
+            f.halt()
+            return b.build()
+
+        config = PatmosConfig()
+        dual_image, _ = compile_and_link(program(), config,
+                                         CompileOptions(dual_issue=True))
+        single_image, _ = compile_and_link(program(), config,
+                                           CompileOptions(dual_issue=False))
+        dual = CycleSimulator(dual_image, config=config, strict=True).run()
+        single = CycleSimulator(single_image, config=config, strict=True).run()
+        assert dual.output == single.output == [3]
+        assert dual.bundles < single.bundles
+
+    def test_slot_utilisation_reported(self):
+        def build(b, f):
+            f.li("r1", 1)
+            f.li("r2", 2)
+            f.emit("add", "r3", "r1", "r1")
+            f.emit("add", "r4", "r2", "r2")
+            f.out("r3")
+            f.halt()
+        result, _ = run_program(build)
+        assert 0.0 < result.slot_utilisation <= 1.0
+        assert result.ipc >= result.useful_ipc
+
+    def test_trace_collection(self):
+        def build(b, f):
+            f.li("r1", 1)
+            f.halt()
+        b = ProgramBuilder("t")
+        f = b.function("main")
+        build(b, f)
+        image, _ = compile_and_link(b.build())
+        sim = CycleSimulator(image, trace=True)
+        result = sim.run()
+        assert result.trace is not None
+        assert result.trace[0].addr == image.entry_addr

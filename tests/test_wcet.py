@@ -1,0 +1,284 @@
+"""Tests of the WCET analysis: IPET, cache analyses and whole-program bounds."""
+
+import pytest
+
+from repro import (
+    CompileOptions,
+    CycleSimulator,
+    PatmosConfig,
+    ProgramBuilder,
+    compile_and_link,
+)
+from repro.config import MethodCacheConfig
+from repro.errors import WcetError
+from repro.memory import TdmaSchedule
+from repro.program import ControlFlowGraph, DataSpace
+from repro.wcet import (
+    WcetAnalyzer,
+    WcetOptions,
+    analyse_method_cache,
+    analyse_stack_cache,
+    analyse_static_cache,
+    analyze_wcet,
+    longest_path_dag,
+    solve_ipet,
+    summarise_function,
+)
+from repro.workloads import (
+    build_call_tree,
+    build_fir_filter,
+    build_linear_search,
+    build_matmul,
+    build_mixed_access,
+    build_saturate,
+    build_stack_chain,
+    build_vector_sum,
+)
+
+
+def _compiled(kernel, config=None, options=CompileOptions()):
+    config = config or PatmosConfig()
+    image, _ = compile_and_link(kernel.program, config, options)
+    return image
+
+
+class TestIpet:
+    def _cfg(self, build):
+        b = ProgramBuilder("p")
+        f = b.function("main")
+        build(f)
+        program = b.build()
+        return ControlFlowGraph.build(program.function("main"))
+
+    def test_straight_line(self):
+        cfg = self._cfg(lambda f: (f.li("r1", 1), f.halt()))
+        result = solve_ipet(cfg, {label: 5 for label in cfg.function.block_labels()})
+        assert result.wcet == 5 * len(cfg.function.blocks)
+
+    def test_if_else_takes_longer_side(self):
+        def build(f):
+            f.emit("cmpineq", "p1", "r1", 0)
+            f.br("else_side", pred="p1")
+            f.li("r2", 1)
+            f.br("join")
+            f.label("else_side")
+            f.li("r3", 1)
+            f.label("join")
+            f.halt()
+        cfg = self._cfg(build)
+        costs = {label: 1 for label in cfg.function.block_labels()}
+        costs["else_side"] = 50
+        result = solve_ipet(cfg, costs)
+        assert result.wcet >= 50
+        assert result.block_counts["else_side"] == 1
+
+    def test_loop_bound_respected(self):
+        def build(f):
+            f.li("r1", 10)
+            f.label("loop")
+            f.emit("subi", "r1", "r1", 1)
+            f.emit("cmpineq", "p1", "r1", 0)
+            f.br("loop", pred="p1")
+            f.loop_bound("loop", 10)
+            f.halt()
+        cfg = self._cfg(build)
+        costs = {label: 1 for label in cfg.function.block_labels()}
+        costs["loop"] = 7
+        result = solve_ipet(cfg, costs)
+        assert result.block_counts["loop"] == 10
+        assert result.wcet == 10 * 7 + (len(cfg.function.blocks) - 1)
+
+    def test_missing_loop_bound_rejected(self):
+        def build(f):
+            f.label("loop")
+            f.emit("subi", "r1", "r1", 1)
+            f.emit("cmpineq", "p1", "r1", 0)
+            f.br("loop", pred="p1")
+            f.halt()
+        cfg = self._cfg(build)
+        with pytest.raises(WcetError):
+            solve_ipet(cfg, {label: 1 for label in cfg.function.block_labels()})
+
+    def test_explicit_bound_overrides(self):
+        def build(f):
+            f.label("loop")
+            f.emit("subi", "r1", "r1", 1)
+            f.emit("cmpineq", "p1", "r1", 0)
+            f.br("loop", pred="p1")
+            f.halt()
+        cfg = self._cfg(build)
+        result = solve_ipet(cfg, {label: 1 for label in cfg.function.block_labels()},
+                            loop_bounds={"loop": 4})
+        assert result.block_counts["loop"] == 4
+
+    def test_dag_longest_path_matches_ipet(self):
+        def build(f):
+            f.emit("cmpineq", "p1", "r1", 0)
+            f.br("other", pred="p1")
+            f.li("r2", 1)
+            f.br("join")
+            f.label("other")
+            f.li("r3", 1)
+            f.label("join")
+            f.halt()
+        cfg = self._cfg(build)
+        costs = {label: 3 for label in cfg.function.block_labels()}
+        assert longest_path_dag(cfg, costs) == solve_ipet(cfg, costs).wcet
+
+
+class TestCacheAnalyses:
+    def test_method_cache_persistence_when_everything_fits(self, config):
+        kernel = build_call_tree(num_functions=3, pad_instructions=8)
+        image = _compiled(kernel, config)
+        analysis = analyse_method_cache(image, config, mode="persistence")
+        assert analysis.fits_all
+        assert all(cost == 0 for cost in analysis.per_target_cost.values())
+        assert analysis.one_off_cycles > 0
+
+    def test_method_cache_always_miss_when_too_small(self):
+        config = PatmosConfig(method_cache=MethodCacheConfig(size_bytes=512,
+                                                             num_blocks=4))
+        kernel = build_call_tree(num_functions=6, pad_instructions=40)
+        image = _compiled(kernel, config)
+        analysis = analyse_method_cache(image, config, mode="persistence")
+        assert not analysis.fits_all
+        assert any(cost > 0 for cost in analysis.per_target_cost.values())
+
+    def test_static_cache_persistence_checks_conflicts(self, config):
+        kernel = build_vector_sum(16)
+        image = _compiled(kernel, config)
+        analysis = analyse_static_cache(image, config, mode="persistence")
+        assert analysis.persistent
+        assert analysis.per_read_cost == 0
+        assert analysis.one_off_cycles > 0
+
+    def test_unified_cache_analysis_is_pessimistic(self, config):
+        kernel = build_vector_sum(16)
+        image = _compiled(kernel, config)
+        unified = analyse_static_cache(image, config, unified=True)
+        assert not unified.persistent
+        assert unified.per_read_cost > 0
+
+    def test_stack_cache_refined_beats_naive(self, config):
+        kernel = build_stack_chain(depth=8, frame_words=40)
+        image = _compiled(kernel, config)
+        frames = {name: 42 for name in image.program.functions}
+        frames["main"] = 2
+        refined = analyse_stack_cache(image.program, config, frames,
+                                      mode="refined")
+        naive = analyse_stack_cache(image.program, config, frames, mode="naive")
+        assert sum(refined.spill_words.values()) <= sum(naive.spill_words.values())
+        # The first levels fit in the cache, so their sres never spills.
+        assert refined.spill_words["level0"] == 0
+
+    def test_stack_cache_rejects_recursion(self, config):
+        b = ProgramBuilder("p")
+        f = b.function("main")
+        f.call("main")
+        f.halt()
+        with pytest.raises(WcetError):
+            analyse_stack_cache(b.build(), config, {"main": 2})
+
+
+class TestBlockSummaries:
+    def test_summary_counts_events(self, config):
+        kernel = build_mixed_access(8)
+        image = _compiled(kernel, config)
+        summaries = summarise_function(image.program.function("main"))
+        from repro.isa import MemType
+        reads = {mem_type: 0 for mem_type in MemType}
+        for summary in summaries.values():
+            for mem_type in MemType:
+                reads[mem_type] += summary.read_count(mem_type)
+        assert reads[MemType.STATIC] >= 1
+        assert reads[MemType.OBJECT] >= 1
+        assert reads[MemType.STACK] >= 1
+        assert reads[MemType.LOCAL] >= 1
+
+
+KERNEL_BUILDERS = [
+    ("vector_sum", build_vector_sum, {}),
+    ("fir_filter", build_fir_filter, {}),
+    ("matmul", build_matmul, {}),
+    ("saturate", build_saturate, {}),
+    ("linear_search", build_linear_search, {}),
+    ("call_tree", build_call_tree, {}),
+    ("stack_chain", build_stack_chain, {}),
+    ("mixed_access", build_mixed_access, {}),
+]
+
+
+class TestWholeProgramBounds:
+    @pytest.mark.parametrize("name,builder,kwargs", KERNEL_BUILDERS,
+                             ids=[k[0] for k in KERNEL_BUILDERS])
+    def test_bound_is_sound_and_reasonably_tight(self, config, name, builder,
+                                                 kwargs):
+        kernel = builder(**kwargs)
+        image = _compiled(kernel, config)
+        observed = CycleSimulator(image, strict=True).run()
+        assert observed.output == kernel.expected_output
+        result = analyze_wcet(image, config)
+        assert result.wcet_cycles >= observed.cycles, name
+        # The exposed-delay pipeline and analysable caches keep the bound
+        # within a small factor of the observation for these kernels.
+        assert result.tightness(observed.cycles) < 6.0, name
+
+    def test_conventional_icache_analysis_is_more_pessimistic(self, config):
+        # With a cache smaller than the program, the conventional-I$ analysis
+        # has to assume every fetch misses, while the method-cache analysis
+        # still only pays at call/return — the paper's analysability argument.
+        kernel = build_call_tree(num_functions=4, iterations=4)
+        small = config.with_(method_cache=MethodCacheConfig(size_bytes=512,
+                                                            num_blocks=4))
+        image = _compiled(kernel, small)
+        method = analyze_wcet(image, small)
+        conventional = analyze_wcet(
+            image, small, options=WcetOptions(conventional_icache=True))
+        assert conventional.wcet_cycles > method.wcet_cycles
+        assert conventional.icache is not None
+        assert not conventional.icache.fits_whole_program
+
+    def test_unified_cache_bound_larger_than_split(self, config):
+        kernel = build_mixed_access(16)
+        image = _compiled(kernel, config)
+        split = analyze_wcet(image, config)
+        unified = analyze_wcet(image, config,
+                               options=WcetOptions(unified_data_cache=True))
+        assert unified.wcet_cycles > split.wcet_cycles
+
+    def test_tdma_increases_bound(self, config):
+        kernel = build_vector_sum(16)
+        image = _compiled(kernel, config)
+        alone = analyze_wcet(image, config)
+        shared = analyze_wcet(image, config, options=WcetOptions(
+            tdma=TdmaSchedule(num_cores=4,
+                              slot_cycles=config.memory.burst_cycles())))
+        assert shared.wcet_cycles > alone.wcet_cycles
+
+    def test_indirect_calls_rejected(self, config):
+        b = ProgramBuilder("p")
+        f = b.function("main")
+        f.li("r1", 0x10000)
+        f.emit("callr", "r1")
+        f.halt()
+        image, _ = compile_and_link(b.build(), config)
+        with pytest.raises(WcetError):
+            analyze_wcet(image, config)
+
+    def test_summary_and_per_function_breakdown(self, config):
+        kernel = build_call_tree(num_functions=3)
+        image = _compiled(kernel, config)
+        result = analyze_wcet(image, config)
+        assert "main" in result.per_function
+        assert "work0" in result.per_function
+        assert "main" in result.summary()
+
+    def test_single_path_bound_equals_observation(self, config):
+        # Single-path code over scratchpad data: the WCET bound and the
+        # observation coincide apart from the one-off cache fills.
+        kernel = build_linear_search(24, key_index=3)
+        image = _compiled(kernel, config, CompileOptions(single_path=True))
+        observed = CycleSimulator(image, strict=True).run()
+        result = analyze_wcet(image, config)
+        assert result.wcet_cycles >= observed.cycles
+        assert result.tightness(observed.cycles) < 1.2
