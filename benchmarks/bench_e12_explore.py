@@ -1,0 +1,53 @@
+"""E12 — Design-space exploration throughput with and without result cache.
+
+The exploration engine (``repro.explore``) turns the simulator and the WCET
+analyzer into a batch system.  This experiment measures sweep throughput in
+design points per second: a cold sweep simulates every point, a warm sweep
+answers the identical question purely from the on-disk result cache.  The
+cached sweep must return byte-identical records, orders of magnitude faster.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from harness import print_table, ratio
+
+from repro.explore import ExplorationRunner, ParameterSpace, ResultCache
+
+
+def _space() -> ParameterSpace:
+    return (ParameterSpace(["vector_sum", "fir_filter", "saturate"])
+            .axis("method_cache_size", [1024, 2048, 4096])
+            .axis("single_path", [False, True]))
+
+
+def _measure():
+    with tempfile.TemporaryDirectory() as tmp:
+        cache_path = Path(tmp) / "explore-cache.json"
+        cold = ExplorationRunner(cache=ResultCache(cache_path)).run(_space())
+        warm = ExplorationRunner(cache=ResultCache(cache_path)).run(_space())
+    return cold, warm
+
+
+def test_e12_exploration_cache_throughput(benchmark):
+    cold, warm = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    points = len(cold)
+    cold_rate = points / cold.elapsed_s
+    warm_rate = points / warm.elapsed_s
+    print_table(
+        "E12: sweep throughput (18 design points, WCET analysis included)",
+        ["sweep", "points", "hits", "elapsed s", "points/s"],
+        [["cold (simulate all)", points, cold.cache_hits,
+          f"{cold.elapsed_s:.3f}", f"{cold_rate:.1f}"],
+         ["warm (cache only)", points, warm.cache_hits,
+          f"{warm.elapsed_s:.3f}", f"{warm_rate:.1f}"]])
+    print(f"cache speed-up: {ratio(warm_rate, cold_rate)}")
+
+    assert cold.cache_misses == points and cold.cache_hits == 0
+    assert warm.cache_hits == points and warm.cache_misses == 0
+    assert (json.dumps(cold.to_records(), sort_keys=True)
+            == json.dumps(warm.to_records(), sort_keys=True))
+    assert warm.elapsed_s < cold.elapsed_s
+    benchmark.extra_info["cold_points_per_second"] = round(cold_rate, 1)
+    benchmark.extra_info["warm_points_per_second"] = round(warm_rate, 1)

@@ -51,6 +51,7 @@ from .errors import (
     CompilerError,
     ConfigError,
     EncodingError,
+    ExplorationError,
     IsaError,
     LinkError,
     MemoryAccessError,
@@ -59,6 +60,14 @@ from .errors import (
     SimulationError,
     StackCacheError,
     WcetError,
+)
+from .explore import (
+    ExperimentSpec,
+    ExplorationResult,
+    ExplorationRunner,
+    ParameterSpace,
+    ResultCache,
+    pareto_frontier,
 )
 from .isa import Bundle, Guard, Instruction, Opcode
 from .program import (
@@ -92,6 +101,10 @@ __all__ = [
     "DEFAULT_CONFIG",
     "DataSpace",
     "EncodingError",
+    "ExperimentSpec",
+    "ExplorationError",
+    "ExplorationResult",
+    "ExplorationRunner",
     "Function",
     "FunctionalSimulator",
     "Guard",
@@ -103,11 +116,13 @@ __all__ = [
     "MemoryConfig",
     "MethodCacheConfig",
     "Opcode",
+    "ParameterSpace",
     "PatmosConfig",
     "PipelineConfig",
     "Program",
     "ProgramBuilder",
     "ReproError",
+    "ResultCache",
     "ScheduleViolation",
     "ScratchpadConfig",
     "SetAssocCacheConfig",
@@ -128,5 +143,6 @@ __all__ = [
     "disassemble_image",
     "disassemble_program",
     "link",
+    "pareto_frontier",
     "__version__",
 ]

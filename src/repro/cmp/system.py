@@ -86,6 +86,25 @@ class CmpSystem:
                 f"TDMA schedule has {self.schedule.num_cores} slots for "
                 f"{len(images)} cores")
 
+    @classmethod
+    def homogeneous(cls, image: Image, num_cores: int,
+                    config: PatmosConfig = DEFAULT_CONFIG,
+                    slot_cycles: Optional[int] = None) -> "CmpSystem":
+        """A CMP running the same image on every core.
+
+        This is the configuration the design-space exploration sweeps: the
+        TDMA slot defaults to one burst transfer per core, or can be widened
+        or narrowed via ``slot_cycles``.
+        """
+        if num_cores < 1:
+            raise ConfigError("a CMP system needs at least one core")
+        if slot_cycles is None:
+            schedule = default_tdma_schedule(num_cores, config)
+        else:
+            schedule = TdmaSchedule(num_cores=num_cores,
+                                    slot_cycles=slot_cycles)
+        return cls([image] * num_cores, config=config, schedule=schedule)
+
     @property
     def num_cores(self) -> int:
         return len(self.images)

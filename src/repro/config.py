@@ -8,7 +8,10 @@ a configuration object so experiments can sweep parameters consistently.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Mapping
 
 from .errors import ConfigError
 
@@ -147,6 +150,84 @@ class PatmosConfig:
     def single_issue(self) -> "PatmosConfig":
         """Return a copy configured as a single-issue pipeline (baseline)."""
         return self.with_(pipeline=replace(self.pipeline, dual_issue=False))
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "PatmosConfig":
+        """Return a copy with dotted-path fields replaced.
+
+        Keys name one leaf field as ``"section.field"``, e.g.
+        ``{"method_cache.size_bytes": 2048}``.  Every intermediate copy is
+        re-validated, so an inconsistent override raises :class:`ConfigError`.
+        """
+        config = self
+        for path, value in overrides.items():
+            section_name, _, field_name = path.partition(".")
+            if section_name not in _SECTION_TYPES:
+                raise ConfigError(
+                    f"unknown configuration section {section_name!r} in "
+                    f"override {path!r}; sections: {sorted(_SECTION_TYPES)}")
+            section = getattr(config, section_name)
+            if field_name not in {f.name for f in fields(section)}:
+                raise ConfigError(
+                    f"unknown field {field_name!r} in override {path!r}; "
+                    f"{section_name} has: "
+                    f"{sorted(f.name for f in fields(section))}")
+            current = getattr(section, field_name)
+            if (not isinstance(value, type(current))
+                    or (isinstance(value, bool)
+                        and not isinstance(current, bool))):
+                raise ConfigError(
+                    f"override {path!r} expects "
+                    f"{type(current).__name__}, got {value!r}")
+            config = replace(
+                config,
+                **{section_name: replace(section, **{field_name: value})})
+        return config
+
+    def to_dict(self) -> dict:
+        """Serialize to a nested dict of plain JSON types (round-trips)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PatmosConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        kwargs = {}
+        for section_name, section_data in data.items():
+            if section_name not in _SECTION_TYPES:
+                raise ConfigError(
+                    f"unknown configuration section {section_name!r}; "
+                    f"sections: {sorted(_SECTION_TYPES)}")
+            section_type = _SECTION_TYPES[section_name]
+            known = {f.name for f in fields(section_type)}
+            unknown = set(section_data) - known
+            if unknown:
+                raise ConfigError(
+                    f"unknown fields {sorted(unknown)} in section "
+                    f"{section_name!r}")
+            kwargs[section_name] = section_type(**section_data)
+        return cls(**kwargs)
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the configuration content.
+
+        Two configurations hash equally iff :meth:`to_dict` agrees, so the
+        hash is usable as a cache key across processes and sessions.
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: Section name -> dataclass type, for serialization and dotted overrides.
+_SECTION_TYPES: dict[str, type] = {
+    "pipeline": PipelineConfig,
+    "memory": MemoryConfig,
+    "method_cache": MethodCacheConfig,
+    "stack_cache": StackCacheConfig,
+    "static_cache": SetAssocCacheConfig,
+    "data_cache": SetAssocCacheConfig,
+    "scratchpad": ScratchpadConfig,
+    "memory_map": MemoryMap,
+}
 
 
 def _require(cond: bool, message: str) -> None:

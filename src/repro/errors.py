@@ -70,3 +70,12 @@ class CompilerError(ReproError):
 
 class WcetError(ReproError):
     """WCET analysis failed (e.g. missing loop bounds or unbounded flow)."""
+
+
+class ExplorationError(ReproError):
+    """A design-space exploration sweep was invalid or produced bad results.
+
+    Raised for malformed parameter axes, corrupt result-cache files and
+    functional mismatches discovered while sweeping (a configuration whose
+    simulated output differs from the kernel's reference output).
+    """

@@ -1,0 +1,66 @@
+"""Design-space exploration over the Patmos model.
+
+The paper trades average-case performance against WCET and clock frequency
+across many architecture parameters; this package sweeps those parameters at
+scale instead of one hand-edited configuration at a time:
+
+* :mod:`repro.explore.space` — declarative parameter spaces expanding into
+  concrete :class:`ExperimentSpec` design points;
+* :mod:`repro.explore.runner` — batch execution across a worker pool with
+  deterministic, order-preserving results;
+* :mod:`repro.explore.cache` — an on-disk result cache keyed by a content
+  hash, making repeated sweeps incremental;
+* :mod:`repro.explore.pareto` — Pareto-frontier extraction over
+  (WCET bound, observed cycles, estimated fmax);
+* ``python -m repro.explore`` — the command-line front end.
+
+>>> from repro.explore import ParameterSpace, ExplorationRunner
+>>> space = (ParameterSpace(["vector_sum"])
+...          .axis("method_cache_size", [1024, 4096]))
+>>> outcome = ExplorationRunner().run(space)
+>>> len(outcome)
+2
+"""
+
+from .cache import CACHE_VERSION, ResultCache
+from .cli import main
+from .pareto import (
+    DEFAULT_OBJECTIVES,
+    Objective,
+    dominates,
+    pareto_frontier,
+    pareto_table,
+)
+from .runner import (
+    ExplorationResult,
+    ExplorationRunner,
+    SpecResult,
+    execute_spec,
+)
+from .space import (
+    AXIS_ALIASES,
+    Axis,
+    ExperimentSpec,
+    ParameterSpace,
+    resolve_axis,
+)
+
+__all__ = [
+    "AXIS_ALIASES",
+    "Axis",
+    "CACHE_VERSION",
+    "DEFAULT_OBJECTIVES",
+    "ExperimentSpec",
+    "ExplorationResult",
+    "ExplorationRunner",
+    "Objective",
+    "ParameterSpace",
+    "ResultCache",
+    "SpecResult",
+    "dominates",
+    "execute_spec",
+    "main",
+    "pareto_frontier",
+    "pareto_table",
+    "resolve_axis",
+]

@@ -1,0 +1,105 @@
+"""On-disk result cache making repeated exploration sweeps incremental.
+
+The cache is one JSON file mapping :meth:`ExperimentSpec.key` digests to
+result records (:meth:`SpecResult.to_record`).  Because the key is a content
+hash of (kernel, config, compile options, analysis options, core count), a
+sweep that shares design points with an earlier sweep — a refined grid, an
+added kernel, a re-run after a crash — only simulates the new points.
+
+The file format is versioned; a cache written by an incompatible version of
+the tooling is discarded rather than trusted.  Writes are atomic (temp file
+plus ``os.replace``) so a crashed sweep never corrupts previous results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from ..errors import ExplorationError
+
+#: Bump when the record format or the simulation semantics change in a way
+#: that invalidates stored results.
+CACHE_VERSION = 1
+
+
+class ResultCache:
+    """A persistent key -> record store for exploration results."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+        self._entries: Optional[dict[str, dict]] = None
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Loading and saving
+    # ------------------------------------------------------------------
+
+    def _load(self) -> dict[str, dict]:
+        if self._entries is None:
+            self._entries = {}
+            if self.path.exists():
+                try:
+                    data = json.loads(self.path.read_text(encoding="utf-8"))
+                except (OSError, json.JSONDecodeError) as exc:
+                    raise ExplorationError(
+                        f"corrupt result cache {self.path}: {exc}") from exc
+                if (isinstance(data, dict)
+                        and data.get("version") == CACHE_VERSION
+                        and isinstance(data.get("entries"), dict)):
+                    self._entries = data["entries"]
+        return self._entries
+
+    def save(self) -> None:
+        """Atomically persist the cache (no-op if nothing changed)."""
+        if not self._dirty:
+            return
+        entries = self._load()
+        payload = {"version": CACHE_VERSION,
+                   "entries": {key: entries[key] for key in sorted(entries)}}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(self.path.parent),
+                                        prefix=self.path.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, indent=1)
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        """Look up one record, counting the hit or miss."""
+        record = self._load().get(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        self._load()[key] = record
+        self._dirty = True
+
+    def clear(self) -> None:
+        self._entries = {}
+        self._dirty = True
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._load()

@@ -1,0 +1,143 @@
+"""Command-line front end: ``python -m repro.explore``.
+
+Example::
+
+    python -m repro.explore --kernels vector_sum,fir_filter \\
+        --axis method_cache_size=1024,2048,4096
+
+Each ``--axis name=v1,v2,...`` adds one swept dimension (see
+:mod:`repro.explore.space` for the accepted names); ``--kernels`` accepts
+kernel names and suite names (``performance``, ``branchy``, ``all``).
+Results are cached in ``--cache`` (default ``.explore-cache.json``) so a
+repeated sweep reports cache hits instead of re-simulating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from ..errors import ReproError
+from .cache import ResultCache
+from .pareto import DEFAULT_OBJECTIVES, Objective
+from .runner import ExplorationRunner
+from .space import ParameterSpace
+
+_KNOWN_OBJECTIVES = {
+    "wcet": Objective("wcet_cycles"),
+    "wcet_cycles": Objective("wcet_cycles"),
+    "cycles": Objective("cycles"),
+    "fmax": Objective("fmax_mhz", maximize=True),
+    "fmax_mhz": Objective("fmax_mhz", maximize=True),
+    "stalls": Objective("stall_cycles"),
+    "stall_cycles": Objective("stall_cycles"),
+}
+
+
+def coerce_value(text: str):
+    """Parse one axis value: int, float, bool or bare string."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def parse_axis(spec: str) -> tuple[str, list]:
+    """Parse one ``--axis name=v1,v2,...`` argument."""
+    name, sep, values = spec.partition("=")
+    name = name.strip()
+    if not sep or not name or not values.strip():
+        raise argparse.ArgumentTypeError(
+            f"axis must look like 'name=v1,v2,...', got {spec!r}")
+    return name, [coerce_value(value) for value in values.split(",")]
+
+
+def build_arg_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.explore",
+        description="Design-space exploration over the Patmos model: sweep "
+                    "architecture and compiler parameters, collect cycle "
+                    "counts and WCET bounds, report the Pareto frontier.")
+    parser.add_argument("--kernels", required=True,
+                        help="comma-separated kernel or suite names "
+                             "(suites: performance, branchy, all)")
+    parser.add_argument("--axis", action="append", default=[],
+                        type=parse_axis, metavar="NAME=V1,V2,...",
+                        help="add one swept dimension; repeatable "
+                             "(e.g. method_cache_size=1024,2048,4096)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default: 1, serial)")
+    parser.add_argument("--cache", default=".explore-cache.json",
+                        metavar="PATH",
+                        help="result cache file "
+                             "(default: .explore-cache.json)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache entirely")
+    parser.add_argument("--no-wcet", action="store_true",
+                        help="skip the static WCET analysis")
+    parser.add_argument("--no-pareto", action="store_true",
+                        help="skip the Pareto-frontier summary")
+    parser.add_argument("--objectives", default=None,
+                        metavar="NAME[,NAME...]",
+                        help="Pareto objectives (wcet, cycles, fmax, stalls; "
+                             "default: wcet,cycles,fmax)")
+    return parser
+
+
+def _objectives(arg: Optional[str], with_wcet: bool) -> tuple[Objective, ...]:
+    if arg is None:
+        if with_wcet:
+            return DEFAULT_OBJECTIVES
+        return tuple(obj for obj in DEFAULT_OBJECTIVES
+                     if obj.name != "wcet_cycles")
+    objectives = []
+    for name in arg.split(","):
+        name = name.strip().lower()
+        if name not in _KNOWN_OBJECTIVES:
+            raise ReproError(
+                f"unknown objective {name!r}; choose from "
+                f"{sorted(set(_KNOWN_OBJECTIVES))}")
+        objectives.append(_KNOWN_OBJECTIVES[name])
+    return tuple(objectives)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_arg_parser()
+    args = parser.parse_args(argv)
+    try:
+        kernels = [name.strip() for name in args.kernels.split(",")
+                   if name.strip()]
+        space = ParameterSpace(kernels, analyse_wcet=not args.no_wcet)
+        for name, values in args.axis:
+            space.axis(name, values)
+        # Validate the objectives before the sweep so a typo fails fast
+        # instead of after a potentially long simulation run.
+        objectives = _objectives(args.objectives, not args.no_wcet)
+
+        cache = None if args.no_cache else ResultCache(args.cache)
+        runner = ExplorationRunner(jobs=args.jobs, cache=cache)
+        print(f"exploring {len(space)} design points "
+              f"({len(space.kernels)} kernels x "
+              f"{len(space) // max(len(space.kernels), 1)} configurations)")
+        outcome = runner.run(space)
+
+        print()
+        print(outcome.table())
+        print()
+        if not args.no_pareto:
+            print(outcome.pareto_summary(objectives))
+            print()
+        print(outcome.summary())
+        if cache is not None:
+            print(f"result cache: {cache.path} ({len(cache)} entries)")
+    except (ReproError, KeyError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,123 @@
+"""Pareto-frontier extraction over exploration results.
+
+The sweep's figures of merit pull in different directions: the WCET bound
+and the average-case cycle count want large caches and branching code, the
+achievable clock frequency wants single-issue simplicity, and so on.  No
+single design point wins everywhere, so the useful output of a sweep is the
+set of *non-dominated* points — the Pareto frontier over the selected
+objectives — plus a table showing what each frontier point gives up.
+
+Objectives address result attributes (or mapping keys) by name, so the
+functions work on :class:`~repro.explore.runner.SpecResult` objects, plain
+dicts and test fixtures alike.  An objective whose value is missing (``None``)
+on any point is skipped for the whole frontier computation rather than
+silently ranking incomparable points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import ExplorationError
+from .tables import format_table
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One figure of merit: an attribute name and an optimization direction."""
+
+    name: str
+    maximize: bool = False
+
+    def value(self, point) -> Optional[float]:
+        """Read this objective off a result object or mapping."""
+        if isinstance(point, dict):
+            return point.get(self.name)
+        return getattr(point, self.name, None)
+
+    @property
+    def direction(self) -> str:
+        return "max" if self.maximize else "min"
+
+
+#: The paper's trade-off triangle: worst case vs. average case vs. clock.
+DEFAULT_OBJECTIVES: tuple[Objective, ...] = (
+    Objective("wcet_cycles"),
+    Objective("cycles"),
+    Objective("fmax_mhz", maximize=True),
+)
+
+
+def _usable_objectives(points: Sequence,
+                       objectives: Sequence[Objective]) -> list[Objective]:
+    """Objectives that every point defines; error if none survive."""
+    usable = [obj for obj in objectives
+              if all(obj.value(point) is not None for point in points)]
+    if points and objectives and not usable:
+        raise ExplorationError(
+            "no objective is defined on every point; objectives: "
+            f"{[obj.name for obj in objectives]}")
+    return usable
+
+
+def dominates(a, b, objectives: Sequence[Objective]) -> bool:
+    """True iff ``a`` is at least as good as ``b`` everywhere, better once."""
+    strictly_better = False
+    for objective in objectives:
+        va, vb = objective.value(a), objective.value(b)
+        if objective.maximize:
+            va, vb = -va, -vb
+        if va > vb:
+            return False
+        if va < vb:
+            strictly_better = True
+    return strictly_better
+
+
+def pareto_frontier(points: Sequence, objectives: Sequence[Objective]
+                    = DEFAULT_OBJECTIVES) -> list:
+    """The non-dominated subset of ``points``, in input order.
+
+    Duplicated coordinates are all kept (none strictly improves on the
+    other), so equivalent design points remain visible in the output.
+    """
+    points = list(points)
+    usable = _usable_objectives(points, objectives)
+    if not usable:
+        return points
+    return [candidate for candidate in points
+            if not any(dominates(other, candidate, usable)
+                       for other in points if other is not candidate)]
+
+
+def pareto_table(points: Sequence, objectives: Sequence[Objective]
+                 = DEFAULT_OBJECTIVES) -> str:
+    """Render the frontier as an aligned text table.
+
+    Works on any points the objectives can read; rows carry the point's
+    ``kernel``/``parameters`` when present (SpecResult) and the objective
+    values always.
+    """
+    points = list(points)
+    frontier = pareto_frontier(points, objectives)
+    usable = _usable_objectives(points, objectives)
+    headers = ["design point"] + [f"{obj.name} ({obj.direction})"
+                                  for obj in usable]
+    rows = [[_label(point)] + [obj.value(point) for obj in usable]
+            for point in frontier]
+    return (f"Pareto frontier: {len(frontier)} of {len(points)} "
+            f"design points\n" + format_table(headers, rows))
+
+
+def _label(point) -> str:
+    kernel = (point.get("kernel") if isinstance(point, dict)
+              else getattr(point, "kernel", None))
+    parameters = (point.get("parameters") if isinstance(point, dict)
+                  else getattr(point, "parameters", None))
+    if kernel is None:
+        return repr(point)
+    if parameters:
+        params = ", ".join(f"{k}={v}" for k, v in parameters.items())
+        return f"{kernel} [{params}]"
+    return str(kernel)

@@ -1,0 +1,246 @@
+"""Batch execution of exploration specs: worker pool, caching, collection.
+
+``execute_spec`` runs one design point end to end — build the kernel, compile
+it for the spec's configuration, simulate it cycle-accurately (strict mode,
+output checked against the kernel's reference), analyse its WCET and estimate
+the achievable clock — and returns a flat, JSON-serializable
+:class:`SpecResult`.  It is a module-level function of one picklable argument
+so :class:`ExplorationRunner` can ship it to a ``multiprocessing`` pool.
+
+Everything in the model is deterministic, so a parallel sweep produces
+byte-identical results to a serial one; the runner preserves spec order
+regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Iterable, Optional, Union
+
+from ..cmp.system import CmpSystem
+from ..compiler.passes import compile_and_link
+from ..errors import ExplorationError
+from ..hw.pipeline import estimate_pipeline_timing
+from ..sim.cycle import CycleSimulator
+from ..wcet.analyzer import analyze_wcet
+from ..workloads.suite import build_kernel
+from .cache import ResultCache
+from .pareto import DEFAULT_OBJECTIVES, pareto_frontier, pareto_table
+from .space import ExperimentSpec, ParameterSpace
+from .tables import format_table
+
+
+@dataclass
+class SpecResult:
+    """Collected metrics of one executed (or cache-recalled) design point."""
+
+    key: str
+    kernel: str
+    parameters: dict
+    cores: int
+    cycles: int
+    bundles: int
+    instructions: int
+    nops: int
+    stall_cycles: int
+    stalls: dict
+    cache_stats: dict
+    wcet_cycles: Optional[int]
+    fmax_mhz: float
+    from_cache: bool = False
+
+    @property
+    def tightness(self) -> Optional[float]:
+        """WCET bound over observed cycles (>= 1.0 for a sound bound)."""
+        if self.wcet_cycles is None or self.cycles == 0:
+            return None
+        return self.wcet_cycles / self.cycles
+
+    @property
+    def wall_time_us(self) -> float:
+        """Estimated wall-clock execution time at the estimated clock."""
+        return self.cycles / self.fmax_mhz
+
+    def to_record(self) -> dict:
+        """JSON-serializable record (the cache's value format).
+
+        ``from_cache`` is provenance of this in-memory object, not a property
+        of the design point, so it is deliberately excluded.
+        """
+        record = asdict(self)
+        del record["from_cache"]
+        return record
+
+    @classmethod
+    def from_record(cls, record: dict, from_cache: bool = True) -> "SpecResult":
+        return cls(**record, from_cache=from_cache)
+
+
+def execute_spec(spec: ExperimentSpec) -> SpecResult:
+    """Run one design point end to end (compile, simulate, analyse)."""
+    kernel = build_kernel(spec.kernel, **dict(spec.kernel_params))
+    image, _ = compile_and_link(kernel.program, spec.config, spec.options)
+    wcet_options = spec.wcet_options()
+
+    if spec.cores == 1:
+        sim = CycleSimulator(image, config=spec.config, strict=True).run()
+        _check_output(spec, sim.output, kernel.expected_output)
+        metrics = sim.metrics()
+        wcet = (analyze_wcet(image, spec.config, options=wcet_options)
+                .wcet_cycles if spec.analyse_wcet else None)
+    else:
+        system = CmpSystem.homogeneous(image, spec.cores, spec.config,
+                                       slot_cycles=spec.slot_cycles)
+        cmp_result = system.run(analyse=False, strict=True)
+        for core in cmp_result.cores:
+            _check_output(spec, core.sim.output, kernel.expected_output)
+        # The makespan is the figure of merit; per-bundle counts are
+        # identical across cores, stalls come from the slowest core.
+        slowest = max(cmp_result.cores, key=lambda core: core.sim.cycles)
+        metrics = slowest.sim.metrics()
+        metrics["cycles"] = cmp_result.makespan
+        # TDMA makes the bound independent of the other cores' traffic, so
+        # one analysis covers every core.
+        wcet = (analyze_wcet(image, spec.config, options=wcet_options)
+                .wcet_cycles if spec.analyse_wcet else None)
+
+    timing = estimate_pipeline_timing(
+        dual_issue=spec.config.pipeline.dual_issue)
+    return SpecResult(
+        key=spec.key(),
+        kernel=spec.kernel,
+        parameters=dict(spec.parameters),
+        cores=spec.cores,
+        cycles=metrics["cycles"],
+        bundles=metrics["bundles"],
+        instructions=metrics["instructions"],
+        nops=metrics["nops"],
+        stall_cycles=metrics["stall_cycles"],
+        stalls=metrics["stalls"],
+        cache_stats=metrics["cache_stats"],
+        wcet_cycles=wcet,
+        fmax_mhz=round(timing.max_frequency_mhz, 3),
+    )
+
+
+def _check_output(spec: ExperimentSpec, observed: list[int],
+                  expected: list[int]) -> None:
+    if observed != expected:
+        raise ExplorationError(
+            f"{spec.label()}: functional mismatch — simulated output "
+            f"{observed[:4]}... differs from reference {expected[:4]}...")
+
+
+@dataclass
+class ExplorationResult:
+    """All results of one sweep, in spec order, plus cache accounting."""
+
+    results: list[SpecResult] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_s: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def to_records(self) -> list[dict]:
+        return [result.to_record() for result in self.results]
+
+    def frontier(self, objectives=DEFAULT_OBJECTIVES) -> list[SpecResult]:
+        """The Pareto-optimal design points of this sweep."""
+        return pareto_frontier(self.results, objectives)
+
+    def table(self) -> str:
+        """Aligned per-spec results table."""
+        headers = ["design point", "cores", "cycles", "WCET", "bound/obs",
+                   "fmax MHz", "cached"]
+        rows = []
+        for result in self.results:
+            params = ", ".join(f"{k}={v}"
+                               for k, v in result.parameters.items())
+            label = result.kernel + (f" [{params}]" if params else "")
+            tightness = (f"{result.tightness:.2f}"
+                         if result.tightness is not None else "-")
+            rows.append([label, result.cores, result.cycles,
+                         result.wcet_cycles if result.wcet_cycles is not None
+                         else "-",
+                         tightness, f"{result.fmax_mhz:.1f}",
+                         "yes" if result.from_cache else "no"])
+        return format_table(headers, rows)
+
+    def pareto_summary(self, objectives=DEFAULT_OBJECTIVES) -> str:
+        return pareto_table(self.results, objectives)
+
+    def summary(self) -> str:
+        executed = self.cache_misses
+        return (f"{len(self.results)} design points in {self.elapsed_s:.2f}s "
+                f"({self.cache_hits} cache hits, {executed} executed)")
+
+
+class ExplorationRunner:
+    """Execute a parameter space with optional parallelism and caching."""
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+        if jobs < 1:
+            raise ExplorationError("jobs must be >= 1")
+        self.jobs = jobs
+        self.cache = cache
+
+    def run(self, space: Union[ParameterSpace, Iterable[ExperimentSpec]]
+            ) -> ExplorationResult:
+        """Run every spec, recalling cached design points where possible."""
+        specs = (space.specs() if isinstance(space, ParameterSpace)
+                 else list(space))
+        started = time.perf_counter()
+        results: list[Optional[SpecResult]] = [None] * len(specs)
+        pending: list[tuple[int, ExperimentSpec]] = []
+        hits = 0
+
+        for index, spec in enumerate(specs):
+            record = self.cache.get(spec.key()) if self.cache else None
+            if record is not None:
+                results[index] = SpecResult.from_record(record)
+                hits += 1
+            else:
+                pending.append((index, spec))
+
+        # Cache every completed design point as it arrives and persist even
+        # when a later spec fails, so an interrupted sweep is incremental.
+        try:
+            for (index, spec), result in zip(
+                    pending, self._execute_iter([s for _, s in pending])):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(result.key, result.to_record())
+        finally:
+            if self.cache is not None:
+                self.cache.save()
+
+        return ExplorationResult(
+            results=list(results),
+            cache_hits=hits,
+            cache_misses=len(pending),
+            elapsed_s=time.perf_counter() - started,
+        )
+
+    def _execute_iter(self, specs: list[ExperimentSpec]):
+        """Yield results in spec order, parallel when possible.
+
+        Only *pool creation* is guarded: a restricted environment without
+        worker processes falls back to the identical serial path, but an
+        error raised by a design point itself always propagates.
+        """
+        pool = None
+        if self.jobs > 1 and len(specs) > 1:
+            try:
+                import multiprocessing
+                pool = multiprocessing.Pool(min(self.jobs, len(specs)))
+            except (ImportError, OSError):
+                pool = None
+        if pool is not None:
+            with pool:
+                yield from pool.imap(execute_spec, specs)
+        else:
+            for spec in specs:
+                yield execute_spec(spec)

@@ -1,0 +1,235 @@
+"""Declarative design-space descriptions over the Patmos model.
+
+The paper's central trade-off — average-case throughput versus WCET — depends
+on architecture parameters (method-cache size, stack-cache size, TDMA slot
+length) and on compilation strategy (single-path versus branching code,
+dual- versus single-issue).  A :class:`ParameterSpace` describes a sweep over
+any combination of those declaratively; :meth:`ParameterSpace.specs` expands
+it into concrete, picklable :class:`ExperimentSpec` objects that the batch
+runner executes and the result cache keys.
+
+Axes come in five kinds:
+
+* ``config`` axes set one dotted :class:`~repro.config.PatmosConfig` field,
+  e.g. ``method_cache.size_bytes``;
+* ``compile`` axes set one :class:`~repro.compiler.passes.CompileOptions`
+  field, e.g. ``single_path``;
+* ``wcet`` axes set one :class:`~repro.wcet.analyzer.WcetOptions` field,
+  e.g. ``method_cache`` (the analysis mode, not the hardware);
+* the ``cores`` axis sweeps the number of TDMA-arbitrated cores;
+* the ``slot_cycles`` axis sweeps the TDMA slot length.
+
+Friendly aliases (``method_cache_size`` for ``method_cache.size_bytes`` and
+so on) keep command lines short; see :data:`AXIS_ALIASES`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Iterable, Optional, Sequence
+
+from ..compiler.passes import CompileOptions
+from ..config import PatmosConfig
+from ..errors import ExplorationError
+from ..wcet.analyzer import WcetOptions
+from ..workloads.suite import resolve_kernels
+
+#: Friendly axis names -> (kind, target).  Dotted names are accepted directly
+#: as ``config`` axes and bare CompileOptions field names as ``compile`` axes.
+AXIS_ALIASES: dict[str, tuple[str, Optional[str]]] = {
+    "method_cache_size": ("config", "method_cache.size_bytes"),
+    "method_cache_blocks": ("config", "method_cache.num_blocks"),
+    "method_cache_replacement": ("config", "method_cache.replacement"),
+    "stack_cache_size": ("config", "stack_cache.size_bytes"),
+    "static_cache_size": ("config", "static_cache.size_bytes"),
+    "data_cache_size": ("config", "data_cache.size_bytes"),
+    "scratchpad_size": ("config", "scratchpad.size_bytes"),
+    "burst_words": ("config", "memory.burst_words"),
+    "dual_issue": ("config", "pipeline.dual_issue"),
+    "method_cache_analysis": ("wcet", "method_cache"),
+    "static_cache_analysis": ("wcet", "static_cache"),
+    "stack_cache_analysis": ("wcet", "stack_cache"),
+    "cores": ("cores", None),
+    "slot_cycles": ("slot_cycles", None),
+}
+
+_COMPILE_FIELDS = frozenset(f.name for f in fields(CompileOptions))
+_WCET_FIELDS = frozenset(f.name for f in fields(WcetOptions))
+
+
+def resolve_axis(name: str) -> tuple[str, Optional[str]]:
+    """Map an axis name to its ``(kind, target)`` pair.
+
+    Resolution order: explicit alias, dotted ``PatmosConfig`` path,
+    ``CompileOptions`` field name.  Anything else is an error.
+    """
+    if name in AXIS_ALIASES:
+        return AXIS_ALIASES[name]
+    if "." in name:
+        return ("config", name)
+    if name in _COMPILE_FIELDS:
+        return ("compile", name)
+    raise ExplorationError(
+        f"unknown axis {name!r}; use an alias ({sorted(AXIS_ALIASES)}), a "
+        f"dotted PatmosConfig path like 'method_cache.size_bytes', or a "
+        f"CompileOptions field ({sorted(_COMPILE_FIELDS)})")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept dimension: every value spawns a family of experiments."""
+
+    name: str            # the name the user wrote (display)
+    kind: str            # "config" | "compile" | "wcet" | "cores" | "slot_cycles"
+    target: Optional[str]  # dotted config path / options field, None otherwise
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ExplorationError(f"axis {self.name!r} has no values")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One fully resolved design point: everything a worker needs to run it.
+
+    Specs are self-contained and picklable so they can be shipped to
+    ``multiprocessing`` workers, and deterministic so :meth:`key` can address
+    a result cache shared between runs and machines.
+    """
+
+    kernel: str
+    config: PatmosConfig
+    options: CompileOptions = CompileOptions()
+    kernel_params: tuple[tuple[str, Any], ...] = ()
+    wcet_overrides: tuple[tuple[str, Any], ...] = ()
+    cores: int = 1
+    slot_cycles: Optional[int] = None
+    analyse_wcet: bool = True
+    #: The axis assignment that produced this spec (display only; two specs
+    #: that resolve to the same content share a cache key regardless).
+    parameters: tuple[tuple[str, Any], ...] = ()
+
+    def wcet_options(self) -> WcetOptions:
+        """The WCET analysis options of this design point (TDMA included)."""
+        kwargs = dict(self.wcet_overrides)
+        if self.cores > 1:
+            from ..memory.tdma import TdmaSchedule
+            slot = (self.slot_cycles if self.slot_cycles is not None
+                    else self.config.memory.burst_cycles())
+            kwargs["tdma"] = TdmaSchedule(num_cores=self.cores,
+                                          slot_cycles=slot)
+        return WcetOptions(**kwargs)
+
+    def key(self) -> str:
+        """Stable content hash of the design point (the cache key)."""
+        payload = {
+            "kernel": self.kernel,
+            "kernel_params": sorted(self.kernel_params),
+            "config": self.config.to_dict(),
+            "options": asdict(self.options),
+            "cores": self.cores,
+            "slot_cycles": self.slot_cycles,
+            "wcet": (self.wcet_options().to_dict()
+                     if self.analyse_wcet else None),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identifier for tables and logs."""
+        parts = [f"{name}={value}" for name, value in self.parameters]
+        return f"{self.kernel}" + (f" [{', '.join(parts)}]" if parts else "")
+
+
+class ParameterSpace:
+    """A declarative sweep: kernels x axis values, expanded on demand.
+
+    >>> space = (ParameterSpace(["vector_sum", "fir_filter"])
+    ...          .axis("method_cache_size", [1024, 2048, 4096]))
+    >>> len(space.specs())
+    6
+    """
+
+    def __init__(self, kernels: Iterable[str],
+                 base_config: Optional[PatmosConfig] = None,
+                 base_options: CompileOptions = CompileOptions(),
+                 kernel_params: Optional[dict[str, dict]] = None,
+                 analyse_wcet: bool = True):
+        self.kernels = resolve_kernels(kernels)
+        if not self.kernels:
+            raise ExplorationError("a parameter space needs at least one kernel")
+        self.base_config = base_config or PatmosConfig()
+        self.base_options = base_options
+        self.kernel_params = dict(kernel_params or {})
+        self.analyse_wcet = analyse_wcet
+        self.axes: list[Axis] = []
+
+    def axis(self, name: str, values: Sequence) -> "ParameterSpace":
+        """Add one swept dimension (chainable)."""
+        kind, target = resolve_axis(name)
+        if any(existing.name == name for existing in self.axes):
+            raise ExplorationError(f"duplicate axis {name!r}")
+        self.axes.append(Axis(name=name, kind=kind, target=target,
+                              values=tuple(values)))
+        return self
+
+    def __len__(self) -> int:
+        count = len(self.kernels)
+        for axis in self.axes:
+            count *= len(axis.values)
+        return count
+
+    def specs(self) -> list[ExperimentSpec]:
+        """Expand the space into concrete experiment specs (kernel-major)."""
+        value_grid = itertools.product(*(axis.values for axis in self.axes))
+        combos = list(value_grid)
+        specs = []
+        for kernel in self.kernels:
+            for combo in combos:
+                specs.append(self._make_spec(kernel, combo))
+        return specs
+
+    def _make_spec(self, kernel: str, combo: tuple) -> ExperimentSpec:
+        config_overrides: dict[str, Any] = {}
+        compile_overrides: dict[str, Any] = {}
+        wcet_overrides: dict[str, Any] = {}
+        cores = 1
+        slot_cycles: Optional[int] = None
+        parameters = []
+        for axis, value in zip(self.axes, combo):
+            parameters.append((axis.name, value))
+            if axis.kind == "config":
+                config_overrides[axis.target] = value
+            elif axis.kind == "compile":
+                compile_overrides[axis.target] = value
+            elif axis.kind == "wcet":
+                if axis.target not in _WCET_FIELDS:
+                    raise ExplorationError(
+                        f"unknown WCET option {axis.target!r}")
+                wcet_overrides[axis.target] = value
+            elif axis.kind == "cores":
+                cores = int(value)
+            elif axis.kind == "slot_cycles":
+                slot_cycles = int(value)
+            else:  # pragma: no cover - resolve_axis guards this
+                raise ExplorationError(f"unknown axis kind {axis.kind!r}")
+        config = self.base_config.with_overrides(config_overrides)
+        options = (CompileOptions(**{**asdict(self.base_options),
+                                     **compile_overrides})
+                   if compile_overrides else self.base_options)
+        params = self.kernel_params.get(kernel, {})
+        return ExperimentSpec(
+            kernel=kernel,
+            config=config,
+            options=options,
+            kernel_params=tuple(sorted(params.items())),
+            wcet_overrides=tuple(sorted(wcet_overrides.items())),
+            cores=cores,
+            slot_cycles=slot_cycles,
+            analyse_wcet=self.analyse_wcet,
+            parameters=tuple(parameters),
+        )

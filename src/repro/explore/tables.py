@@ -1,0 +1,16 @@
+"""Text-table rendering shared by the exploration result and Pareto views."""
+
+from __future__ import annotations
+
+
+def format_table(headers: list, rows: list[list]) -> str:
+    """Render an aligned table: header row, dash separator, one row per entry."""
+    widths = [max(len(str(headers[i])),
+                  max((len(str(row[i])) for row in rows), default=0))
+              for i in range(len(headers))]
+    lines = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(w)
+                               for cell, w in zip(row, widths)))
+    return "\n".join(lines)

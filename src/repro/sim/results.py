@@ -23,6 +23,18 @@ class StallBreakdown:
                 self.stack_cache + self.split_load_wait + self.store_buffer +
                 self.arbitration)
 
+    def to_dict(self) -> dict[str, int]:
+        """Plain dict of the per-category stall cycles (JSON-serializable)."""
+        return {
+            "method_cache": self.method_cache,
+            "icache": self.icache,
+            "data_cache": self.data_cache,
+            "stack_cache": self.stack_cache,
+            "split_load_wait": self.split_load_wait,
+            "store_buffer": self.store_buffer,
+            "arbitration": self.arbitration,
+        }
+
 
 @dataclass
 class TraceEntry:
@@ -75,6 +87,23 @@ class SimResult:
         if self.bundles == 0:
             return 0.0
         return (self.instructions - self.nops) / (2 * self.bundles)
+
+    def metrics(self) -> dict:
+        """Flat, JSON-serializable metrics of this run.
+
+        Used by batch tooling (``repro.explore``) to persist results without
+        dragging the trace or the raw per-block counters along.
+        """
+        return {
+            "cycles": self.cycles,
+            "bundles": self.bundles,
+            "instructions": self.instructions,
+            "nops": self.nops,
+            "stall_cycles": self.stalls.total(),
+            "stalls": self.stalls.to_dict(),
+            "cache_stats": self.cache_stats,
+            "halted": self.halted,
+        }
 
     def summary(self) -> str:
         """Human-readable one-paragraph summary."""

@@ -68,6 +68,27 @@ class WcetOptions:
     #: block annotations).
     loop_bounds: dict = field(default_factory=dict)
 
+    def to_dict(self) -> dict:
+        """Stable, JSON-serializable view of the analysis options.
+
+        Used by result caches (``repro.explore``) to key stored WCET bounds;
+        the TDMA schedule is flattened to its defining pair and the loop-bound
+        overrides to a sorted list so equal options serialize identically.
+        """
+        return {
+            "method_cache": self.method_cache,
+            "static_cache": self.static_cache,
+            "object_cache": self.object_cache,
+            "stack_cache": self.stack_cache,
+            "conventional_icache": self.conventional_icache,
+            "unified_data_cache": self.unified_data_cache,
+            "tdma": (None if self.tdma is None else
+                     {"num_cores": self.tdma.num_cores,
+                      "slot_cycles": self.tdma.slot_cycles}),
+            "loop_bounds": sorted(
+                [list(key), bound] for key, bound in self.loop_bounds.items()),
+        }
+
 
 @dataclass
 class FunctionWcet:

@@ -21,8 +21,10 @@ from .suite import (
     BRANCHY_SUITE,
     KERNEL_BUILDERS,
     PERFORMANCE_SUITE,
+    SUITES,
     build_all,
     build_kernel,
+    resolve_kernels,
 )
 from .synthetic import random_alu_kernel
 
@@ -31,6 +33,7 @@ __all__ = [
     "KERNEL_BUILDERS",
     "Kernel",
     "PERFORMANCE_SUITE",
+    "SUITES",
     "build_all",
     "build_bubble_sort",
     "build_call_tree",
@@ -48,5 +51,6 @@ __all__ = [
     "build_stream_checksum",
     "build_vector_sum",
     "random_alu_kernel",
+    "resolve_kernels",
     "signed32",
 ]

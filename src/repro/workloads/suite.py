@@ -55,6 +55,37 @@ PERFORMANCE_SUITE = (
 #: Kernels whose control flow is data-dependent (if-conversion / single-path).
 BRANCHY_SUITE = ("saturate", "linear_search", "bubble_sort")
 
+#: Named kernel groups accepted wherever a kernel list is expected (CLI,
+#: parameter spaces): a suite name expands to its members in order.
+SUITES: dict[str, tuple[str, ...]] = {
+    "performance": PERFORMANCE_SUITE,
+    "branchy": BRANCHY_SUITE,
+    "all": tuple(KERNEL_BUILDERS),
+}
+
+
+def resolve_kernels(names) -> tuple[str, ...]:
+    """Expand kernel and suite names into a deduplicated tuple of kernels.
+
+    ``names`` is an iterable mixing kernel names and suite names
+    (:data:`SUITES`).  Order is preserved, duplicates are dropped, unknown
+    names raise :class:`KeyError` listing what is available.
+    """
+    resolved: list[str] = []
+    for name in names:
+        if name in SUITES:
+            expansion = SUITES[name]
+        elif name in KERNEL_BUILDERS:
+            expansion = (name,)
+        else:
+            raise KeyError(
+                f"unknown kernel or suite {name!r}; kernels: "
+                f"{sorted(KERNEL_BUILDERS)}; suites: {sorted(SUITES)}")
+        for kernel in expansion:
+            if kernel not in resolved:
+                resolved.append(kernel)
+    return tuple(resolved)
+
 
 def build_kernel(name: str, **kwargs) -> Kernel:
     """Build a kernel by name with optional parameter overrides."""

@@ -96,3 +96,63 @@ class TestPatmosConfig:
     def test_memory_map_must_fit(self):
         with pytest.raises(ConfigError):
             PatmosConfig(memory=MemoryConfig(size_bytes=1024))
+
+
+class TestConfigSerialization:
+    def test_round_trip(self):
+        config = PatmosConfig(method_cache=MethodCacheConfig(size_bytes=2048),
+                              pipeline=PipelineConfig(dual_issue=False))
+        rebuilt = PatmosConfig.from_dict(config.to_dict())
+        assert rebuilt == config
+
+    def test_from_dict_rejects_unknown_section(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig.from_dict({"bogus": {}})
+
+    def test_from_dict_rejects_unknown_field(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig.from_dict({"method_cache": {"bogus": 1}})
+
+    def test_from_dict_validates(self):
+        data = PatmosConfig().to_dict()
+        data["method_cache"]["size_bytes"] = 1000  # not a block multiple
+        with pytest.raises(ConfigError):
+            PatmosConfig.from_dict(data)
+
+    def test_content_hash_stable_and_content_addressed(self):
+        assert PatmosConfig().content_hash() == PatmosConfig().content_hash()
+        other = PatmosConfig(method_cache=MethodCacheConfig(size_bytes=2048))
+        assert other.content_hash() != PatmosConfig().content_hash()
+        # Equal content hashes equally, however the object was built.
+        rebuilt = PatmosConfig.from_dict(other.to_dict())
+        assert rebuilt.content_hash() == other.content_hash()
+
+    def test_with_overrides(self):
+        config = PatmosConfig().with_overrides({
+            "method_cache.size_bytes": 8192,
+            "pipeline.dual_issue": False,
+        })
+        assert config.method_cache.size_bytes == 8192
+        assert not config.pipeline.dual_issue
+        # The original default is untouched.
+        assert PatmosConfig().method_cache.size_bytes == 4096
+
+    def test_with_overrides_rejects_bad_paths(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig().with_overrides({"nope.field": 1})
+        with pytest.raises(ConfigError):
+            PatmosConfig().with_overrides({"method_cache.nope": 1})
+        with pytest.raises(ConfigError):
+            PatmosConfig().with_overrides({"method_cache": 1})
+
+    def test_with_overrides_revalidates(self):
+        with pytest.raises(ConfigError):
+            PatmosConfig().with_overrides({"stack_cache.size_bytes": 1000})
+
+    def test_with_overrides_rejects_wrong_type(self):
+        with pytest.raises(ConfigError, match="expects int"):
+            PatmosConfig().with_overrides({"method_cache.size_bytes": "big"})
+        with pytest.raises(ConfigError, match="expects int"):
+            PatmosConfig().with_overrides({"method_cache.size_bytes": True})
+        with pytest.raises(ConfigError, match="expects bool"):
+            PatmosConfig().with_overrides({"pipeline.dual_issue": 1})

@@ -1,0 +1,374 @@
+"""Tests for the design-space exploration subsystem (repro.explore)."""
+
+import json
+
+import pytest
+
+from repro.config import PatmosConfig
+from repro.errors import ExplorationError
+from repro.explore import (
+    ExperimentSpec,
+    ExplorationRunner,
+    Objective,
+    ParameterSpace,
+    ResultCache,
+    SpecResult,
+    execute_spec,
+    pareto_frontier,
+    pareto_table,
+    resolve_axis,
+)
+from repro.explore import runner as runner_module
+from repro.explore.cli import coerce_value, main, parse_axis
+
+
+class TestAxisResolution:
+    def test_alias(self):
+        assert resolve_axis("method_cache_size") == (
+            "config", "method_cache.size_bytes")
+
+    def test_dotted_path(self):
+        assert resolve_axis("stack_cache.size_bytes") == (
+            "config", "stack_cache.size_bytes")
+
+    def test_compile_option(self):
+        assert resolve_axis("single_path") == ("compile", "single_path")
+
+    def test_cores_and_slot(self):
+        assert resolve_axis("cores") == ("cores", None)
+        assert resolve_axis("slot_cycles") == ("slot_cycles", None)
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ExplorationError, match="unknown axis"):
+            resolve_axis("bogus_axis")
+
+
+class TestParameterSpace:
+    def test_expansion_count_and_order(self):
+        space = (ParameterSpace(["vector_sum", "fir_filter"])
+                 .axis("method_cache_size", [1024, 2048])
+                 .axis("single_path", [False, True]))
+        specs = space.specs()
+        assert len(specs) == len(space) == 8
+        # Kernel-major, then axis-declaration order.
+        assert [spec.kernel for spec in specs[:4]] == ["vector_sum"] * 4
+        assert specs[0].parameters == (("method_cache_size", 1024),
+                                       ("single_path", False))
+        assert specs[1].parameters == (("method_cache_size", 1024),
+                                       ("single_path", True))
+
+    def test_axes_are_applied(self):
+        space = (ParameterSpace(["vector_sum"])
+                 .axis("method_cache_size", [2048])
+                 .axis("single_path", [True])
+                 .axis("cores", [2])
+                 .axis("slot_cycles", [28]))
+        (spec,) = space.specs()
+        assert spec.config.method_cache.size_bytes == 2048
+        assert spec.options.single_path
+        assert spec.cores == 2
+        assert spec.slot_cycles == 28
+
+    def test_suite_names_expand(self):
+        space = ParameterSpace(["branchy"])
+        assert space.kernels == ("saturate", "linear_search", "bubble_sort")
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            ParameterSpace(["not_a_kernel"])
+
+    def test_duplicate_axis_rejected(self):
+        space = ParameterSpace(["vector_sum"]).axis("cores", [1, 2])
+        with pytest.raises(ExplorationError, match="duplicate"):
+            space.axis("cores", [4])
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExplorationError, match="no values"):
+            ParameterSpace(["vector_sum"]).axis("cores", [])
+
+    def test_invalid_override_value_rejected_at_expansion(self):
+        from repro.errors import ConfigError
+        space = (ParameterSpace(["vector_sum"])
+                 .axis("method_cache_size", [1000]))  # not a block multiple
+        with pytest.raises(ConfigError):
+            space.specs()
+
+
+class TestSpecKey:
+    def test_key_is_stable(self):
+        make = lambda: (ParameterSpace(["vector_sum"])
+                        .axis("method_cache_size", [2048])).specs()[0]
+        assert make().key() == make().key()
+
+    def test_key_distinguishes_content(self):
+        specs = (ParameterSpace(["vector_sum"])
+                 .axis("method_cache_size", [1024, 2048])).specs()
+        assert specs[0].key() != specs[1].key()
+
+    def test_key_ignores_display_parameters(self):
+        config = PatmosConfig()
+        a = ExperimentSpec(kernel="vector_sum", config=config,
+                           parameters=(("label", 1),))
+        b = ExperimentSpec(kernel="vector_sum", config=config,
+                           parameters=(("other", 2),))
+        assert a.key() == b.key()
+
+    def test_key_covers_wcet_options(self):
+        config = PatmosConfig()
+        a = ExperimentSpec(kernel="vector_sum", config=config)
+        b = ExperimentSpec(kernel="vector_sum", config=config,
+                           wcet_overrides=(("method_cache", "always_miss"),))
+        assert a.key() != b.key()
+
+
+class TestRunner:
+    def test_serial_run_is_sound(self):
+        space = (ParameterSpace(["vector_sum"])
+                 .axis("method_cache_size", [1024, 4096]))
+        outcome = ExplorationRunner().run(space)
+        assert len(outcome) == 2
+        for result in outcome.results:
+            assert result.cycles > 0
+            assert result.wcet_cycles >= result.cycles
+            assert result.fmax_mhz > 0
+            assert not result.from_cache
+        assert outcome.cache_hits == 0
+        assert outcome.cache_misses == 2
+
+    def test_parallel_results_identical_to_serial(self):
+        def sweep(jobs):
+            space = (ParameterSpace(["vector_sum", "saturate"])
+                     .axis("method_cache_size", [1024, 2048])
+                     .axis("single_path", [False, True]))
+            return ExplorationRunner(jobs=jobs).run(space)
+
+        serial = sweep(1)
+        parallel = sweep(4)
+        assert (json.dumps(serial.to_records(), sort_keys=True)
+                == json.dumps(parallel.to_records(), sort_keys=True))
+
+    def test_cmp_spec_uses_makespan(self):
+        single = (ParameterSpace(["vector_sum"])).specs()[0]
+        cmp_spec = (ParameterSpace(["vector_sum"])
+                    .axis("cores", [4])).specs()[0]
+        alone = execute_spec(single)
+        shared = execute_spec(cmp_spec)
+        assert shared.cores == 4
+        # Sharing memory via TDMA can only slow a core down.
+        assert shared.cycles >= alone.cycles
+        assert shared.wcet_cycles >= alone.wcet_cycles
+
+    def test_zero_slot_cycles_rejected(self):
+        from repro.errors import ConfigError
+        spec = (ParameterSpace(["vector_sum"])
+                .axis("cores", [2])
+                .axis("slot_cycles", [0])).specs()[0]
+        with pytest.raises(ConfigError, match="slot length"):
+            execute_spec(spec)
+
+    def test_failed_spec_keeps_earlier_results_in_cache(self, tmp_path,
+                                                        monkeypatch):
+        specs = (ParameterSpace(["vector_sum", "fir_filter"])).specs()
+        real = execute_spec
+
+        def fail_on_fir(spec):
+            if spec.kernel == "fir_filter":
+                raise RuntimeError("worker died")
+            return real(spec)
+        monkeypatch.setattr(runner_module, "execute_spec", fail_on_fir)
+
+        path = tmp_path / "cache.json"
+        with pytest.raises(RuntimeError):
+            ExplorationRunner(cache=ResultCache(path)).run(specs)
+        # The completed vector_sum point survived the crash.
+        survivor = ResultCache(path)
+        assert len(survivor) == 1
+        assert survivor.get(specs[0].key()) is not None
+
+    def test_worker_errors_propagate_in_parallel_mode(self, tmp_path):
+        space = (ParameterSpace(["vector_sum"])
+                 .axis("cores", [2, 2])  # duplicate values, both invalid slot
+                 .axis("slot_cycles", [1]))
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ExplorationRunner(jobs=2).run(space)
+
+    def test_no_wcet_mode(self):
+        space = ParameterSpace(["vector_sum"], analyse_wcet=False)
+        outcome = ExplorationRunner().run(space)
+        assert outcome.results[0].wcet_cycles is None
+
+    def test_table_renders(self):
+        space = ParameterSpace(["vector_sum"])
+        outcome = ExplorationRunner().run(space)
+        table = outcome.table()
+        assert "vector_sum" in table
+        assert "WCET" in table
+
+
+class TestResultCache:
+    def _space(self):
+        return (ParameterSpace(["vector_sum", "fir_filter"])
+                .axis("method_cache_size", [1024, 2048]))
+
+    def test_second_run_hits_without_resimulating(self, tmp_path, monkeypatch):
+        path = tmp_path / "cache.json"
+        first = ExplorationRunner(cache=ResultCache(path)).run(self._space())
+        assert first.cache_misses == 4
+        assert path.exists()
+
+        # Any attempt to simulate again is an error: all four design points
+        # must come from the cache.
+        def boom(spec):
+            raise AssertionError(f"re-simulated {spec.label()}")
+        monkeypatch.setattr(runner_module, "execute_spec", boom)
+
+        second = ExplorationRunner(cache=ResultCache(path)).run(self._space())
+        assert second.cache_hits == 4
+        assert second.cache_misses == 0
+        assert all(result.from_cache for result in second.results)
+        assert (json.dumps(first.to_records(), sort_keys=True)
+                == json.dumps(second.to_records(), sort_keys=True))
+
+    def test_partial_overlap_only_runs_new_points(self, tmp_path):
+        path = tmp_path / "cache.json"
+        ExplorationRunner(cache=ResultCache(path)).run(self._space())
+        wider = (ParameterSpace(["vector_sum", "fir_filter"])
+                 .axis("method_cache_size", [1024, 2048, 4096]))
+        outcome = ExplorationRunner(cache=ResultCache(path)).run(wider)
+        assert outcome.cache_hits == 4
+        assert outcome.cache_misses == 2
+
+    def test_corrupt_cache_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{not json", encoding="utf-8")
+        cache = ResultCache(path)
+        with pytest.raises(ExplorationError, match="corrupt"):
+            cache.get("anything")
+
+    def test_incompatible_version_discarded(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 999, "entries": {"k": {}}}),
+                        encoding="utf-8")
+        cache = ResultCache(path)
+        assert cache.get("k") is None
+        assert len(cache) == 0
+
+    def test_atomic_save_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "cache.json"
+        cache = ResultCache(path)
+        cache.put("k1", {"cycles": 1})
+        cache.save()
+        fresh = ResultCache(path)
+        assert fresh.get("k1") == {"cycles": 1}
+        assert "k1" in fresh
+
+
+class TestPareto:
+    # Hand-built fixture: minimize "wcet" and "cycles", maximize "fmax".
+    POINTS = [
+        {"kernel": "a", "wcet": 100, "cycles": 50, "fmax": 200.0},
+        {"kernel": "b", "wcet": 80, "cycles": 60, "fmax": 200.0},
+        {"kernel": "c", "wcet": 100, "cycles": 50, "fmax": 250.0},  # dominates a
+        {"kernel": "d", "wcet": 120, "cycles": 70, "fmax": 150.0},  # dominated
+        {"kernel": "e", "wcet": 80, "cycles": 60, "fmax": 200.0},   # ties b
+    ]
+    OBJECTIVES = (Objective("wcet"), Objective("cycles"),
+                  Objective("fmax", maximize=True))
+
+    def test_frontier_on_fixture(self):
+        frontier = pareto_frontier(self.POINTS, self.OBJECTIVES)
+        assert [p["kernel"] for p in frontier] == ["b", "c", "e"]
+
+    def test_single_objective(self):
+        frontier = pareto_frontier(self.POINTS, (Objective("wcet"),))
+        assert [p["kernel"] for p in frontier] == ["b", "e"]
+
+    def test_maximize_objective(self):
+        frontier = pareto_frontier(self.POINTS,
+                                   (Objective("fmax", maximize=True),))
+        assert [p["kernel"] for p in frontier] == ["c"]
+
+    def test_missing_objective_skipped(self):
+        points = [{"kernel": "a", "wcet": None, "cycles": 10},
+                  {"kernel": "b", "wcet": 5, "cycles": 20}]
+        frontier = pareto_frontier(
+            points, (Objective("wcet"), Objective("cycles")))
+        # "wcet" is undefined on point a, so only "cycles" ranks the points.
+        assert [p["kernel"] for p in frontier] == ["a"]
+
+    def test_all_objectives_missing_is_an_error(self):
+        points = [{"kernel": "a", "wcet": None}]
+        with pytest.raises(ExplorationError, match="no objective"):
+            pareto_frontier(points, (Objective("wcet"),))
+
+    def test_empty_input(self):
+        assert pareto_frontier([], self.OBJECTIVES) == []
+
+    def test_table_lists_frontier_only(self):
+        table = pareto_table(self.POINTS, self.OBJECTIVES)
+        assert "3 of 5 design points" in table
+        assert "d" not in [line.split()[0] for line in table.splitlines()[2:]]
+
+    def test_frontier_of_real_results(self):
+        space = (ParameterSpace(["vector_sum"])
+                 .axis("method_cache_size", [1024, 4096]))
+        outcome = ExplorationRunner().run(space)
+        frontier = outcome.frontier()
+        assert frontier  # never empty on non-empty input
+        assert all(isinstance(result, SpecResult) for result in frontier)
+
+
+class TestCli:
+    def test_coerce_value(self):
+        assert coerce_value("1024") == 1024
+        assert coerce_value("1.5") == 1.5
+        assert coerce_value("true") is True
+        assert coerce_value("fifo") == "fifo"
+
+    def test_parse_axis(self):
+        name, values = parse_axis("method_cache_size=1024,2048")
+        assert name == "method_cache_size"
+        assert values == [1024, 2048]
+        with pytest.raises(Exception):
+            parse_axis("no_equals_sign")
+
+    def test_sweep_then_cached_sweep(self, tmp_path, capsys):
+        argv = ["--kernels", "vector_sum,fir_filter",
+                "--axis", "method_cache_size=1024,2048,4096",
+                "--cache", str(tmp_path / "cache.json")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "6 design points" in first
+        assert "0 cache hits, 6 executed" in first
+        assert "Pareto frontier" in first
+
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "6 cache hits, 0 executed" in second
+        # Identical result rows (only the trailing "cached" column differs).
+        def rows(text):
+            return [line.split()[:-1] for line in text.splitlines()
+                    if line.startswith(("vector_sum", "fir_filter"))]
+        assert rows(first) == rows(second)
+
+    def test_unknown_kernel_reports_error(self, tmp_path, capsys):
+        code = main(["--kernels", "nope", "--no-cache"])
+        assert code == 1
+        assert "unknown kernel" in capsys.readouterr().err
+
+    def test_no_wcet_objectives(self, tmp_path, capsys):
+        code = main(["--kernels", "vector_sum", "--no-wcet",
+                     "--cache", str(tmp_path / "cache.json")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wcet_cycles" not in out
+
+    def test_unknown_objective_fails_before_sweeping(self, capsys):
+        code = main(["--kernels", "vector_sum", "--no-cache",
+                     "--objectives", "bogus"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "unknown objective" in captured.err
+        # The typo is caught before any design point is simulated.
+        assert "design points in" not in captured.out
