@@ -1,0 +1,162 @@
+"""Simulator hot-loop throughput: pre-decoded engine vs reference interpreter.
+
+Runs the workloads of the E2 (dual-issue), E3 (pipeline timing) and E7
+(single-path) experiments on both execution engines, measures bundles/sec,
+verifies that the engines produce identical results, and emits a
+machine-readable ``BENCH_sim.json``::
+
+    python benchmarks/bench_sim_throughput.py [--smoke] [--output PATH]
+
+``--smoke`` runs each workload once per engine (fast enough for CI) and the
+process exits non-zero if any workload loses golden equivalence, so a CI step
+catches an engine regression even without stable timing.  The full mode times
+repeated runs and reports per-workload and aggregate speed-ups.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import CompileOptions, CycleSimulator, PatmosConfig, \
+    compile_and_link  # noqa: E402
+from repro.workloads import PERFORMANCE_SUITE, build_kernel  # noqa: E402
+from repro.workloads.kernels import build_linear_search, build_saturate, \
+    build_checksum, build_vector_sum  # noqa: E402
+
+#: The experiment workloads the ISSUE's acceptance criterion names.
+EXPERIMENTS: dict[str, list[tuple[str, object, CompileOptions]]] = {
+    "E2": [(name, None, CompileOptions(dual_issue=True))
+           for name in PERFORMANCE_SUITE],
+    "E3": [
+        ("checksum_24", build_checksum(24), CompileOptions()),
+        ("vector_sum_16", build_vector_sum(16), CompileOptions()),
+        ("linear_search_sp", build_linear_search(24, key_index=20),
+         CompileOptions(single_path=True)),
+    ],
+    "E7": [
+        ("linear_search_sp_32", build_linear_search(32, key_index=17),
+         CompileOptions(single_path=True)),
+        ("saturate_ifc", build_saturate(24),
+         CompileOptions(if_convert=True)),
+    ],
+}
+
+
+def _canonical(result) -> dict:
+    return {
+        "cycles": result.cycles,
+        "bundles": result.bundles,
+        "instructions": result.instructions,
+        "nops": result.nops,
+        "output": result.output,
+        "stalls": result.stalls.to_dict(),
+        "block_counts": sorted(
+            (list(k), v) for k, v in result.block_counts.items()),
+        "call_counts": result.call_counts,
+        "cache_stats": result.cache_stats,
+        "halted": result.halted,
+    }
+
+
+def _measure(image, config, engine: str, min_seconds: float
+             ) -> tuple[float, int, dict]:
+    """Return (bundles/sec, bundles per run, canonical result)."""
+    # Warm-up run: triggers the one-time decode pass for the fast engine and
+    # gives us the reference result for the equivalence check.
+    warm = CycleSimulator(image, config=config, strict=True,
+                          engine=engine).run()
+    elapsed = 0.0
+    bundles = 0
+    while elapsed < min_seconds or bundles == 0:
+        sim = CycleSimulator(image, config=config, strict=True, engine=engine)
+        started = time.perf_counter()
+        result = sim.run()
+        elapsed += time.perf_counter() - started
+        bundles += result.bundles
+    return bundles / elapsed, warm.bundles, _canonical(warm)
+
+
+def run_benchmark(smoke: bool) -> dict:
+    config = PatmosConfig()
+    min_seconds = 0.0 if smoke else 0.3
+    report: dict = {
+        "schema": "bench_sim_throughput/v1",
+        "mode": "smoke" if smoke else "full",
+        "experiments": {},
+    }
+    speedups = []
+    failures = 0
+    checked = 0
+    for exp_name, cases in EXPERIMENTS.items():
+        workloads = {}
+        for label, kernel, options in cases:
+            if kernel is None:
+                kernel = build_kernel(label)
+            image, _ = compile_and_link(kernel.program, config, options)
+            ref_bps, bundles, ref_result = _measure(
+                image, config, "reference", min_seconds)
+            fast_bps, _, fast_result = _measure(
+                image, config, "fast", min_seconds)
+            checked += 1
+            equivalent = ref_result == fast_result
+            if not equivalent:
+                failures += 1
+                print(f"EQUIVALENCE FAILURE: {exp_name}/{label}",
+                      file=sys.stderr)
+            speedup = fast_bps / ref_bps if ref_bps else 0.0
+            speedups.append(speedup)
+            workloads[label] = {
+                "bundles": bundles,
+                "reference_bundles_per_sec": round(ref_bps, 1),
+                "fast_bundles_per_sec": round(fast_bps, 1),
+                "speedup": round(speedup, 3),
+                "equivalent": equivalent,
+            }
+            print(f"{exp_name:3s} {label:22s} ref {ref_bps / 1e3:8.1f}k/s  "
+                  f"fast {fast_bps / 1e3:8.1f}k/s  {speedup:5.2f}x  "
+                  f"{'ok' if equivalent else 'MISMATCH'}")
+        exp_speedups = [w["speedup"] for w in workloads.values()]
+        report["experiments"][exp_name] = {
+            "workloads": workloads,
+            "min_speedup": round(min(exp_speedups), 3),
+            "geomean_speedup": round(
+                math.exp(sum(math.log(s) for s in exp_speedups)
+                         / len(exp_speedups)), 3),
+        }
+    report["equivalence"] = {"checked": checked, "failures": failures}
+    report["summary"] = {
+        "min_speedup": round(min(speedups), 3),
+        "geomean_speedup": round(
+            math.exp(sum(math.log(s) for s in speedups) / len(speedups)), 3),
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="single run per workload; equivalence gate only")
+    parser.add_argument("--output", default="BENCH_sim.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}: min speedup "
+          f"{report['summary']['min_speedup']}x, geomean "
+          f"{report['summary']['geomean_speedup']}x")
+    if report["equivalence"]["failures"]:
+        print("fast engine lost equivalence — failing", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

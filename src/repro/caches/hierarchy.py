@@ -90,6 +90,12 @@ class CacheHierarchy:
             return CacheAccessResult(hit=True, stall_cycles=0)
         return self.icache.read(addr)
 
+    def fetch_stall(self, addr: int) -> int:
+        """Allocation-free per-fetch stall (hot path of :meth:`fetch_access`)."""
+        if self.icache is None:
+            return 0
+        return self.icache.read_stall(addr)
+
     @property
     def uses_method_cache(self) -> bool:
         return self.method_cache is not None
@@ -112,25 +118,27 @@ class CacheHierarchy:
             if self.options.unified_data_cache:
                 # Baseline: stack data competes with everything else in the
                 # single unified cache.
-                return self.static_cache.read(addr).stall_cycles
+                return self.static_cache.read_stall(addr)
             # Stack-cache hits are guaranteed by construction; the check that
             # the access falls into the cached window happens in the simulator.
             return 0
-        cache = self.data_cache_for(mem_type)
-        if cache is None:
-            return 0
-        return cache.read(addr).stall_cycles
+        if mem_type is MemType.STATIC:
+            return self.static_cache.read_stall(addr)
+        if mem_type is MemType.OBJECT:
+            return self.object_cache.read_stall(addr)
+        return 0
 
     def data_write(self, mem_type: MemType, addr: int) -> int:
         """Stall cycles of a typed data write (cache side only)."""
         if mem_type is MemType.STACK:
             if self.options.unified_data_cache:
-                return self.static_cache.write(addr).stall_cycles
+                return self.static_cache.write_stall(addr)
             return 0
-        cache = self.data_cache_for(mem_type)
-        if cache is None:
-            return 0
-        return cache.write(addr).stall_cycles
+        if mem_type is MemType.STATIC:
+            return self.static_cache.write_stall(addr)
+        if mem_type is MemType.OBJECT:
+            return self.object_cache.write_stall(addr)
+        return 0
 
     # -- statistics -------------------------------------------------------------------
 

@@ -52,6 +52,11 @@ class SetAssociativeCache:
                 f"{config.associativity} with {config.line_bytes}-byte lines")
         #: Per-set list of resident tags in replacement order (front = victim).
         self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        # Hot-path constants: the line-fill cost never changes and the LRU
+        # test is per-access, so resolve both once.
+        self._lru = config.replacement == "lru"
+        self._miss_cycles = memory_config.transfer_cycles(self.line_words)
+        self._last_hit = True
 
     # -- address mapping -----------------------------------------------------------
 
@@ -73,14 +78,9 @@ class SetAssociativeCache:
 
     def miss_cycles(self) -> int:
         """Stall cycles to fill one line from main memory."""
-        return self.memory_config.transfer_cycles(self.line_words)
+        return self._miss_cycles
 
     # -- access ---------------------------------------------------------------------
-
-    def _touch(self, set_lines: list[int], tag: int) -> None:
-        if self.config.replacement == "lru":
-            set_lines.remove(tag)
-            set_lines.append(tag)
 
     def _insert(self, set_lines: list[int], tag: int) -> bool:
         evicted = False
@@ -93,31 +93,61 @@ class SetAssociativeCache:
 
     def read(self, addr: int) -> CacheAccessResult:
         """Simulate a read access; returns hit/miss and stall cycles."""
-        set_lines = self._sets[self.set_index(addr)]
-        tag = self.tag(addr)
-        if tag in set_lines:
-            self._touch(set_lines, tag)
-            self.stats.record(hit=True)
+        stall = self.read_stall(addr)
+        if self._last_hit:
             return CacheAccessResult(hit=True, stall_cycles=0)
-        stall = self.miss_cycles()
-        self._insert(set_lines, tag)
-        self.stats.record(hit=False, fill_words=self.line_words, stall_cycles=stall)
         return CacheAccessResult(hit=False, stall_cycles=stall,
                                  fill_words=self.line_words)
 
+    def read_stall(self, addr: int) -> int:
+        """Stall cycles of a read — the allocation-free simulator hot path."""
+        line = addr // self.config.line_bytes
+        set_lines = self._sets[line % self.num_sets]
+        tag = line // self.num_sets
+        stats = self.stats
+        if tag in set_lines:
+            if self._lru:
+                set_lines.remove(tag)
+                set_lines.append(tag)
+            stats.accesses += 1
+            stats.hits += 1
+            self._last_hit = True
+            return 0
+        stall = self._miss_cycles
+        self._insert(set_lines, tag)
+        stats.record(hit=False, fill_words=self.line_words,
+                     stall_cycles=stall)
+        self._last_hit = False
+        return stall
+
     def write(self, addr: int) -> CacheAccessResult:
         """Simulate a write access under the configured write policy."""
-        set_lines = self._sets[self.set_index(addr)]
-        tag = self.tag(addr)
-        hit = tag in set_lines
-        if hit:
-            self._touch(set_lines, tag)
-        elif self.config.write_allocate:
-            self._insert(set_lines, tag)
-        # Write-through traffic is handled by the memory controller's write
-        # buffer; the cache itself does not stall the pipeline on writes.
-        self.stats.record(hit=hit)
-        return CacheAccessResult(hit=hit, stall_cycles=0)
+        self.write_stall(addr)
+        return CacheAccessResult(hit=self._last_hit, stall_cycles=0)
+
+    def write_stall(self, addr: int) -> int:
+        """Write counterpart of :meth:`read_stall` (always zero stalls).
+
+        Write-through traffic is handled by the memory controller's write
+        buffer; the cache itself does not stall the pipeline on writes.
+        """
+        line = addr // self.config.line_bytes
+        set_lines = self._sets[line % self.num_sets]
+        tag = line // self.num_sets
+        stats = self.stats
+        stats.accesses += 1
+        if tag in set_lines:
+            if self._lru:
+                set_lines.remove(tag)
+                set_lines.append(tag)
+            stats.hits += 1
+            self._last_hit = True
+        else:
+            stats.misses += 1
+            if self.config.write_allocate:
+                self._insert(set_lines, tag)
+            self._last_hit = False
+        return 0
 
     def flush(self) -> None:
         for set_lines in self._sets:
@@ -138,6 +168,14 @@ class IdealCache:
     def write(self, addr: int) -> CacheAccessResult:
         self.stats.record(hit=True)
         return CacheAccessResult(hit=True, stall_cycles=0)
+
+    def read_stall(self, addr: int) -> int:
+        self.stats.record(hit=True)
+        return 0
+
+    def write_stall(self, addr: int) -> int:
+        self.stats.record(hit=True)
+        return 0
 
     def contains(self, addr: int) -> bool:  # pragma: no cover - trivial
         return True

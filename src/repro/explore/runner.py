@@ -84,7 +84,11 @@ def execute_spec(spec: ExperimentSpec) -> SpecResult:
     wcet_options = spec.wcet_options()
 
     if spec.cores == 1:
-        sim = CycleSimulator(image, config=spec.config, strict=True).run()
+        # Sweeps are throughput-bound: always use the pre-decoded engine
+        # (repro.sim.engine); its equivalence to the reference interpreter is
+        # guaranteed by the golden suite in tests/test_engine_equivalence.py.
+        sim = CycleSimulator(image, config=spec.config, strict=True,
+                             engine="fast").run()
         _check_output(spec, sim.output, kernel.expected_output)
         metrics = sim.metrics()
         wcet = (analyze_wcet(image, spec.config, options=wcet_options)

@@ -279,7 +279,10 @@ class Opcode(Enum):
 
     @property
     def info(self) -> OpInfo:
-        return OPCODE_TABLE[self]
+        # ``_info`` is stamped onto every member once OPCODE_TABLE is built,
+        # turning the hot ``instr.info`` path into one attribute load instead
+        # of a dict probe.
+        return self._info
 
 
 def _build_table() -> dict[Opcode, OpInfo]:
@@ -368,6 +371,10 @@ def _build_table() -> dict[Opcode, OpInfo]:
 
 #: Mapping from every opcode to its static metadata.
 OPCODE_TABLE: dict[Opcode, OpInfo] = _build_table()
+
+for _op, _info in OPCODE_TABLE.items():
+    _op._info = _info
+del _op, _info
 
 #: Mapping from assembly mnemonic to opcode.
 MNEMONIC_TABLE: dict[str, Opcode] = {op.value: op for op in Opcode}

@@ -46,13 +46,38 @@ class MainMemory:
         mask = (1 << (8 * width)) - 1
         self._data[addr:addr + width] = (value & mask).to_bytes(width, "little")
 
+    # -- word fast path -----------------------------------------------------------
+
+    def read_u32(self, addr: int) -> int:
+        """Word-aligned unsigned read without the general-access overhead.
+
+        The hot path of the simulator engine is full-word accesses; this skips
+        the per-access ``_check`` arithmetic re-derivation and the ``signed``
+        fixup of :meth:`read`.  Out-of-range or misaligned accesses fall back
+        to :meth:`_check` so they raise the same errors.
+        """
+        if addr >= 0 and not addr & 3 and addr + 4 <= self.size_bytes:
+            return int.from_bytes(self._data[addr:addr + 4], "little")
+        self._check(addr, 4)
+        return self.read(addr, 4)  # pragma: no cover - _check raised above
+
+    def write_u32(self, addr: int, value: int) -> None:
+        """Word-aligned write counterpart of :meth:`read_u32`."""
+        if addr >= 0 and not addr & 3 and addr + 4 <= self.size_bytes:
+            self._data[addr:addr + 4] = (value & 0xFFFF_FFFF).to_bytes(4, "little")
+            return
+        self._check(addr, 4)
+        self.write(addr, value, 4)  # pragma: no cover - _check raised above
+
     # -- word convenience ----------------------------------------------------------
 
     def read_word(self, addr: int, signed: bool = False) -> int:
-        return self.read(addr, 4, signed=signed)
+        if not signed:
+            return self.read_u32(addr)
+        return self.read(addr, 4, signed=True)
 
     def write_word(self, addr: int, value: int) -> None:
-        self.write(addr, value, 4)
+        self.write_u32(addr, value)
 
     def load_words(self, contents: dict[int, int]) -> None:
         """Initialise memory from a ``word address -> value`` mapping."""

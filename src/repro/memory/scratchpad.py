@@ -30,6 +30,26 @@ class Scratchpad:
         self._check(addr, width)
         self._memory.write(addr, value, width)
 
+    # -- word fast path -----------------------------------------------------------
+
+    def read_u32(self, addr: int) -> int:
+        """Word-aligned unsigned read with a single combined bounds check."""
+        self.accesses += 1
+        if addr >= 0 and not addr & 3 and addr + 4 <= self.config.size_bytes:
+            return int.from_bytes(self._memory._data[addr:addr + 4], "little")
+        self._check(addr, 4)
+        return self._memory.read(addr, 4)
+
+    def write_u32(self, addr: int, value: int) -> None:
+        """Word-aligned write counterpart of :meth:`read_u32`."""
+        self.accesses += 1
+        if addr >= 0 and not addr & 3 and addr + 4 <= self.config.size_bytes:
+            self._memory._data[addr:addr + 4] = \
+                (value & 0xFFFF_FFFF).to_bytes(4, "little")
+            return
+        self._check(addr, 4)
+        self._memory.write(addr, value, 4)
+
     def load_words(self, contents: dict[int, int]) -> None:
         self._memory.load_words(contents)
 

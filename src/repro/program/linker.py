@@ -16,6 +16,7 @@ Address-space layout (see :class:`repro.config.MemoryMap`):
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
@@ -69,12 +70,24 @@ class Image:
         self._func_by_name: dict[str, FunctionRecord] = {}
         self._block_by_addr: dict[int, BlockRecord] = {}
         self._block_by_key: dict[tuple[str, str], BlockRecord] = {}
+        self._func_sorted: list[FunctionRecord] = []
+        self._func_entries: list[int] = []
+
+    def __getstate__(self) -> dict:
+        # The pre-decoded micro-op cache (repro.sim.engine) holds pre-bound
+        # evaluation functions that cannot be pickled; it is a pure cache, so
+        # drop it and let the engine re-decode after unpickling.
+        state = dict(self.__dict__)
+        state.pop("_predecoded", None)
+        return state
 
     def _index(self) -> None:
         self._func_by_addr = {f.entry_addr: f for f in self.functions}
         self._func_by_name = {f.name: f for f in self.functions}
         self._block_by_addr = {b.addr: b for b in self.blocks}
         self._block_by_key = {(b.function, b.label): b for b in self.blocks}
+        self._func_sorted = sorted(self.functions, key=lambda f: f.entry_addr)
+        self._func_entries = [f.entry_addr for f in self._func_sorted]
 
     # -- lookups -----------------------------------------------------------------
 
@@ -101,9 +114,17 @@ class Image:
             raise LinkError(f"no function record for {name!r}") from exc
 
     def function_containing(self, addr: int) -> FunctionRecord:
-        """Function record whose code range contains ``addr``."""
-        for record in self.functions:
-            if record.entry_addr <= addr < record.entry_addr + record.size_bytes:
+        """Function record whose code range contains ``addr``.
+
+        Resolved with a binary search over the entry addresses built at
+        :meth:`_index` time (like every other lookup, mutating the record
+        lists afterwards requires re-running ``_index``); this sits on the
+        simulator's call/return path.
+        """
+        pos = bisect_right(self._func_entries, addr) - 1
+        if pos >= 0:
+            record = self._func_sorted[pos]
+            if addr < record.entry_addr + record.size_bytes:
                 return record
         raise LinkError(f"address {addr:#x} is not inside any function")
 

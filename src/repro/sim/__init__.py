@@ -1,7 +1,43 @@
-"""Patmos simulators: functional and cycle-accurate."""
+"""Patmos simulators: functional and cycle-accurate, on two engines.
+
+Module map
+----------
+
+``base``
+    :class:`BaseSimulator` — the full architectural semantics of the Patmos
+    ISA (predication, exposed delay slots, typed memory, stack-cache control,
+    call/return protocol) with zero-stall timing hooks, implemented as the
+    readable *reference interpreter* (``_step``/``_execute``).
+``cycle``
+    :class:`CycleSimulator` — subclasses the base simulator and fills in the
+    timing hooks with the time-predictable memory hierarchy (method cache,
+    split caches, stack cache, memory controller, TDMA arbitration).
+``functional``
+    :class:`FunctionalSimulator` — the base engine used as-is ("ideal
+    memory" baseline, one cycle per issued bundle).
+``engine``
+    The pre-decoded *fast engine*: a decode pass compiles every bundle of an
+    image into a dense PC-indexed micro-op table once, and a dispatch-table
+    interpreter executes it without per-step decoding.  Both simulator
+    classes run on it by default (``engine="fast"``); pass
+    ``engine="reference"`` to force the interpreter.  The two are kept
+    observationally identical by the golden-equivalence suite
+    (``tests/test_engine_equivalence.py``).
+``executor``
+    Pure evaluation of ALU/compare/predicate/multiply semantics shared by
+    the reference interpreter (the fast engine pre-binds its own inlined
+    variants at decode time).
+``state``
+    :class:`ArchState` — register file, predicates, special registers, with
+    checked accessors for external callers and documented unchecked paths
+    for the engine.
+``results``
+    :class:`SimResult`, :class:`StallBreakdown`, :class:`TraceEntry`.
+"""
 
 from .base import BaseSimulator
 from .cycle import CycleSimulator
+from .engine import DecodedProgram, decode_image
 from .functional import FunctionalSimulator
 from .results import SimResult, StallBreakdown, TraceEntry
 from .state import ArchState, to_signed, to_unsigned
@@ -10,10 +46,12 @@ __all__ = [
     "ArchState",
     "BaseSimulator",
     "CycleSimulator",
+    "DecodedProgram",
     "FunctionalSimulator",
     "SimResult",
     "StallBreakdown",
     "TraceEntry",
+    "decode_image",
     "to_signed",
     "to_unsigned",
 ]

@@ -70,15 +70,54 @@ class _PendingMainLoad:
     ready_cycle: int
 
 
+#: Execution internals of the reference interpreter.  A subclass overriding
+#: any of these has changed the semantics the pre-decoded engine hard-codes,
+#: so ``run()`` silently falls back to the interpreter for it.
+_REFERENCE_SEMANTICS_METHODS = (
+    "_step", "_execute", "_execute_load", "_execute_store", "_execute_wmem",
+    "_execute_stack_control", "_execute_control", "_commit_due_writes",
+    "_schedule_write", "_check_stale", "_read_gpr", "_read_pred",
+    "_read_special", "_guard_true", "_effective_address", "_resolved_target",
+    "_take_control",
+)
+
+_reference_semantics_cache: dict[type, bool] = {}
+
+
+def _uses_reference_semantics(cls: type) -> bool:
+    """True if ``cls`` keeps every execution internal of the base class."""
+    cached = _reference_semantics_cache.get(cls)
+    if cached is None:
+        cached = all(
+            getattr(cls, name) is getattr(BaseSimulator, name)
+            for name in _REFERENCE_SEMANTICS_METHODS)
+        _reference_semantics_cache[cls] = cached
+    return cached
+
+
 class BaseSimulator:
-    """Functional Patmos simulator (architectural semantics, no timing)."""
+    """Functional Patmos simulator (architectural semantics, no timing).
+
+    Two execution engines share these semantics: the readable reference
+    interpreter implemented by :meth:`_step`/:meth:`_execute` below, and the
+    pre-decoded fast engine of :mod:`repro.sim.engine` (the default), which
+    compiles the image into a micro-op table once and is several times
+    faster.  Pass ``engine="reference"`` to force the interpreter; subclasses
+    that override any execution internal (``_step``, ``_execute`` and the
+    helpers they dispatch to) fall back to it automatically.
+    """
 
     def __init__(self, image: Image, config: Optional[PatmosConfig] = None,
-                 strict: bool = False, trace: bool = False):
+                 strict: bool = False, trace: bool = False,
+                 engine: str = "fast"):
+        if engine not in ("fast", "reference"):
+            raise SimulationError(
+                f"unknown engine {engine!r}; use 'fast' or 'reference'")
         self.image = image
         self.config = config or image.config or DEFAULT_CONFIG
         self.strict = strict
         self.trace_enabled = trace
+        self.engine = engine
 
         self.state = ArchState()
         self.memory = MainMemory(self.config.memory.size_bytes)
@@ -142,6 +181,16 @@ class BaseSimulator:
         """Cycles until an uncached split load completes."""
         return 0
 
+    def _engine_fetch_hook(self):
+        """Per-fetch stall callback for the pre-decoded engine.
+
+        ``None`` means fetches never stall, letting the engine skip the call
+        per bundle; subclasses that charge fetch stalls return the callable.
+        """
+        if type(self)._fetch_stall is BaseSimulator._fetch_stall:
+            return None
+        return self._fetch_stall
+
     # ------------------------------------------------------------------
     # Register access with exposed-delay semantics
     # ------------------------------------------------------------------
@@ -202,6 +251,10 @@ class BaseSimulator:
         """Run until ``halt`` (or until ``max_bundles`` bundles were issued)."""
         if self.issued == 0 and self.cycles == 0:
             self._on_start()
+        if self.engine == "fast" and _uses_reference_semantics(type(self)):
+            from .engine import run_predecoded
+            run_predecoded(self, max_bundles)
+            return self.result()
         while not self.state.halted:
             if self.issued >= max_bundles:
                 raise SimulationError(

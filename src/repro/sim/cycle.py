@@ -35,10 +35,11 @@ class CycleSimulator(BaseSimulator):
     def __init__(self, image: Image, config: Optional[PatmosConfig] = None,
                  strict: bool = False, trace: bool = False,
                  hierarchy_options: Optional[HierarchyOptions] = None,
-                 arbiter=None, core_id: int = 0):
+                 arbiter=None, core_id: int = 0, engine: str = "fast"):
         self._hierarchy_options = hierarchy_options or HierarchyOptions()
         self._config_for_hierarchy = config
-        super().__init__(image, config=config, strict=strict, trace=trace)
+        super().__init__(image, config=config, strict=strict, trace=trace,
+                         engine=engine)
         self.core_id = core_id
         self.hierarchy = CacheHierarchy(self.config, self._hierarchy_options)
         # Share the single stack-cache model between hierarchy and executor.
@@ -68,10 +69,20 @@ class CycleSimulator(BaseSimulator):
     def _fetch_stall(self, addr: int, bundle: Bundle) -> int:
         if self.hierarchy.uses_method_cache:
             return 0
-        stall = self.hierarchy.fetch_access(addr).stall_cycles
+        stall = self.hierarchy.fetch_stall(addr)
         if bundle.size_bytes > 4:
-            stall += self.hierarchy.fetch_access(addr + 4).stall_cycles
+            stall += self.hierarchy.fetch_stall(addr + 4)
         return stall
+
+    def _engine_fetch_hook(self):
+        # With the method cache, instruction fetch never stalls per bundle
+        # (fills are charged at call/return/brcf); let the fast engine skip
+        # the per-fetch call entirely in that configuration — unless a
+        # subclass overrode _fetch_stall, whose behaviour must be preserved.
+        if self.hierarchy.uses_method_cache and \
+                type(self)._fetch_stall is CycleSimulator._fetch_stall:
+            return None
+        return self._fetch_stall
 
     def _method_cache_stall(self, record: FunctionRecord) -> int:
         if not self.hierarchy.uses_method_cache:

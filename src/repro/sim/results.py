@@ -36,9 +36,13 @@ class StallBreakdown:
         }
 
 
-@dataclass
+@dataclass(slots=True)
 class TraceEntry:
-    """One issued bundle in an execution trace."""
+    """One issued bundle in an execution trace.
+
+    Allocated once per issued bundle when tracing is enabled, so it is kept
+    slotted to keep long traces cheap.
+    """
 
     cycle: int
     addr: int

@@ -26,7 +26,16 @@ def to_signed(value: int) -> int:
 
 @dataclass
 class ArchState:
-    """Register file, predicates, special registers and debug output."""
+    """Register file, predicates, special registers and debug output.
+
+    The ``read_gpr``/``write_gpr`` (and predicate) accessors bounds-check every
+    index and enforce the hard-wired ``r0``/``p0`` semantics; they are the safe
+    interface for external callers.  Because writes to index 0 are dropped,
+    ``regs[0] == 0`` and ``preds[0] is True`` are invariants, so code that has
+    *already validated its indices* — the pre-decoded execution engine
+    validates them once at decode time — may index ``regs``/``preds`` directly
+    (the unchecked path) without losing those semantics.
+    """
 
     regs: list[int] = field(default_factory=lambda: [0] * NUM_GPRS)
     preds: list[bool] = field(default_factory=lambda: [True] + [False] * (NUM_PREDS - 1))
