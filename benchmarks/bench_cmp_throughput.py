@@ -1,0 +1,131 @@
+"""Multicore co-simulation throughput and the TDMA decoupling gate.
+
+Co-simulates a mixed workload on 1/2/4/8 cores under TDMA and round-robin
+arbitration, measures aggregate simulated bundles per second of wall time,
+verifies the decoupling property (TDMA co-simulation must report per-core
+cycles identical to independent per-core simulation) and emits a
+machine-readable ``BENCH_cmp.json``::
+
+    python benchmarks/bench_cmp_throughput.py [--smoke] [--output PATH]
+
+``--smoke`` runs every configuration once (fast enough for CI) and the
+process exits non-zero if any core of any TDMA configuration diverges from
+its independent simulation, so a CI step catches an interference leak in
+the shared-memory co-simulation even without stable timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import PatmosConfig, compile_and_link  # noqa: E402
+from repro.cmp import MulticoreSystem  # noqa: E402
+from repro.workloads import build_kernel  # noqa: E402
+
+CORE_COUNTS = (1, 2, 4, 8)
+ARBITERS = ("tdma", "round_robin")
+#: Mixed per-core programs (repeated to the core count) so the cores'
+#: clocks diverge the way a real workload mix does.
+MIX = ("vector_sum", "stream_checksum", "fir_filter", "saturate")
+
+
+def _images(config):
+    images = []
+    for name in MIX:
+        image, _ = compile_and_link(build_kernel(name).program, config)
+        images.append(image)
+    return images
+
+
+def _measure(images, config, arbiter: str, min_seconds: float):
+    """Run one co-simulation repeatedly; returns (report_row, result)."""
+    elapsed = 0.0
+    bundles = 0
+    result = None
+    while elapsed < min_seconds or result is None:
+        system = MulticoreSystem(images, config, arbiter=arbiter,
+                                 mode="cosim")
+        started = time.perf_counter()
+        result = system.run(analyse=False, strict=True)
+        elapsed += time.perf_counter() - started
+        bundles += sum(core.sim.bundles for core in result.cores)
+    row = {
+        "bundles_per_run": sum(core.sim.bundles for core in result.cores),
+        "bundles_per_sec": round(bundles / elapsed, 1),
+        "makespan": result.makespan,
+        "arbitration_wait_cycles":
+            result.system_stats()["totals"]["arbitration_cycles"],
+    }
+    return row, result
+
+
+def run_benchmark(smoke: bool) -> dict:
+    config = PatmosConfig()
+    base_images = _images(config)
+    min_seconds = 0.0 if smoke else 0.3
+    report: dict = {
+        "schema": "bench_cmp_throughput/v1",
+        "mode": "smoke" if smoke else "full",
+        "mix": list(MIX),
+        "cores": {},
+    }
+    divergences = 0
+    for cores in CORE_COUNTS:
+        images = [base_images[i % len(MIX)] for i in range(cores)]
+        per_core = {}
+        for arbiter in ARBITERS:
+            row, result = _measure(images, config, arbiter, min_seconds)
+            if arbiter == "tdma":
+                # The decoupling gate: every TDMA-co-simulated core must
+                # match its fully independent simulation, cycle for cycle.
+                analytic = MulticoreSystem(
+                    images, config, arbiter="tdma", mode="analytic").run(
+                        analyse=False, strict=True)
+                expected = analytic.observed_by_core()
+                observed = result.observed_by_core()
+                row["decoupling_ok"] = observed == expected
+                if not row["decoupling_ok"]:
+                    divergences += 1
+                    print(f"DECOUPLING FAILURE at {cores} cores: cosim "
+                          f"{observed} != independent {expected}",
+                          file=sys.stderr)
+            per_core[arbiter] = row
+            print(f"{cores} cores  {arbiter:12s} "
+                  f"{row['bundles_per_sec'] / 1e3:8.1f}k bundles/s  "
+                  f"makespan {row['makespan']:7d}  "
+                  f"{'ok' if row.get('decoupling_ok', True) else 'DIVERGED'}")
+        report["cores"][str(cores)] = per_core
+    report["decoupling"] = {
+        "checked": len(CORE_COUNTS),
+        "divergences": divergences,
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="single run per configuration; decoupling gate "
+                             "only")
+    parser.add_argument("--output", default="BENCH_cmp.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(smoke=args.smoke)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+    if report["decoupling"]["divergences"]:
+        print("TDMA co-simulation diverged from independent simulation — "
+              "failing", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,9 @@ The package provides, in Python:
   transformation, function splitting and stack-cache allocation
   (:mod:`repro.compiler`);
 * static WCET analysis built on IPET (:mod:`repro.wcet`);
-* a chip-multiprocessor model with TDMA memory arbitration (:mod:`repro.cmp`);
+* a chip-multiprocessor model: true shared-memory multicore co-simulation
+  with pluggable arbitration (TDMA, round-robin, priority) plus the
+  decoupled analytic TDMA view (:mod:`repro.cmp`);
 * an FPGA timing/resource model reproducing the register-file evaluation of
   the paper (:mod:`repro.hw`);
 * the kernel workloads used by the benchmarks (:mod:`repro.workloads`).
@@ -43,7 +45,7 @@ from .config import (
     SetAssocCacheConfig,
     StackCacheConfig,
 )
-from .cmp import CmpSystem, default_tdma_schedule
+from .cmp import CmpSystem, MulticoreSystem, default_tdma_schedule
 from .compiler import CompileOptions, CompileResult, compile_and_link, compile_program
 from .errors import (
     AssemblerError,
@@ -131,6 +133,7 @@ __all__ = [
     "StackCacheConfig",
     "StackCacheError",
     "CmpSystem",
+    "MulticoreSystem",
     "WcetAnalyzer",
     "WcetError",
     "WcetOptions",

@@ -1,9 +1,16 @@
-"""Chip-multiprocessor configuration of Patmos cores with TDMA memory access."""
+"""Chip-multiprocessor model: shared-memory multicore co-simulation.
+
+:class:`MulticoreSystem` interleaves N cores on one clock against one shared
+memory and a pluggable arbiter (TDMA, round-robin, priority);
+:class:`CmpSystem` keeps the historical decoupled TDMA view as
+``mode="analytic"``.
+"""
 
 from .system import (
     CmpResult,
     CmpSystem,
     CoreResult,
+    MulticoreSystem,
     default_tdma_schedule,
     single_core_reference,
 )
@@ -12,6 +19,7 @@ __all__ = [
     "CmpResult",
     "CmpSystem",
     "CoreResult",
+    "MulticoreSystem",
     "default_tdma_schedule",
     "single_core_reference",
 ]

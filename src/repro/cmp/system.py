@@ -1,25 +1,42 @@
-"""Chip-multiprocessor (CMP) model: replicated Patmos cores with TDMA memory.
+"""Chip-multiprocessor model: shared-memory multicore co-simulation.
 
 The paper proposes building a CMP from replicated Patmos pipelines with
 *statically scheduled* access to the shared main memory (Sections 1–3): each
 core owns a fixed TDMA slot, so the worst-case waiting time of a memory
-transfer is independent of the other cores' behaviour.  This module wires
-several :class:`~repro.sim.cycle.CycleSimulator` cores to one TDMA schedule
-and provides both simulation and the corresponding WCET view.
+transfer is independent of the other cores' behaviour.
 
-Because TDMA decouples the cores completely, each core can be simulated
-independently with its own arbiter — the interference is a function of the
-schedule alone, never of the other cores' actual memory traffic.  That is the
-property the experiments demonstrate.
+:class:`MulticoreSystem` makes that claim *empirical* instead of assumed.  In
+the default ``mode="cosim"`` it interleaves N (possibly heterogeneous)
+cores on one global clock against one shared physical
+:class:`~repro.memory.main_memory.MainMemory` (each core owns a private,
+zero-copy bank view) and one shared
+:class:`~repro.memory.arbiter.MemoryArbiter`, so every arbitration decision
+observes the cores' actual concurrent memory traffic.  A global scheduler
+always advances the core with the smallest local clock and re-schedules on
+every arbitrated transfer (the engine's run-until-memory-event stepping), so
+requests reach the arbiter in global time order at bundle granularity.
+
+Under TDMA arbitration the interleaved co-simulation must reproduce, cycle
+for cycle, what each core observes when simulated completely alone with the
+closed-form per-core arbiter — that equality is the paper's decoupling
+property and is checked by the golden tests.  Under round-robin or priority
+arbitration the same system exhibits genuine, co-runner-dependent
+interference, which is exactly what makes those arbiters hard to analyse.
+
+``mode="analytic"`` keeps the historical decoupled behaviour: every core is
+simulated independently with its own :class:`~repro.memory.tdma.TdmaArbiter`
+(TDMA only — no other policy has a per-core closed form).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 from ..config import DEFAULT_CONFIG, PatmosConfig
 from ..errors import ConfigError
+from ..memory.arbiter import MemoryArbiter, PriorityArbiter, make_arbiter
+from ..memory.main_memory import MainMemory
 from ..memory.tdma import TdmaArbiter, TdmaSchedule
 from ..program.linker import Image
 from ..sim.cycle import CycleSimulator
@@ -27,11 +44,16 @@ from ..sim.results import SimResult
 from ..wcet.analyzer import WcetOptions, WcetResult, analyze_wcet
 
 
-def default_tdma_schedule(num_cores: int, config: PatmosConfig = DEFAULT_CONFIG
+def default_tdma_schedule(num_cores: int, config: PatmosConfig = DEFAULT_CONFIG,
+                          slot_cycles: Optional[int] = None,
+                          slot_weights: Optional[Sequence[int]] = None
                           ) -> TdmaSchedule:
-    """A TDMA schedule with one burst-sized slot per core."""
-    return TdmaSchedule(num_cores=num_cores,
-                        slot_cycles=config.memory.burst_cycles())
+    """A TDMA schedule with one burst-sized (or explicit) slot per core."""
+    return TdmaSchedule(
+        num_cores=num_cores,
+        slot_cycles=(slot_cycles if slot_cycles is not None
+                     else config.memory.burst_cycles()),
+        slot_weights=tuple(slot_weights) if slot_weights else ())
 
 
 @dataclass
@@ -56,8 +78,12 @@ class CmpResult:
     """Results of running a program mix on the chip multiprocessor."""
 
     num_cores: int
-    schedule: TdmaSchedule
+    schedule: Optional[TdmaSchedule] = None
     cores: list[CoreResult] = field(default_factory=list)
+    mode: str = "analytic"
+    arbiter: str = "tdma"
+    #: Shared-arbiter activity (co-simulation mode only).
+    arbiter_stats: Optional[dict] = None
 
     @property
     def makespan(self) -> int:
@@ -70,62 +96,299 @@ class CmpResult:
     def wcet_by_core(self) -> list[Optional[int]]:
         return [core.wcet_cycles for core in self.cores]
 
+    def system_stats(self) -> dict:
+        """Aggregated per-core and system-level interference statistics."""
+        per_core = []
+        totals = {"arbitration_cycles": 0, "words_transferred": 0,
+                  "write_stall_cycles": 0}
+        for core in self.cores:
+            metrics = core.sim.metrics()
+            row = {
+                "core": core.core_id,
+                "cycles": metrics["cycles"],
+                "arbitration_cycles": metrics["arbitration_cycles"],
+                "words_transferred": metrics["words_transferred"],
+                "write_stall_cycles": metrics["write_stall_cycles"],
+            }
+            per_core.append(row)
+            for key in totals:
+                totals[key] += row[key]
+        return {
+            "mode": self.mode,
+            "arbiter": self.arbiter,
+            "makespan": self.makespan,
+            "per_core": per_core,
+            "totals": totals,
+            "arbiter_stats": self.arbiter_stats,
+        }
 
-class CmpSystem:
-    """A chip multiprocessor of Patmos cores sharing memory via TDMA."""
 
-    def __init__(self, images: list[Image], config: PatmosConfig = DEFAULT_CONFIG,
-                 schedule: Optional[TdmaSchedule] = None):
+class MulticoreSystem:
+    """N Patmos cores sharing one main memory behind a pluggable arbiter.
+
+    ``images`` may be heterogeneous (one program per core) and ``configs``
+    may give every core its own cache/pipeline configuration; all cores must
+    agree on the :class:`~repro.config.MemoryConfig`, because they share one
+    physical memory and bus.  ``arbiter`` is a policy name (``"tdma"``,
+    ``"round_robin"``, ``"priority"``) or a ready-made
+    :class:`~repro.memory.arbiter.MemoryArbiter` instance.
+    """
+
+    def __init__(self, images: list[Image],
+                 config: PatmosConfig = DEFAULT_CONFIG,
+                 configs: Optional[Sequence[PatmosConfig]] = None,
+                 arbiter: Union[str, MemoryArbiter] = "tdma",
+                 schedule: Optional[TdmaSchedule] = None,
+                 slot_weights: Optional[Sequence[int]] = None,
+                 priorities: Optional[Sequence[int]] = None,
+                 mode: str = "cosim", engine: str = "fast",
+                 quantum: int = 1):
         if not images:
-            raise ConfigError("a CMP system needs at least one core image")
-        self.images = images
-        self.config = config
-        self.schedule = schedule or default_tdma_schedule(len(images), config)
-        if self.schedule.num_cores < len(images):
+            raise ConfigError("a multicore system needs at least one core image")
+        if mode not in ("cosim", "analytic"):
             raise ConfigError(
-                f"TDMA schedule has {self.schedule.num_cores} slots for "
-                f"{len(images)} cores")
+                f"unknown mode {mode!r}; use 'cosim' or 'analytic'")
+        if quantum < 1:
+            raise ConfigError("scheduler quantum must be at least one cycle")
+        self.images = list(images)
+        if configs is not None:
+            if len(configs) != len(images):
+                raise ConfigError(
+                    f"{len(configs)} core configs for {len(images)} images")
+            self.configs = list(configs)
+        else:
+            self.configs = [config] * len(images)
+        self.config = self.configs[0]
+        for core_id, core_config in enumerate(self.configs):
+            if core_config.memory != self.config.memory:
+                raise ConfigError(
+                    f"core {core_id} has a different MemoryConfig; all cores "
+                    "share one physical memory and bus")
+        self.mode = mode
+        self.engine = engine
+        self.quantum = quantum
+
+        if isinstance(arbiter, MemoryArbiter):
+            if arbiter.num_cores < len(images):
+                raise ConfigError(
+                    f"arbiter serves {arbiter.num_cores} cores but the "
+                    f"system has {len(images)} images")
+            if schedule is not None or slot_weights or priorities:
+                raise ConfigError(
+                    "schedule/slot_weights/priorities are ignored when a "
+                    "ready-made arbiter is passed; configure the arbiter "
+                    "instance instead")
+            self._arbiter_template = arbiter
+            self.arbiter_kind = arbiter.kind
+            self.schedule = getattr(arbiter, "schedule", None)
+        else:
+            if arbiter != "tdma" and (schedule is not None or slot_weights):
+                raise ConfigError(
+                    f"a TDMA schedule makes no sense with the {arbiter!r} "
+                    f"arbiter; drop the schedule/slot_weights or use "
+                    f"arbiter='tdma'")
+            if arbiter != "priority" and priorities:
+                raise ConfigError(
+                    f"priorities make no sense with the {arbiter!r} "
+                    f"arbiter; drop them or use arbiter='priority'")
+            if arbiter == "tdma" and schedule is None:
+                schedule = default_tdma_schedule(
+                    len(images), self.config, slot_weights=slot_weights)
+            elif arbiter == "tdma" and schedule is not None and slot_weights:
+                raise ConfigError(
+                    "give the slot weights inside the schedule or as "
+                    "slot_weights, not both")
+            self._arbiter_template = make_arbiter(
+                arbiter, len(images), self.config.memory,
+                schedule=schedule, priorities=priorities)
+            self.arbiter_kind = arbiter
+            self.schedule = schedule if arbiter == "tdma" else None
+        if mode == "analytic" and self.arbiter_kind != "tdma":
+            raise ConfigError(
+                f"analytic mode needs the closed-form TDMA arbiter, not "
+                f"{self.arbiter_kind!r}; use mode='cosim'")
+        self._validate_schedule()
 
     @classmethod
     def homogeneous(cls, image: Image, num_cores: int,
                     config: PatmosConfig = DEFAULT_CONFIG,
-                    slot_cycles: Optional[int] = None) -> "CmpSystem":
-        """A CMP running the same image on every core.
+                    slot_cycles: Optional[int] = None,
+                    **kwargs) -> "MulticoreSystem":
+        """A system running the same image on every core.
 
         This is the configuration the design-space exploration sweeps: the
         TDMA slot defaults to one burst transfer per core, or can be widened
-        or narrowed via ``slot_cycles``.
+        or narrowed via ``slot_cycles``; every keyword of the constructor
+        (``arbiter``, ``slot_weights``, ``mode``, ...) passes through.
         """
         if num_cores < 1:
-            raise ConfigError("a CMP system needs at least one core")
-        if slot_cycles is None:
-            schedule = default_tdma_schedule(num_cores, config)
-        else:
-            schedule = TdmaSchedule(num_cores=num_cores,
-                                    slot_cycles=slot_cycles)
-        return cls([image] * num_cores, config=config, schedule=schedule)
+            raise ConfigError("a multicore system needs at least one core")
+        if slot_cycles is not None:
+            if "schedule" in kwargs:
+                raise ConfigError(
+                    "give the slot length inside the schedule or as "
+                    "slot_cycles, not both")
+            kwargs["schedule"] = default_tdma_schedule(
+                num_cores, config, slot_cycles=slot_cycles,
+                slot_weights=kwargs.pop("slot_weights", None))
+        return cls([image] * num_cores, config=config, **kwargs)
 
     @property
     def num_cores(self) -> int:
         return len(self.images)
 
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+
+    def _validate_schedule(self) -> None:
+        """Reject TDMA schedules that cannot fit one burst transfer.
+
+        The memory controller issues transfers of up to one burst; a slot
+        shorter than that would make every cache fill raise mid-simulation.
+        Failing at construction turns a silent under-provisioning (e.g. a
+        user-supplied ``slot_cycles`` below the burst length) into an
+        immediate configuration error.
+        """
+        if self.schedule is None:
+            return
+        if self.schedule.num_cores < self.num_cores:
+            raise ConfigError(
+                f"TDMA schedule has {self.schedule.num_cores} slots for "
+                f"{self.num_cores} cores")
+        burst = self.config.memory.burst_cycles()
+        for core_id in range(self.num_cores):
+            slot = self.schedule.slot_length(core_id)
+            if slot < burst:
+                raise ConfigError(
+                    f"TDMA slot of core {core_id} is {slot} cycles, shorter "
+                    f"than one burst transfer of {burst} cycles; widen "
+                    f"slot_cycles or the core's slot weight")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
     def run(self, analyse: bool = True, strict: bool = False,
             max_bundles: int = 2_000_000) -> CmpResult:
-        """Simulate every core (and optionally analyse its WCET)."""
-        result = CmpResult(num_cores=self.num_cores, schedule=self.schedule)
-        for core_id, image in enumerate(self.images):
-            arbiter = TdmaArbiter(self.schedule, core_id)
-            simulator = CycleSimulator(image, config=self.config, strict=strict,
-                                       arbiter=arbiter, core_id=core_id)
-            sim_result = simulator.run(max_bundles=max_bundles)
-            wcet = None
-            if analyse:
-                wcet = analyze_wcet(
-                    image, config=self.config,
-                    options=WcetOptions(tdma=self.schedule))
-            result.cores.append(CoreResult(core_id=core_id, sim=sim_result,
-                                           wcet=wcet))
+        """Simulate the system (and optionally analyse per-core WCETs)."""
+        if self.mode == "analytic":
+            sims = self._run_analytic(strict, max_bundles)
+            arbiter_stats = None
+        else:
+            sims, arbiter = self._run_cosim(strict, max_bundles)
+            arbiter_stats = arbiter.stats_summary()
+        result = CmpResult(num_cores=self.num_cores, schedule=self.schedule,
+                           mode=self.mode, arbiter=self.arbiter_kind,
+                           arbiter_stats=arbiter_stats)
+        for core_id, sim in enumerate(sims):
+            wcet = self._analyse_core(core_id) if analyse else None
+            result.cores.append(CoreResult(core_id=core_id,
+                                           sim=sim.result(), wcet=wcet))
         return result
+
+    def _run_analytic(self, strict: bool,
+                      max_bundles: int) -> list[CycleSimulator]:
+        """Decoupled mode: every core alone with its closed-form arbiter."""
+        sims = []
+        for core_id, (image, config) in enumerate(
+                zip(self.images, self.configs)):
+            arbiter = TdmaArbiter(self.schedule, core_id)
+            simulator = CycleSimulator(image, config=config, strict=strict,
+                                       arbiter=arbiter, core_id=core_id,
+                                       engine=self.engine)
+            simulator.run(max_bundles=max_bundles)
+            sims.append(simulator)
+        return sims
+
+    def _run_cosim(self, strict: bool, max_bundles: int
+                   ) -> tuple[list[CycleSimulator], MemoryArbiter]:
+        """Interleave all cores on one clock against the shared arbiter."""
+        arbiter = self._arbiter_template
+        arbiter.reset()
+
+        # One shared physical memory; each core owns a zero-copy bank view
+        # sized by its own MemoryConfig (all equal, validated above).
+        bank_bytes = self.config.memory.size_bytes
+        shared_memory = MainMemory(bank_bytes * self.num_cores)
+        sims = []
+        for core_id, (image, config) in enumerate(
+                zip(self.images, self.configs)):
+            bank = MainMemory.view(shared_memory, core_id * bank_bytes,
+                                   bank_bytes)
+            sims.append(CycleSimulator(
+                image, config=config, strict=strict,
+                arbiter=arbiter.port(core_id), core_id=core_id,
+                memory=bank, engine=self.engine))
+
+        # Global scheduler: always advance the core with the smallest local
+        # clock (ties broken in the arbiter's service order), up to one
+        # quantum past the next core's clock, yielding early on every
+        # arbitrated transfer.  Requests therefore reach the shared arbiter
+        # in global time order at bundle granularity.
+        active = {core_id: sim for core_id, sim in enumerate(sims)}
+        while active:
+            min_cycles = min(sim.cycles for sim in active.values())
+            tied = [core_id for core_id, sim in active.items()
+                    if sim.cycles == min_cycles]
+            core_id = (arbiter.preference_order(tied)[0]
+                       if len(tied) > 1 else tied[0])
+            sim = active[core_id]
+            other_clocks = [s.cycles for cid, s in active.items()
+                            if cid != core_id]
+            if other_clocks:
+                reason = sim.run_step(
+                    until_cycle=min(other_clocks) + self.quantum,
+                    stop_on_memory_event=True, max_bundles=max_bundles)
+            else:
+                reason = sim.run_step(max_bundles=max_bundles)
+            if reason == "halted":
+                del active[core_id]
+        return sims, arbiter
+
+    # ------------------------------------------------------------------
+    # WCET
+    # ------------------------------------------------------------------
+
+    def wcet_options_for_core(self, core_id: int) -> Optional[WcetOptions]:
+        """Arbiter-aware analysis options for one core.
+
+        TDMA has an exact per-transfer interference bound from the schedule;
+        round-robin is bounded by ``(N - 1)`` maximal transfers; priority is
+        bounded only for the top-priority core (``None`` for all others).
+        """
+        rank = 0
+        if self.arbiter_kind == "priority":
+            template = self._arbiter_template
+            top = (template.top_core()
+                   if isinstance(template, PriorityArbiter) else 0)
+            rank = 0 if core_id == top else 1
+        return WcetOptions.for_arbiter(
+            self.arbiter_kind, self.num_cores, schedule=self.schedule,
+            priority_rank=rank)
+
+    def _analyse_core(self, core_id: int) -> Optional[WcetResult]:
+        options = self.wcet_options_for_core(core_id)
+        if options is None:
+            return None
+        return analyze_wcet(self.images[core_id],
+                            config=self.configs[core_id], options=options)
+
+
+class CmpSystem(MulticoreSystem):
+    """Backwards-compatible TDMA CMP defaulting to the decoupled analytic mode.
+
+    Existing experiments (E9) and examples construct this with a TDMA
+    schedule and rely on per-core independence; new code should use
+    :class:`MulticoreSystem` directly and pick a mode and arbiter.
+    """
+
+    def __init__(self, images: list[Image],
+                 config: PatmosConfig = DEFAULT_CONFIG,
+                 schedule: Optional[TdmaSchedule] = None,
+                 mode: str = "analytic", **kwargs):
+        super().__init__(images, config=config, schedule=schedule,
+                         arbiter="tdma", mode=mode, **kwargs)
 
 
 def single_core_reference(image: Image, config: PatmosConfig = DEFAULT_CONFIG,

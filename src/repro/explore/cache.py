@@ -23,7 +23,9 @@ from ..errors import ExplorationError
 
 #: Bump when the record format or the simulation semantics change in a way
 #: that invalidates stored results.
-CACHE_VERSION = 1
+#: v2: multicore design points run the interleaved co-simulation (arbiter /
+#: slot_weights axes) and records carry the interference metrics.
+CACHE_VERSION = 2
 
 
 class ResultCache:

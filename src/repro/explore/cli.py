@@ -32,6 +32,10 @@ _KNOWN_OBJECTIVES = {
     "fmax_mhz": Objective("fmax_mhz", maximize=True),
     "stalls": Objective("stall_cycles"),
     "stall_cycles": Objective("stall_cycles"),
+    "interference": Objective("arbitration_cycles"),
+    "arbitration_cycles": Objective("arbitration_cycles"),
+    "words": Objective("words_transferred"),
+    "words_transferred": Objective("words_transferred"),
 }
 
 
@@ -70,7 +74,11 @@ def build_arg_parser() -> argparse.ArgumentParser:
     parser.add_argument("--axis", action="append", default=[],
                         type=parse_axis, metavar="NAME=V1,V2,...",
                         help="add one swept dimension; repeatable "
-                             "(e.g. method_cache_size=1024,2048,4096)")
+                             "(e.g. method_cache_size=1024,2048,4096; "
+                             "multicore axes: cores=1,2,4, "
+                             "arbiter=tdma,round_robin,priority, "
+                             "slot_cycles=14,28, slot_weights=1:1:2:2 "
+                             "with colon-separated per-core weights)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (default: 1, serial)")
     parser.add_argument("--cache", default=".explore-cache.json",
@@ -85,8 +93,8 @@ def build_arg_parser() -> argparse.ArgumentParser:
                         help="skip the Pareto-frontier summary")
     parser.add_argument("--objectives", default=None,
                         metavar="NAME[,NAME...]",
-                        help="Pareto objectives (wcet, cycles, fmax, stalls; "
-                             "default: wcet,cycles,fmax)")
+                        help="Pareto objectives (wcet, cycles, fmax, stalls, "
+                             "interference, words; default: wcet,cycles,fmax)")
     return parser
 
 

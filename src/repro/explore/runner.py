@@ -18,7 +18,7 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Iterable, Optional, Union
 
-from ..cmp.system import CmpSystem
+from ..cmp.system import MulticoreSystem
 from ..compiler.passes import compile_and_link
 from ..errors import ExplorationError
 from ..hw.pipeline import estimate_pipeline_timing
@@ -48,6 +48,12 @@ class SpecResult:
     cache_stats: dict
     wcet_cycles: Optional[int]
     fmax_mhz: float
+    arbiter: str = "tdma"
+    #: System-wide memory-interference figures (summed over all cores for
+    #: multicore points) so sweeps can rank designs by contention.
+    arbitration_cycles: int = 0
+    words_transferred: int = 0
+    write_stall_cycles: int = 0
     from_cache: bool = False
 
     @property
@@ -91,23 +97,37 @@ def execute_spec(spec: ExperimentSpec) -> SpecResult:
                              engine="fast").run()
         _check_output(spec, sim.output, kernel.expected_output)
         metrics = sim.metrics()
+        interference = {key: metrics[key] for key in (
+            "arbitration_cycles", "words_transferred", "write_stall_cycles")}
         wcet = (analyze_wcet(image, spec.config, options=wcet_options)
                 .wcet_cycles if spec.analyse_wcet else None)
     else:
-        system = CmpSystem.homogeneous(image, spec.cores, spec.config,
-                                       slot_cycles=spec.slot_cycles)
+        # Multicore points run the genuine interleaved co-simulation: one
+        # shared memory, one shared arbiter, contention observed rather
+        # than assumed.
+        system = MulticoreSystem.homogeneous(
+            image, spec.cores, spec.config, arbiter=spec.arbiter,
+            schedule=spec.tdma_schedule(), mode="cosim")
         cmp_result = system.run(analyse=False, strict=True)
         for core in cmp_result.cores:
             _check_output(spec, core.sim.output, kernel.expected_output)
         # The makespan is the figure of merit; per-bundle counts are
-        # identical across cores, stalls come from the slowest core.
+        # identical across cores, stalls come from the slowest core, and
+        # the interference figures sum over the whole system.
         slowest = max(cmp_result.cores, key=lambda core: core.sim.cycles)
         metrics = slowest.sim.metrics()
         metrics["cycles"] = cmp_result.makespan
-        # TDMA makes the bound independent of the other cores' traffic, so
-        # one analysis covers every core.
+        interference = cmp_result.system_stats()["totals"]
+        # The spec-level bound must cover the reported cycles (the
+        # makespan).  TDMA: co-runner-independent, one analysis covers
+        # every core.  Round-robin: every core shares the (N-1)-transfers
+        # bound, so it also bounds the makespan.  Priority: only the top
+        # core is analysable, so the makespan has *no* bound — report None
+        # (per-core bounds remain available via MulticoreSystem.run).
         wcet = (analyze_wcet(image, spec.config, options=wcet_options)
-                .wcet_cycles if spec.analyse_wcet else None)
+                .wcet_cycles
+                if spec.analyse_wcet and spec.arbiter != "priority"
+                else None)
 
     timing = estimate_pipeline_timing(
         dual_issue=spec.config.pipeline.dual_issue)
@@ -125,6 +145,10 @@ def execute_spec(spec: ExperimentSpec) -> SpecResult:
         cache_stats=metrics["cache_stats"],
         wcet_cycles=wcet,
         fmax_mhz=round(timing.max_frequency_mhz, 3),
+        arbiter=spec.arbiter,
+        arbitration_cycles=interference["arbitration_cycles"],
+        words_transferred=interference["words_transferred"],
+        write_stall_cycles=interference["write_stall_cycles"],
     )
 
 
@@ -199,15 +223,25 @@ class ExplorationRunner:
         started = time.perf_counter()
         results: list[Optional[SpecResult]] = [None] * len(specs)
         pending: list[tuple[int, ExperimentSpec]] = []
+        #: Later indices whose spec resolves to the same content as an
+        #: earlier pending one (e.g. single-core points of an arbiter
+        #: sweep): simulated once, result shared.
+        duplicates: dict[str, list[tuple[int, ExperimentSpec]]] = {}
+        pending_keys: set[str] = set()
         hits = 0
 
         for index, spec in enumerate(specs):
-            record = self.cache.get(spec.key()) if self.cache else None
+            key = spec.key()
+            record = self.cache.get(key) if self.cache else None
             if record is not None:
-                results[index] = SpecResult.from_record(record)
+                results[index] = self._labelled(
+                    SpecResult.from_record(record), spec)
                 hits += 1
+            elif key in pending_keys:
+                duplicates.setdefault(key, []).append((index, spec))
             else:
                 pending.append((index, spec))
+                pending_keys.add(key)
 
         # Cache every completed design point as it arrives and persist even
         # when a later spec fails, so an interrupted sweep is incremental.
@@ -215,6 +249,12 @@ class ExplorationRunner:
             for (index, spec), result in zip(
                     pending, self._execute_iter([s for _, s in pending])):
                 results[index] = result
+                for dup_index, dup_spec in duplicates.get(result.key, ()):
+                    # Shared with a point executed in this very run, so it
+                    # is not a cache recall.
+                    results[dup_index] = self._labelled(
+                        SpecResult.from_record(result.to_record(),
+                                               from_cache=False), dup_spec)
                 if self.cache is not None:
                     self.cache.put(result.key, result.to_record())
         finally:
@@ -227,6 +267,13 @@ class ExplorationRunner:
             cache_misses=len(pending),
             elapsed_s=time.perf_counter() - started,
         )
+
+    @staticmethod
+    def _labelled(result: SpecResult, spec: ExperimentSpec) -> SpecResult:
+        """Attach the requesting spec's display parameters to a recalled
+        result, so a shared cache entry never mislabels a design point."""
+        result.parameters = dict(spec.parameters)
+        return result
 
     def _execute_iter(self, specs: list[ExperimentSpec]):
         """Yield results in spec order, parallel when possible.

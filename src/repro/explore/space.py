@@ -16,8 +16,14 @@ Axes come in five kinds:
   field, e.g. ``single_path``;
 * ``wcet`` axes set one :class:`~repro.wcet.analyzer.WcetOptions` field,
   e.g. ``method_cache`` (the analysis mode, not the hardware);
-* the ``cores`` axis sweeps the number of TDMA-arbitrated cores;
-* the ``slot_cycles`` axis sweeps the TDMA slot length.
+* the ``cores`` axis sweeps the number of cores of the multicore system
+  (co-simulated against one shared memory);
+* the ``arbiter`` axis sweeps the memory arbitration policy
+  (``tdma``, ``round_robin``, ``priority``);
+* the ``slot_cycles`` axis sweeps the TDMA slot length;
+* the ``slot_weights`` axis sweeps per-core TDMA slot weights, written as
+  colon-separated integers (``1:2:1:1``); the pattern is cycled over the
+  core count so it composes with a ``cores`` axis.
 
 Friendly aliases (``method_cache_size`` for ``method_cache.size_bytes`` and
 so on) keep command lines short; see :data:`AXIS_ALIASES`.
@@ -53,7 +59,9 @@ AXIS_ALIASES: dict[str, tuple[str, Optional[str]]] = {
     "static_cache_analysis": ("wcet", "static_cache"),
     "stack_cache_analysis": ("wcet", "stack_cache"),
     "cores": ("cores", None),
+    "arbiter": ("arbiter", None),
     "slot_cycles": ("slot_cycles", None),
+    "slot_weights": ("slot_weights", None),
 }
 
 _COMPILE_FIELDS = frozenset(f.name for f in fields(CompileOptions))
@@ -107,22 +115,46 @@ class ExperimentSpec:
     kernel_params: tuple[tuple[str, Any], ...] = ()
     wcet_overrides: tuple[tuple[str, Any], ...] = ()
     cores: int = 1
+    arbiter: str = "tdma"
     slot_cycles: Optional[int] = None
+    slot_weights: Optional[tuple[int, ...]] = None
     analyse_wcet: bool = True
     #: The axis assignment that produced this spec (display only; two specs
     #: that resolve to the same content share a cache key regardless).
     parameters: tuple[tuple[str, Any], ...] = ()
 
+    def tdma_schedule(self):
+        """The TDMA schedule of this design point (``None`` off-TDMA).
+
+        ``slot_weights`` is treated as a *pattern* cycled over the cores so
+        that a weights axis composes with a cores axis in one sweep:
+        ``1:2`` on four cores becomes ``1:2:1:2``.
+        """
+        if self.cores <= 1 or self.arbiter != "tdma":
+            return None
+        from ..memory.tdma import TdmaSchedule
+        slot = (self.slot_cycles if self.slot_cycles is not None
+                else self.config.memory.burst_cycles())
+        weights: tuple[int, ...] = ()
+        if self.slot_weights:
+            weights = tuple(self.slot_weights[i % len(self.slot_weights)]
+                            for i in range(self.cores))
+        return TdmaSchedule(num_cores=self.cores, slot_cycles=slot,
+                            slot_weights=weights)
+
     def wcet_options(self) -> WcetOptions:
-        """The WCET analysis options of this design point (TDMA included)."""
-        kwargs = dict(self.wcet_overrides)
-        if self.cores > 1:
-            from ..memory.tdma import TdmaSchedule
-            slot = (self.slot_cycles if self.slot_cycles is not None
-                    else self.config.memory.burst_cycles())
-            kwargs["tdma"] = TdmaSchedule(num_cores=self.cores,
-                                          slot_cycles=slot)
-        return WcetOptions(**kwargs)
+        """The WCET analysis options of this design point.
+
+        The interference model follows the arbiter axis through the shared
+        :meth:`WcetOptions.for_arbiter` mapping: TDMA is exact, round-robin
+        uses the ``(N - 1)``-transfers bound, and priority is analysable at
+        the top rank only (the options here describe that core; the runner
+        still reports no bound for priority points, since no bound covers
+        the makespan).
+        """
+        return WcetOptions.for_arbiter(
+            self.arbiter, self.cores, schedule=self.tdma_schedule(),
+            **dict(self.wcet_overrides))
 
     def key(self) -> str:
         """Stable content hash of the design point (the cache key)."""
@@ -132,7 +164,10 @@ class ExperimentSpec:
             "config": self.config.to_dict(),
             "options": asdict(self.options),
             "cores": self.cores,
+            "arbiter": self.arbiter,
             "slot_cycles": self.slot_cycles,
+            "slot_weights": (list(self.slot_weights)
+                             if self.slot_weights else None),
             "wcet": (self.wcet_options().to_dict()
                      if self.analyse_wcet else None),
         }
@@ -198,7 +233,9 @@ class ParameterSpace:
         compile_overrides: dict[str, Any] = {}
         wcet_overrides: dict[str, Any] = {}
         cores = 1
+        arbiter = "tdma"
         slot_cycles: Optional[int] = None
+        slot_weights: Optional[tuple[int, ...]] = None
         parameters = []
         for axis, value in zip(self.axes, combo):
             parameters.append((axis.name, value))
@@ -213,10 +250,26 @@ class ParameterSpace:
                 wcet_overrides[axis.target] = value
             elif axis.kind == "cores":
                 cores = int(value)
+            elif axis.kind == "arbiter":
+                arbiter = _parse_arbiter(value)
             elif axis.kind == "slot_cycles":
                 slot_cycles = int(value)
+            elif axis.kind == "slot_weights":
+                slot_weights = _parse_slot_weights(value)
             else:  # pragma: no cover - resolve_axis guards this
                 raise ExplorationError(f"unknown axis kind {axis.kind!r}")
+        if cores == 1:
+            # Arbitration axes cannot affect a single core; normalising them
+            # to the defaults lets e.g. (cores=1, arbiter=round_robin) and
+            # (cores=1, arbiter=tdma) share one cache entry and one run
+            # (the runner dedupes equal keys and relabels per spec).
+            arbiter = "tdma"
+            slot_cycles = None
+            slot_weights = None
+        elif arbiter != "tdma":
+            # TDMA slot geometry has no effect under other arbiters either.
+            slot_cycles = None
+            slot_weights = None
         config = self.base_config.with_overrides(config_overrides)
         options = (CompileOptions(**{**asdict(self.base_options),
                                      **compile_overrides})
@@ -229,7 +282,44 @@ class ParameterSpace:
             kernel_params=tuple(sorted(params.items())),
             wcet_overrides=tuple(sorted(wcet_overrides.items())),
             cores=cores,
+            arbiter=arbiter,
             slot_cycles=slot_cycles,
+            slot_weights=slot_weights,
             analyse_wcet=self.analyse_wcet,
             parameters=tuple(parameters),
         )
+
+
+def _parse_arbiter(value) -> str:
+    from ..memory.arbiter import ARBITER_KINDS
+    name = str(value).strip().lower()
+    if name not in ARBITER_KINDS:
+        raise ExplorationError(
+            f"unknown arbiter {value!r}; choose from {list(ARBITER_KINDS)}")
+    return name
+
+
+def _parse_slot_weights(value) -> tuple[int, ...]:
+    """Normalise a slot-weights axis value to a tuple of positive ints.
+
+    Accepts sequences (``[1, 2, 1]``) and the CLI's colon-separated string
+    form (``"1:2:1"`` — colons, because commas already separate axis
+    values on the command line).
+    """
+    if isinstance(value, str):
+        parts = [part for part in value.split(":") if part.strip()]
+    elif isinstance(value, (list, tuple)):
+        parts = list(value)
+    else:
+        parts = [value]
+    try:
+        # Round-tripping through str rejects non-integral values (1.5)
+        # instead of silently truncating them to a different design point.
+        weights = tuple(int(str(part).strip()) for part in parts)
+    except (TypeError, ValueError):
+        raise ExplorationError(
+            f"slot_weights must be integers like '1:2:1', got {value!r}")
+    if not weights or any(weight < 1 for weight in weights):
+        raise ExplorationError(
+            f"slot_weights must be positive integers, got {value!r}")
+    return weights

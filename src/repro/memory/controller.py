@@ -10,9 +10,20 @@ memory controller:
 * stores, which are absorbed by a small write buffer and drained to memory in
   the background (the core only stalls when the buffer is full).
 
-When an :class:`~repro.memory.tdma.TdmaArbiter` is attached, every transfer
-additionally waits for the core's TDMA slot, which models the CMP
-configuration of the paper.
+When an arbiter is attached, every *blocking* transfer — cache fills and
+spills, split loads, and stores once the buffer forces a stall — is
+registered with it before it may start.  The arbiter is either the
+closed-form per-core :class:`~repro.memory.tdma.TdmaArbiter` (decoupled
+analytic CMP mode) or an :class:`~repro.memory.arbiter.ArbiterPort` of a
+shared :class:`~repro.memory.arbiter.MemoryArbiter`, in which case the
+transfer is recorded in the *shared* bus state and the delay reflects the
+actual concurrent traffic of the other cores (multicore co-simulation).
+
+Known simplification: *background* drains of a non-empty write buffer are
+not modelled on the shared bus, so co-simulated contention from buffered
+store traffic is understated.  The WCET side is unaffected — the analysis
+charges every main-memory store a full arbitrated transfer, so bounds stay
+sound (conservative) with respect to the simulation.
 """
 
 from __future__ import annotations

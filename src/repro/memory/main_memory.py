@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from ..config import WORD_SIZE
 from ..errors import MemoryAccessError
 
 
@@ -92,3 +93,28 @@ class MainMemory:
         clone = MainMemory(self.size_bytes)
         clone._data[:] = self._data
         return clone
+
+    @classmethod
+    def view(cls, backing: "MainMemory", base: int,
+             size_bytes: int) -> "MainMemory":
+        """A window of ``backing`` that behaves like its own main memory.
+
+        The multicore co-simulation gives every core a private bank of one
+        shared physical memory: the view aliases ``backing``'s storage (a
+        zero-copy ``memoryview``), so writes through a view are visible to
+        the backing memory and to overlapping views, while bounds checks
+        confine each core to its own bank.
+        """
+        if size_bytes <= 0 or size_bytes % WORD_SIZE:
+            raise MemoryAccessError(
+                f"view size must be a positive number of whole words, "
+                f"got {size_bytes}")
+        if base < 0 or base % WORD_SIZE or base + size_bytes > backing.size_bytes:
+            raise MemoryAccessError(
+                f"view of {size_bytes:#x} bytes at offset {base:#x} does not "
+                f"fit word-aligned into memory of {backing.size_bytes:#x} "
+                f"bytes")
+        mem = cls.__new__(cls)
+        mem.size_bytes = size_bytes
+        mem._data = memoryview(backing._data)[base:base + size_bytes]
+        return mem

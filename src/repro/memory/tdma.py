@@ -1,12 +1,17 @@
-"""TDMA arbitration of the shared main memory for CMP configurations.
+"""TDMA schedules for statically arbitrated access to the shared main memory.
 
 The paper (Sections 1–3) proposes replicating the Patmos pipeline into a chip
 multiprocessor with *statically scheduled* access to the shared main memory.
 A time-division multiple access (TDMA) arbiter assigns each core a fixed slot
-in a repeating schedule; a core's memory transfer may only start at the
-beginning of its own slot.  The worst-case extra waiting time is therefore
-independent of what the other cores do — the property that makes the memory
-system WCET-analysable.
+in a repeating schedule; a core's memory transfer may only use its own slot.
+The worst-case extra waiting time is therefore independent of what the other
+cores do — the property that makes the memory system WCET-analysable.
+
+This module holds the schedule itself (generalised to per-core slot weights,
+so asymmetric bandwidth guarantees can be expressed) and the closed-form
+per-core :class:`TdmaArbiter` used by the decoupled *analytic* CMP mode.  The
+shared-state arbiters used by the interleaved co-simulation — including the
+TDMA one — live in :mod:`repro.memory.arbiter`.
 """
 
 from __future__ import annotations
@@ -18,26 +23,59 @@ from ..errors import ConfigError
 
 @dataclass(frozen=True)
 class TdmaSchedule:
-    """A TDMA schedule: ``num_cores`` slots of ``slot_cycles`` cycles each."""
+    """A TDMA schedule: one slot per core in a repeating round.
+
+    With the default (empty) ``slot_weights`` every core owns one slot of
+    ``slot_cycles`` cycles and the period is ``num_cores * slot_cycles``.
+    Weighted schedules give core ``i`` a slot of ``slot_weights[i] *
+    slot_cycles`` cycles, so a core with weight 2 gets twice the guaranteed
+    bandwidth while the schedule stays fully static and analysable.
+    """
 
     num_cores: int
     slot_cycles: int
+    #: Per-core slot weights; empty means weight 1 for every core.
+    slot_weights: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.num_cores < 1:
             raise ConfigError("TDMA schedule needs at least one core")
         if self.slot_cycles < 1:
             raise ConfigError("TDMA slot length must be at least one cycle")
+        if self.slot_weights:
+            # Normalise lists (e.g. parsed CLI values) to a hashable tuple.
+            object.__setattr__(self, "slot_weights",
+                               tuple(int(w) for w in self.slot_weights))
+            if len(self.slot_weights) != self.num_cores:
+                raise ConfigError(
+                    f"TDMA schedule has {len(self.slot_weights)} slot weights "
+                    f"for {self.num_cores} cores")
+            if any(weight < 1 for weight in self.slot_weights):
+                raise ConfigError("TDMA slot weights must be at least 1")
+
+    @property
+    def weights(self) -> tuple[int, ...]:
+        """Effective per-core weights (all 1 when unweighted)."""
+        return self.slot_weights or (1,) * self.num_cores
 
     @property
     def period(self) -> int:
         """Length of one full TDMA round in cycles."""
-        return self.num_cores * self.slot_cycles
+        return sum(self.weights) * self.slot_cycles
+
+    def slot_length(self, core_id: int) -> int:
+        """Length of ``core_id``'s slot in cycles."""
+        self._check_core(core_id)
+        return self.weights[core_id] * self.slot_cycles
+
+    def slot_offset(self, core_id: int) -> int:
+        """Start of ``core_id``'s slot relative to the period start."""
+        self._check_core(core_id)
+        return sum(self.weights[:core_id]) * self.slot_cycles
 
     def slot_start(self, core_id: int, cycle: int) -> int:
         """First cycle >= ``cycle`` at which ``core_id``'s slot begins."""
-        self._check_core(core_id)
-        offset = core_id * self.slot_cycles
+        offset = self.slot_offset(core_id)
         period = self.period
         phase = (cycle - offset) % period
         if phase == 0:
@@ -47,25 +85,40 @@ class TdmaSchedule:
     def wait_cycles(self, core_id: int, cycle: int, transfer_cycles: int) -> int:
         """Cycles core ``core_id`` must wait at ``cycle`` before a transfer.
 
-        The transfer must fit into the core's own slot(s); transfers longer
-        than one slot occupy consecutive rounds and the core stays blocked, so
-        the wait is simply the distance to the next slot start.  Transfers are
-        required to fit in a slot for single-slot predictability.
+        A transfer may start anywhere inside the core's own slot as long as
+        it still *finishes* inside the slot; otherwise it waits for the next
+        slot start.  Transfers longer than the slot can never be scheduled
+        and are rejected — the CMP system validates this up front.
         """
-        if transfer_cycles > self.slot_cycles:
+        length = self.slot_length(core_id)
+        if transfer_cycles > length:
             raise ConfigError(
                 f"transfer of {transfer_cycles} cycles does not fit into a "
-                f"TDMA slot of {self.slot_cycles} cycles")
-        start = self.slot_start(core_id, cycle)
-        # The transfer must also finish within the slot.
-        slot_end = start + self.slot_cycles
-        if start + transfer_cycles > slot_end:  # pragma: no cover - defensive
-            start = self.slot_start(core_id, slot_end)
-        return start - cycle
+                f"TDMA slot of {length} cycles")
+        period = self.period
+        phase = (cycle - self.slot_offset(core_id)) % period
+        if phase + transfer_cycles <= length:
+            return 0  # inside the own slot with enough room left
+        return period - phase
 
-    def worst_case_wait(self) -> int:
-        """Upper bound on the waiting time for any request of any core."""
-        return self.period - 1
+    def worst_case_wait(self, core_id: int | None = None,
+                        transfer_cycles: int | None = None) -> int:
+        """Upper bound on the waiting time before a transfer may start.
+
+        Without arguments this is the schedule-wide bound ``period - 1``
+        (a full-slot transfer arriving one cycle into its own slot).  Given a
+        core and a transfer length the bound tightens to
+        ``period - slot_length + transfer_cycles - 1``: the worst arrival is
+        one cycle after the last in-slot start point.
+        """
+        if core_id is None or transfer_cycles is None:
+            return self.period - 1
+        length = self.slot_length(core_id)
+        if transfer_cycles > length:
+            raise ConfigError(
+                f"transfer of {transfer_cycles} cycles does not fit into a "
+                f"TDMA slot of {length} cycles")
+        return self.period - length + transfer_cycles - 1
 
     def _check_core(self, core_id: int) -> None:
         if not 0 <= core_id < self.num_cores:
@@ -74,7 +127,13 @@ class TdmaSchedule:
 
 
 class TdmaArbiter:
-    """Per-core view of a TDMA schedule, accumulating arbitration statistics."""
+    """Closed-form per-core view of a TDMA schedule (analytic CMP mode).
+
+    Because TDMA grants depend only on the schedule and the requesting
+    cycle, a core can be simulated in isolation with this arbiter and still
+    observe exactly the delays it would see in the fully interleaved
+    co-simulation — the decoupling property the golden tests check.
+    """
 
     def __init__(self, schedule: TdmaSchedule, core_id: int):
         schedule._check_core(core_id)
@@ -82,44 +141,16 @@ class TdmaArbiter:
         self.core_id = core_id
         self.requests = 0
         self.total_wait_cycles = 0
+        #: Monotonic request counter observed by the stepping engine.
+        self.events = 0
 
     def arbitration_delay(self, cycle: int, transfer_cycles: int) -> int:
         """Extra cycles before a transfer issued at ``cycle`` may start."""
         wait = self.schedule.wait_cycles(self.core_id, cycle, transfer_cycles)
         self.requests += 1
+        self.events += 1
         self.total_wait_cycles += wait
         return wait
 
     def worst_case_delay(self) -> int:
         return self.schedule.worst_case_wait()
-
-
-class RoundRobinArbiter:
-    """A work-conserving round-robin arbiter used as the *unpredictable* baseline.
-
-    Average-case waits are lower than TDMA when other cores are idle, but the
-    worst case still has to assume all other cores are queued ahead — and,
-    unlike TDMA, the actual wait depends on the other cores' behaviour, which
-    is exactly what makes it hard for WCET analysis.
-    """
-
-    def __init__(self, num_cores: int, transfer_cycles: int, core_id: int):
-        if num_cores < 1:
-            raise ConfigError("round-robin arbiter needs at least one core")
-        self.num_cores = num_cores
-        self.transfer_cycles = transfer_cycles
-        self.core_id = core_id
-        self.requests = 0
-        self.total_wait_cycles = 0
-
-    def arbitration_delay(self, cycle: int, transfer_cycles: int,
-                          competing_cores: int = 0) -> int:
-        """Wait time given how many other cores currently contend."""
-        competing = min(max(competing_cores, 0), self.num_cores - 1)
-        wait = competing * transfer_cycles
-        self.requests += 1
-        self.total_wait_cycles += wait
-        return wait
-
-    def worst_case_delay(self) -> int:
-        return (self.num_cores - 1) * self.transfer_cycles

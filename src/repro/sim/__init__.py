@@ -22,7 +22,10 @@ Module map
     classes run on it by default (``engine="fast"``); pass
     ``engine="reference"`` to force the interpreter.  The two are kept
     observationally identical by the golden-equivalence suite
-    (``tests/test_engine_equivalence.py``).
+    (``tests/test_engine_equivalence.py``).  Both engines are resumable
+    through ``run_step`` (run-until-cycle / run-until-memory-event), which
+    is how the multicore co-simulation (:mod:`repro.cmp`) interleaves N
+    cores on one clock without losing the fast path.
 ``executor``
     Pure evaluation of ALU/compare/predicate/multiply semantics shared by
     the reference interpreter (the fast engine pre-binds its own inlined

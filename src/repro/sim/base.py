@@ -109,7 +109,8 @@ class BaseSimulator:
 
     def __init__(self, image: Image, config: Optional[PatmosConfig] = None,
                  strict: bool = False, trace: bool = False,
-                 engine: str = "fast"):
+                 engine: str = "fast",
+                 memory: Optional[MainMemory] = None):
         if engine not in ("fast", "reference"):
             raise SimulationError(
                 f"unknown engine {engine!r}; use 'fast' or 'reference'")
@@ -120,7 +121,10 @@ class BaseSimulator:
         self.engine = engine
 
         self.state = ArchState()
-        self.memory = MainMemory(self.config.memory.size_bytes)
+        # An externally provided memory (e.g. a bank view of the multicore
+        # system's shared memory) replaces the private per-core memory.
+        self.memory = memory if memory is not None \
+            else MainMemory(self.config.memory.size_bytes)
         self.memory.load_words(image.initial_memory)
         self.scratchpad = Scratchpad(self.config.scratchpad)
         self.scratchpad.load_words(image.initial_scratchpad)
@@ -144,6 +148,7 @@ class BaseSimulator:
         self._pending_main_load: Optional[_PendingMainLoad] = None
         self._pc = image.entry_addr
         self._current_func: FunctionRecord = image.function_at(image.entry_addr)
+        self._started = False
 
     # ------------------------------------------------------------------
     # Hooks overridden by the cycle-accurate simulator
@@ -247,20 +252,67 @@ class BaseSimulator:
     def _on_start(self) -> None:
         """Hook invoked once before the first bundle is issued."""
 
+    def _ensure_started(self) -> None:
+        if not self._started:
+            self._started = True
+            self._on_start()
+
+    def _memory_event_source(self):
+        """Object whose ``events`` counter ticks on shared-memory transfers.
+
+        ``None`` (the functional simulator has no shared bus) disables
+        run-until-memory-event stepping; the cycle simulator returns its
+        arbiter port when the core is attached to a shared memory.
+        """
+        return None
+
     def run(self, max_bundles: int = 2_000_000) -> SimResult:
         """Run until ``halt`` (or until ``max_bundles`` bundles were issued)."""
-        if self.issued == 0 and self.cycles == 0:
-            self._on_start()
+        self.run_step(max_bundles=max_bundles)
+        return self.result()
+
+    def run_step(self, until_cycle: Optional[int] = None,
+                 stop_on_memory_event: bool = False,
+                 max_bundles: int = 2_000_000) -> str:
+        """Resumable stepping: run until a scheduling point and return why.
+
+        The simulator keeps all in-flight state (pending writes, delayed
+        control transfers, outstanding split loads) between calls, so a
+        global multicore scheduler can interleave several cores on one clock
+        without losing the pre-decoded fast path.  Returns one of:
+
+        * ``"halted"`` — the program executed ``halt``;
+        * ``"memory_event"`` — ``stop_on_memory_event`` was set and the core
+          performed at least one arbitrated shared-memory transfer (the
+          bundle containing the transfer completes before control returns);
+        * ``"cycle_limit"`` — the core's clock reached ``until_cycle``.
+
+        ``until_cycle`` is exclusive: the core stops *before* issuing a
+        bundle once ``cycles >= until_cycle``, so a caller advancing the
+        global clock never lets a core run past the horizon unobserved.
+        """
+        self._ensure_started()
+        source = self._memory_event_source() if stop_on_memory_event else None
+        events_before = source.events if source is not None else 0
         if self.engine == "fast" and _uses_reference_semantics(type(self)):
             from .engine import run_predecoded
-            run_predecoded(self, max_bundles)
-            return self.result()
-        while not self.state.halted:
-            if self.issued >= max_bundles:
-                raise SimulationError(
-                    f"program did not halt within {max_bundles} bundles")
-            self._step()
-        return self.result()
+            run_predecoded(self, max_bundles, until_cycle=until_cycle,
+                           event_source=source)
+        else:
+            while not self.state.halted:
+                if self.issued >= max_bundles:
+                    raise SimulationError(
+                        f"program did not halt within {max_bundles} bundles")
+                if until_cycle is not None and self.cycles >= until_cycle:
+                    break
+                if source is not None and source.events != events_before:
+                    break
+                self._step()
+        if self.state.halted:
+            return "halted"
+        if source is not None and source.events != events_before:
+            return "memory_event"
+        return "cycle_limit"
 
     def _step(self) -> None:
         self._commit_due_writes()

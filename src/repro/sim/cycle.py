@@ -35,11 +35,12 @@ class CycleSimulator(BaseSimulator):
     def __init__(self, image: Image, config: Optional[PatmosConfig] = None,
                  strict: bool = False, trace: bool = False,
                  hierarchy_options: Optional[HierarchyOptions] = None,
-                 arbiter=None, core_id: int = 0, engine: str = "fast"):
+                 arbiter=None, core_id: int = 0, engine: str = "fast",
+                 memory=None):
         self._hierarchy_options = hierarchy_options or HierarchyOptions()
         self._config_for_hierarchy = config
         super().__init__(image, config=config, strict=strict, trace=trace,
-                         engine=engine)
+                         engine=engine, memory=memory)
         self.core_id = core_id
         self.hierarchy = CacheHierarchy(self.config, self._hierarchy_options)
         # Share the single stack-cache model between hierarchy and executor.
@@ -66,6 +67,15 @@ class CycleSimulator(BaseSimulator):
         return StackCache(self.config.stack_cache, self.config.memory,
                           self.config.memory_map.stack_top)
 
+    def _memory_event_source(self):
+        # Every arbitrated transfer ticks the arbiter's ``events`` counter
+        # (both ArbiterPort and the closed-form TdmaArbiter count), which is
+        # what run-until-memory-event stepping watches.
+        arbiter = self.controller.arbiter
+        if arbiter is not None and hasattr(arbiter, "events"):
+            return arbiter
+        return None
+
     def _fetch_stall(self, addr: int, bundle: Bundle) -> int:
         if self.hierarchy.uses_method_cache:
             return 0
@@ -84,12 +94,23 @@ class CycleSimulator(BaseSimulator):
             return None
         return self._fetch_stall
 
+    def _count_bus_words(self, words: int) -> None:
+        """Account main-memory bus traffic (cache fills, spills, splits).
+
+        The memory controller's own stats only cover the store traffic
+        routed through it; fills, spills and split loads are priced by the
+        hooks below, so they record their word counts here to keep
+        ``ControllerStats.words_transferred`` a genuine bus-traffic metric.
+        """
+        self.controller.stats.words_transferred += words
+
     def _method_cache_stall(self, record: FunctionRecord) -> int:
         if not self.hierarchy.uses_method_cache:
             return 0
         result = self.hierarchy.instruction_access(record.name, record.size_bytes)
         if result.hit:
             return 0
+        self._count_bus_words(result.fill_words)
         return result.stall_cycles + self._arbitration(result.fill_words)
 
     def _arbitration(self, words: int) -> int:
@@ -107,7 +128,9 @@ class CycleSimulator(BaseSimulator):
             return self.scratchpad.access_cycles()
         stall = self.hierarchy.data_read(mem_type, addr)
         if stall > 0:
-            stall += self._arbitration(self.config.static_cache.line_bytes // 4)
+            line_words = self.config.static_cache.line_bytes // 4
+            self._count_bus_words(line_words)
+            stall += self._arbitration(line_words)
         return stall
 
     def _cached_write_stall(self, mem_type: MemType, addr: int) -> int:
@@ -134,12 +157,14 @@ class CycleSimulator(BaseSimulator):
             spill_bytes = max(0, new_occupancy - cache.size_bytes)
             stall = self.config.memory.transfer_cycles(spill_bytes // 4)
             if spill_bytes:
+                self._count_bus_words(spill_bytes // 4)
                 stall += self._arbitration(spill_bytes // 4)
             return stall
         if opcode is Opcode.SENS:
             fill_bytes = max(0, 4 * words - cache.occupancy_bytes)
             stall = self.config.memory.transfer_cycles(fill_bytes // 4)
             if fill_bytes:
+                self._count_bus_words(fill_bytes // 4)
                 stall += self._arbitration(fill_bytes // 4)
             return stall
         return 0
@@ -150,6 +175,7 @@ class CycleSimulator(BaseSimulator):
         return self.controller.buffer_store(self.cycles)
 
     def _split_load_latency(self) -> int:
+        self._count_bus_words(1)
         latency = self.config.memory.transfer_cycles(1)
         latency += self._arbitration(1)
         # A load must not overtake buffered stores to main memory.

@@ -501,11 +501,21 @@ def _hook(sim, base_cls, name):
     return getattr(sim, name)
 
 
-def run_predecoded(sim, max_bundles: int) -> None:
+def run_predecoded(sim, max_bundles: int, until_cycle=None,
+                   event_source=None) -> None:
     """Run ``sim`` to completion (or ``max_bundles``) on the fast engine.
 
     Mutates the simulator in place exactly like its reference ``_step`` loop
     would; the caller produces the :class:`SimResult` afterwards.
+
+    The two stepping parameters make the engine resumable for multicore
+    co-simulation without giving up the pre-decoded fast path: with
+    ``until_cycle`` the loop stops before issuing a bundle once the local
+    clock reaches the horizon, and with ``event_source`` (an object whose
+    ``events`` counter ticks on every arbitrated shared-memory transfer) it
+    stops after the bundle that performed a transfer.  On either stop the
+    ``finally`` block exports the complete in-flight state, so a later call
+    resumes exactly where this one left off.
     """
     from .base import BaseSimulator, _PendingControl, _PendingMainLoad, \
         _PendingWrite
@@ -611,11 +621,22 @@ def run_predecoded(sim, max_bundles: int) -> None:
 
     s_icache = s_data = s_method = s_stack = s_split = s_store = 0
 
+    # Co-simulation stepping: both checks live behind one flag so the
+    # single-core fast path pays a single predictable branch per bundle.
+    stepping = until_cycle is not None or event_source is not None
+    events_before = event_source.events if event_source is not None else 0
+
     try:
         while not halted:
             if issued >= max_bundles:
                 raise SimulationError(
                     f"program did not halt within {max_bundles} bundles")
+            if stepping:
+                if until_cycle is not None and cycles >= until_cycle:
+                    break
+                if event_source is not None and \
+                        event_source.events != events_before:
+                    break
             # Commit results whose exposed delay elapsed (due == issued).
             slot = ring[issued & ring_mask]
             if slot:

@@ -98,6 +98,7 @@ class SimResult:
         Used by batch tooling (``repro.explore``) to persist results without
         dragging the trace or the raw per-block counters along.
         """
+        controller = self.cache_stats.get("memory_controller", {})
         return {
             "cycles": self.cycles,
             "bundles": self.bundles,
@@ -106,6 +107,14 @@ class SimResult:
             "stall_cycles": self.stalls.total(),
             "stalls": self.stalls.to_dict(),
             "cache_stats": self.cache_stats,
+            # Interference figures of merit, surfaced flat so batch tooling
+            # (explore/Pareto) can rank design points by memory contention:
+            # arbitration waits are charged both by the simulator (cache
+            # fills) and inside the controller (split loads, stores).
+            "arbitration_cycles": (self.stalls.arbitration
+                                   + controller.get("arbitration_cycles", 0)),
+            "words_transferred": controller.get("words_transferred", 0),
+            "write_stall_cycles": controller.get("write_stall_cycles", 0),
             "halted": self.halted,
         }
 

@@ -64,9 +64,46 @@ class WcetOptions:
     unified_data_cache: bool = False
     #: TDMA schedule of the CMP configuration (adds worst-case arbitration).
     tdma: Optional[TdmaSchedule] = None
+    #: Interference model of the memory arbiter: "tdma" uses the exact
+    #: per-transfer bound of ``tdma``; "round_robin" charges ``(N - 1)``
+    #: maximal transfers per access; "priority" is bounded only for the
+    #: top-priority core (any other rank makes the analysis fail).
+    arbiter: str = "tdma"
+    #: Number of cores competing on the bus (round-robin/priority models;
+    #: < 2 means no interference).
+    arbiter_cores: int = 0
+    #: This core's priority rank under "priority" (0 = highest).
+    priority_rank: int = 0
     #: Extra loop bounds: ``(function, header label) -> bound`` (overrides
     #: block annotations).
     loop_bounds: dict = field(default_factory=dict)
+
+    @classmethod
+    def for_arbiter(cls, kind: str, num_cores: int,
+                    schedule: Optional[TdmaSchedule] = None,
+                    priority_rank: int = 0,
+                    **overrides) -> Optional["WcetOptions"]:
+        """The interference options matching one multicore arbiter.
+
+        Single source of the arbiter-to-analysis mapping shared by
+        :class:`~repro.cmp.system.MulticoreSystem` and the exploration
+        specs: TDMA uses the exact ``schedule`` bound, round-robin the
+        ``(N - 1)``-transfers bound, and priority is analysable only at
+        rank 0 — any other rank returns ``None`` (no bound exists).
+        """
+        if num_cores <= 1:
+            return cls(**overrides)
+        if kind == "tdma":
+            return cls(tdma=schedule, **overrides)
+        if kind == "round_robin":
+            return cls(arbiter="round_robin", arbiter_cores=num_cores,
+                       **overrides)
+        if kind == "priority":
+            if priority_rank != 0:
+                return None
+            return cls(arbiter="priority", arbiter_cores=num_cores,
+                       priority_rank=0, **overrides)
+        raise WcetError(f"unknown arbiter interference model {kind!r}")
 
     def to_dict(self) -> dict:
         """Stable, JSON-serializable view of the analysis options.
@@ -84,7 +121,11 @@ class WcetOptions:
             "unified_data_cache": self.unified_data_cache,
             "tdma": (None if self.tdma is None else
                      {"num_cores": self.tdma.num_cores,
-                      "slot_cycles": self.tdma.slot_cycles}),
+                      "slot_cycles": self.tdma.slot_cycles,
+                      "slot_weights": list(self.tdma.slot_weights)}),
+            "arbiter": self.arbiter,
+            "arbiter_cores": self.arbiter_cores,
+            "priority_rank": self.priority_rank,
             "loop_bounds": sorted(
                 [list(key), bound] for key, bound in self.loop_bounds.items()),
         }
@@ -149,6 +190,9 @@ class WcetAnalyzer:
         """Compute the WCET bound for the program starting at ``entry``."""
         entry = entry or self.program.entry
         options = self.options
+        # Fail fast on an unbounded interference model (e.g. any core below
+        # the top priority) instead of deep inside the per-block costing.
+        self._interference_wait()
 
         method_cache = None
         icache = None
@@ -193,9 +237,10 @@ class WcetAnalyzer:
             one_off_transfers += icache.one_off_transfers
         one_off += static_cache.one_off_cycles
         one_off_transfers += static_cache.one_off_transfers
-        if options.tdma is not None and one_off_transfers > 0:
-            # Every one-off transfer may additionally wait for its TDMA slot.
-            one_off += one_off_transfers * options.tdma.worst_case_wait()
+        interference = self._interference_wait()
+        if interference and one_off_transfers > 0:
+            # Every one-off transfer may additionally wait for the bus.
+            one_off += one_off_transfers * interference
 
         total = function_wcet[entry] + one_off
         return WcetResult(
@@ -261,10 +306,34 @@ class WcetAnalyzer:
             frames[function.name] = words
         return frames
 
-    def _tdma_wait(self) -> int:
-        if self.options.tdma is None:
+    def _interference_wait(self) -> int:
+        """Worst-case extra bus wait charged to every memory transfer.
+
+        TDMA is exact (the schedule bounds the wait independently of the
+        other cores); round-robin assumes all ``N - 1`` competitors are
+        queued ahead with maximal transfers; priority is one blocking
+        transfer for the top core and *unbounded* for everyone else — the
+        model the paper argues against.
+        """
+        options = self.options
+        if options.arbiter == "tdma":
+            if options.tdma is None:
+                return 0
+            return options.tdma.worst_case_wait()
+        if options.arbiter_cores < 2:
             return 0
-        return self.options.tdma.worst_case_wait()
+        burst = self.config.memory.burst_cycles()
+        if options.arbiter == "round_robin":
+            return (options.arbiter_cores - 1) * burst
+        if options.arbiter == "priority":
+            if options.priority_rank == 0:
+                return burst  # one non-preemptible transfer in flight
+            raise WcetError(
+                f"priority arbitration has no WCET bound for priority rank "
+                f"{options.priority_rank}; only the top-priority core is "
+                f"analysable")
+        raise WcetError(f"unknown arbiter interference model "
+                        f"{options.arbiter!r}")
 
     def _block_cost(self, summary: BlockSummary, function: Function,
                     function_wcet: dict[str, int],
@@ -275,7 +344,7 @@ class WcetAnalyzer:
                     stack_cache: StackCacheAnalysis) -> tuple[int, int]:
         """Worst-case cost of one block; returns ``(cost, callee_part)``."""
         config = self.config
-        tdma = self._tdma_wait()
+        tdma = self._interference_wait()
         cost = summary.bundles
         callee_part = 0
 

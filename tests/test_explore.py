@@ -38,6 +38,10 @@ class TestAxisResolution:
         assert resolve_axis("cores") == ("cores", None)
         assert resolve_axis("slot_cycles") == ("slot_cycles", None)
 
+    def test_multicore_axes(self):
+        assert resolve_axis("arbiter") == ("arbiter", None)
+        assert resolve_axis("slot_weights") == ("slot_weights", None)
+
     def test_unknown_axis_rejected(self):
         with pytest.raises(ExplorationError, match="unknown axis"):
             resolve_axis("bogus_axis")
@@ -157,6 +161,74 @@ class TestRunner:
         # Sharing memory via TDMA can only slow a core down.
         assert shared.cycles >= alone.cycles
         assert shared.wcet_cycles >= alone.wcet_cycles
+
+    def test_single_core_points_dedupe_and_keep_labels(self):
+        # Arbitration axes cannot affect one core: the specs share a key,
+        # the sweep runs the point once, and each row keeps its own label.
+        space = (ParameterSpace(["vector_sum"], analyse_wcet=False)
+                 .axis("cores", [1])
+                 .axis("arbiter", ["tdma", "round_robin"]))
+        specs = space.specs()
+        assert specs[0].key() == specs[1].key()
+        outcome = ExplorationRunner().run(space)
+        assert outcome.cache_misses == 1  # executed once, shared twice
+        assert [r.parameters["arbiter"] for r in outcome.results] == [
+            "tdma", "round_robin"]
+        assert outcome.results[0].cycles == outcome.results[1].cycles
+
+    def test_non_tdma_points_ignore_slot_geometry_in_key(self):
+        specs = (ParameterSpace(["vector_sum"])
+                 .axis("cores", [2])
+                 .axis("arbiter", ["round_robin"])
+                 .axis("slot_cycles", [14, 28])).specs()
+        assert specs[0].key() == specs[1].key()
+
+    def test_arbiter_axis_runs_cosim(self):
+        specs = (ParameterSpace(["vector_sum"])
+                 .axis("cores", [2])
+                 .axis("arbiter", ["tdma", "round_robin"])).specs()
+        assert [spec.arbiter for spec in specs] == ["tdma", "round_robin"]
+        assert specs[0].key() != specs[1].key()
+        tdma, rr = (execute_spec(spec) for spec in specs)
+        assert tdma.arbiter == "tdma" and rr.arbiter == "round_robin"
+        # Round-robin is work-conserving: with identical co-runners it can
+        # only be as fast or faster than waiting for fixed TDMA slots.
+        assert rr.cycles <= tdma.cycles
+        # Interference metrics are surfaced for Pareto ranking.
+        assert tdma.arbitration_cycles > 0
+        frontier = pareto_frontier(
+            [tdma, rr], (Objective("arbitration_cycles"),))
+        assert frontier == [rr]
+
+    def test_slot_weights_axis(self):
+        specs = (ParameterSpace(["vector_sum"])
+                 .axis("cores", [2])
+                 .axis("slot_weights", ["1:1", "1:3"])).specs()
+        assert specs[0].slot_weights == (1, 1)
+        assert specs[1].slot_weights == (1, 3)
+        assert specs[0].key() != specs[1].key()
+        uniform, weighted = (execute_spec(spec) for spec in specs)
+        # Shrinking core 0's share of the period can only slow it down.
+        assert weighted.cycles >= uniform.cycles
+
+    def test_bad_arbiter_and_weights_rejected(self):
+        with pytest.raises(ExplorationError, match="unknown arbiter"):
+            (ParameterSpace(["vector_sum"])
+             .axis("arbiter", ["fifo"])).specs()
+        with pytest.raises(ExplorationError, match="slot_weights"):
+            (ParameterSpace(["vector_sum"])
+             .axis("slot_weights", ["1:x"])).specs()
+
+    def test_priority_spec_has_no_makespan_bound(self):
+        # Only the top-priority core is analysable, so no bound can cover
+        # the design point's reported makespan: the record must say so
+        # instead of pairing the top core's bound with another core's time.
+        spec = (ParameterSpace(["vector_sum"])
+                .axis("cores", [2])
+                .axis("arbiter", ["priority"])).specs()[0]
+        result = execute_spec(spec)
+        assert result.wcet_cycles is None
+        assert result.cycles > 0
 
     def test_zero_slot_cycles_rejected(self):
         from repro.errors import ConfigError

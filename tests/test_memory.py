@@ -168,7 +168,11 @@ class TestTdma:
         assert arbiter.worst_case_delay() == schedule.worst_case_wait()
 
     def test_round_robin_worst_case(self):
-        arbiter = RoundRobinArbiter(num_cores=4, transfer_cycles=14, core_id=0)
-        assert arbiter.worst_case_delay() == 42
-        assert arbiter.arbitration_delay(0, 14, competing_cores=0) == 0
-        assert arbiter.arbitration_delay(0, 14, competing_cores=3) == 42
+        arbiter = RoundRobinArbiter(num_cores=4, max_transfer_cycles=14)
+        assert arbiter.worst_case_delay(0) == 42
+        port = arbiter.port(0)
+        # Idle bus: granted immediately (work conservation).
+        assert port.arbitration_delay(0, 14) == 0
+        # A competing transfer occupies the bus until cycle 28.
+        arbiter.port(1).arbitration_delay(10, 14)
+        assert port.arbitration_delay(15, 14) == 13
