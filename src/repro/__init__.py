@@ -11,7 +11,9 @@ The package provides, in Python:
 * WCET-aware compilation passes — VLIW scheduling, if-conversion, single-path
   transformation, function splitting and stack-cache allocation
   (:mod:`repro.compiler`);
-* static WCET analysis built on IPET (:mod:`repro.wcet`);
+* static WCET analysis built on IPET (:mod:`repro.wcet`) and a differential
+  WCET-vs-simulation soundness conformance harness (:mod:`repro.verify`,
+  ``python -m repro.verify``);
 * a chip-multiprocessor model: true shared-memory multicore co-simulation
   with pluggable arbitration (TDMA, round-robin, priority) plus the
   decoupled analytic TDMA view (:mod:`repro.cmp`);
@@ -61,6 +63,7 @@ from .errors import (
     ScheduleViolation,
     SimulationError,
     StackCacheError,
+    VerificationError,
     WcetError,
 )
 from .explore import (
@@ -132,6 +135,7 @@ __all__ = [
     "SimulationError",
     "StackCacheConfig",
     "StackCacheError",
+    "VerificationError",
     "CmpSystem",
     "MulticoreSystem",
     "WcetAnalyzer",

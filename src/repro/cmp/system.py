@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
+from ..caches.hierarchy import HierarchyOptions
 from ..config import DEFAULT_CONFIG, PatmosConfig
 from ..errors import ConfigError
 from ..memory.arbiter import MemoryArbiter, PriorityArbiter, make_arbiter
@@ -142,7 +143,8 @@ class MulticoreSystem:
                  slot_weights: Optional[Sequence[int]] = None,
                  priorities: Optional[Sequence[int]] = None,
                  mode: str = "cosim", engine: str = "fast",
-                 quantum: int = 1):
+                 quantum: int = 1,
+                 hierarchy_options: Optional[HierarchyOptions] = None):
         if not images:
             raise ConfigError("a multicore system needs at least one core image")
         if mode not in ("cosim", "analytic"):
@@ -167,6 +169,9 @@ class MulticoreSystem:
         self.mode = mode
         self.engine = engine
         self.quantum = quantum
+        #: Cache-organisation baseline applied to every core (conventional
+        #: I-cache / unified data cache experiments on the CMP).
+        self.hierarchy_options = hierarchy_options
 
         if isinstance(arbiter, MemoryArbiter):
             if arbiter.num_cores < len(images):
@@ -296,7 +301,8 @@ class MulticoreSystem:
             arbiter = TdmaArbiter(self.schedule, core_id)
             simulator = CycleSimulator(image, config=config, strict=strict,
                                        arbiter=arbiter, core_id=core_id,
-                                       engine=self.engine)
+                                       engine=self.engine,
+                                       hierarchy_options=self.hierarchy_options)
             simulator.run(max_bundles=max_bundles)
             sims.append(simulator)
         return sims
@@ -319,7 +325,8 @@ class MulticoreSystem:
             sims.append(CycleSimulator(
                 image, config=config, strict=strict,
                 arbiter=arbiter.port(core_id), core_id=core_id,
-                memory=bank, engine=self.engine))
+                memory=bank, engine=self.engine,
+                hierarchy_options=self.hierarchy_options))
 
         # Global scheduler: always advance the core with the smallest local
         # clock (ties broken in the arbiter's service order), up to one
@@ -350,12 +357,19 @@ class MulticoreSystem:
     # WCET
     # ------------------------------------------------------------------
 
-    def wcet_options_for_core(self, core_id: int) -> Optional[WcetOptions]:
+    def wcet_options_for_core(self, core_id: int,
+                              **overrides) -> Optional[WcetOptions]:
         """Arbiter-aware analysis options for one core.
 
-        TDMA has an exact per-transfer interference bound from the schedule;
+        TDMA has an exact per-transfer interference bound from the schedule
+        (refined to this core's own slot and each transfer's length);
         round-robin is bounded by ``(N - 1)`` maximal transfers; priority is
         bounded only for the top-priority core (``None`` for all others).
+        ``overrides`` pass extra :class:`WcetOptions` fields through (e.g.
+        cache analysis modes for the conformance harness).  The system's
+        ``hierarchy_options`` contribute the matching cache-model fields
+        automatically, so the bound always models the organisation the
+        cores actually simulate (explicit overrides still win).
         """
         rank = 0
         if self.arbiter_kind == "priority":
@@ -363,9 +377,26 @@ class MulticoreSystem:
             top = (template.top_core()
                    if isinstance(template, PriorityArbiter) else 0)
             rank = 0 if core_id == top else 1
+        for key, value in self._hierarchy_wcet_overrides().items():
+            overrides.setdefault(key, value)
         return WcetOptions.for_arbiter(
             self.arbiter_kind, self.num_cores, schedule=self.schedule,
-            priority_rank=rank)
+            priority_rank=rank, core_id=core_id, **overrides)
+
+    def _hierarchy_wcet_overrides(self) -> dict:
+        """WcetOptions fields implied by the simulated cache organisation."""
+        options = self.hierarchy_options
+        if options is None:
+            return {}
+        mapped: dict = {}
+        if options.conventional_icache:
+            mapped["conventional_icache"] = True
+        if options.unified_data_cache:
+            mapped["unified_data_cache"] = True
+        if options.ideal_data_caches:
+            mapped["static_cache"] = "ideal"
+            mapped["object_cache"] = "ideal"
+        return mapped
 
     def _analyse_core(self, core_id: int) -> Optional[WcetResult]:
         options = self.wcet_options_for_core(core_id)

@@ -79,3 +79,14 @@ class ExplorationError(ReproError):
     functional mismatches discovered while sweeping (a configuration whose
     simulated output differs from the kernel's reference output).
     """
+
+
+class VerificationError(ReproError):
+    """The conformance harness could not trust a scenario's execution.
+
+    Raised when a scenario's simulation produces output that differs from
+    the kernel's pure-Python reference — a broken execution must fail the
+    verification run loudly rather than feed meaningless cycle counts into
+    the soundness comparison.  (Soundness *violations* themselves are data,
+    not exceptions: they are collected in the report.)
+    """

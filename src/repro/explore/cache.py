@@ -13,6 +13,7 @@ plus ``os.replace``) so a crashed sweep never corrupts previous results.
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
@@ -21,11 +22,42 @@ from typing import Optional
 
 from ..errors import ExplorationError
 
+try:  # POSIX file locking for the save-time merge; absent e.g. on Windows.
+    import fcntl
+except ImportError:  # pragma: no cover - platform-dependent
+    fcntl = None
+
+
+@contextlib.contextmanager
+def _save_lock(path: Path):
+    """Exclusive advisory lock serialising concurrent ``save()`` merges.
+
+    Writers lock a ``.lock`` sidecar for the read-merge-replace sequence so
+    no update can land between the merge's re-read and the atomic replace.
+    Readers never need the lock (``os.replace`` keeps every read a complete
+    file).  Where ``fcntl`` is unavailable the lock degrades to a no-op and
+    the merge still narrows the race to that window.
+    """
+    if fcntl is None:  # pragma: no cover - platform-dependent
+        yield
+        return
+    handle = open(path, "a+")
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
 #: Bump when the record format or the simulation semantics change in a way
 #: that invalidates stored results.
 #: v2: multicore design points run the interleaved co-simulation (arbiter /
 #: slot_weights axes) and records carry the interference metrics.
-CACHE_VERSION = 2
+#: v3: WCET options carry ``tdma_core_id`` and TDMA design points use the
+#: refined per-core, per-transfer interference bound.
+CACHE_VERSION = 3
 
 
 class ResultCache:
@@ -37,6 +69,10 @@ class ResultCache:
         self.misses = 0
         self._entries: Optional[dict[str, dict]] = None
         self._dirty = False
+        #: Keys written by *this* process since the last save; on save these
+        #: win over whatever concurrent sweeps persisted in the meantime.
+        self._dirty_keys: set[str] = set()
+        self._cleared = False
 
     # ------------------------------------------------------------------
     # Loading and saving
@@ -44,40 +80,83 @@ class ResultCache:
 
     def _load(self) -> dict[str, dict]:
         if self._entries is None:
-            self._entries = {}
             if self.path.exists():
                 try:
                     data = json.loads(self.path.read_text(encoding="utf-8"))
                 except (OSError, json.JSONDecodeError) as exc:
                     raise ExplorationError(
                         f"corrupt result cache {self.path}: {exc}") from exc
-                if (isinstance(data, dict)
-                        and data.get("version") == CACHE_VERSION
-                        and isinstance(data.get("entries"), dict)):
-                    self._entries = data["entries"]
+                self._entries = self._valid_entries(data)
+            else:
+                self._entries = {}
         return self._entries
 
+    @staticmethod
+    def _valid_entries(data) -> dict[str, dict]:
+        """The entry table of a parsed cache file ({} on any mismatch)."""
+        if (isinstance(data, dict)
+                and data.get("version") == CACHE_VERSION
+                and isinstance(data.get("entries"), dict)):
+            return data["entries"]
+        return {}
+
+    def _reread_disk(self) -> dict[str, dict]:
+        """Best-effort fresh read of the on-disk entries for the save merge.
+
+        Unlike :meth:`_load` this never raises: a file another sweep is just
+        replacing (or has corrupted) must not lose *our* computed results —
+        the merge simply proceeds without the unreadable content.
+        """
+        if not self.path.exists():
+            return {}
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return self._valid_entries(data)
+
     def save(self) -> None:
-        """Atomically persist the cache (no-op if nothing changed)."""
+        """Atomically persist the cache (no-op if nothing changed).
+
+        Concurrent sweeps may share one cache file: the read-merge-replace
+        sequence runs under an exclusive advisory lock, and the re-read
+        picks up records persisted by other processes since our
+        :meth:`_load`.  Per key the newest record wins — ours for keys this
+        process wrote, the disk's for keys it merely loaded.  :meth:`clear`
+        skips the merge (an explicit clear must actually empty the file).
+        """
         if not self._dirty:
             return
-        entries = self._load()
-        payload = {"version": CACHE_VERSION,
-                   "entries": {key: entries[key] for key in sorted(entries)}}
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(dir=str(self.path.parent),
-                                        prefix=self.path.name, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle, sort_keys=True, indent=1)
-            os.replace(tmp_name, self.path)
-        except BaseException:
+        with _save_lock(self.path.with_name(self.path.name + ".lock")):
+            entries = dict(self._load())
+            if not self._cleared:
+                disk = self._reread_disk()
+                merged = {**entries, **disk}
+                for key in self._dirty_keys:
+                    if key in entries:
+                        merged[key] = entries[key]
+                entries = merged
+            payload = {"version": CACHE_VERSION,
+                       "entries": {key: entries[key]
+                                   for key in sorted(entries)}}
+            fd, tmp_name = tempfile.mkstemp(dir=str(self.path.parent),
+                                            prefix=self.path.name,
+                                            suffix=".tmp")
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle, sort_keys=True, indent=1)
+                os.replace(tmp_name, self.path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        self._entries = entries
         self._dirty = False
+        self._dirty_keys.clear()
+        self._cleared = False
 
     # ------------------------------------------------------------------
     # Access
@@ -94,10 +173,13 @@ class ResultCache:
 
     def put(self, key: str, record: dict) -> None:
         self._load()[key] = record
+        self._dirty_keys.add(key)
         self._dirty = True
 
     def clear(self) -> None:
         self._entries = {}
+        self._dirty_keys.clear()
+        self._cleared = True
         self._dirty = True
 
     def __len__(self) -> int:

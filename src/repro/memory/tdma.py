@@ -120,6 +120,18 @@ class TdmaSchedule:
                 f"TDMA slot of {length} cycles")
         return self.period - length + transfer_cycles - 1
 
+    def bottleneck_core(self) -> int:
+        """The core with the smallest slot (first on ties).
+
+        For any transfer length, :meth:`worst_case_wait` is largest for the
+        core with the shortest slot, so this core's refined per-transfer
+        bound dominates every other core's — the right core to analyse when
+        one WCET bound must cover a whole homogeneous system (e.g. the
+        makespan of an exploration design point).
+        """
+        weights = self.weights
+        return min(range(self.num_cores), key=lambda core: weights[core])
+
     def _check_core(self, core_id: int) -> None:
         if not 0 <= core_id < self.num_cores:
             raise ConfigError(

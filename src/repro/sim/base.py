@@ -604,6 +604,7 @@ class BaseSimulator:
             cache_stats=self._cache_stats(),
             trace=self.trace if self.trace_enabled else None,
             halted=self.state.halted,
+            issue_width=2 if self.config.pipeline.dual_issue else 1,
         )
 
     def _cache_stats(self) -> dict[str, dict]:

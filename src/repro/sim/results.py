@@ -66,6 +66,8 @@ class SimResult:
     cache_stats: dict[str, dict] = field(default_factory=dict)
     trace: Optional[list[TraceEntry]] = None
     halted: bool = True
+    #: Issue slots offered per bundle cycle (2 for dual-issue, 1 otherwise).
+    issue_width: int = 2
 
     @property
     def ipc(self) -> float:
@@ -85,12 +87,14 @@ class SimResult:
     def slot_utilisation(self) -> float:
         """Fraction of issue slots filled with useful (non-NOP) instructions.
 
-        A dual-issue machine offers two slots per issued bundle cycle; the
-        utilisation measures how well the compiler fills the second slot.
+        The machine offers ``issue_width`` slots per issued bundle cycle
+        (two when dual-issue is configured, one otherwise); the utilisation
+        measures how well the compiler fills them.  A single-issue run can
+        therefore reach 1.0 instead of being capped at 0.5 by construction.
         """
         if self.bundles == 0:
             return 0.0
-        return (self.instructions - self.nops) / (2 * self.bundles)
+        return (self.instructions - self.nops) / (self.issue_width * self.bundles)
 
     def metrics(self) -> dict:
         """Flat, JSON-serializable metrics of this run.
@@ -106,6 +110,8 @@ class SimResult:
             "nops": self.nops,
             "stall_cycles": self.stalls.total(),
             "stalls": self.stalls.to_dict(),
+            "issue_width": self.issue_width,
+            "slot_utilisation": round(self.slot_utilisation, 6),
             "cache_stats": self.cache_stats,
             # Interference figures of merit, surfaced flat so batch tooling
             # (explore/Pareto) can rank design points by memory contention:

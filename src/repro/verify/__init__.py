@@ -1,0 +1,66 @@
+"""WCET soundness conformance: the paper's central claim as an executable gate.
+
+The paper argues that the Patmos architecture is *WCET-analysable*: for every
+program and hardware configuration the static bound computed by
+:mod:`repro.wcet` must dominate every execution the hardware can produce.
+This package turns that claim into a differential test::
+
+    python -m repro.verify            # full kernel × cache-model × arbiter matrix
+    python -m repro.verify --json BENCH_wcet.json --kernels performance
+
+Methodology
+-----------
+
+* **Soundness** is checked per core: ``observed cycles <= wcet_cycles`` for
+  the genuine cycle-accurate execution — the fast-engine simulation on one
+  core, the interleaved shared-memory co-simulation for multicore arbiters.
+  Any bounded core whose observation exceeds its bound is a *violation* and
+  fails the run (the CLI and CI gate exit non-zero).
+* **Tightness** is the ratio ``wcet_cycles / observed cycles`` (>= 1.0 when
+  sound).  It is *diagnostic*, not pass/fail: a sound-but-loose bound is
+  correct yet useless, so the report tracks the mean and worst ratio per
+  scenario and ``benchmarks/bench_wcet_conformance.py`` records the
+  trajectory over time (``BENCH_wcet.json``), including the tightening win
+  of the refined per-core TDMA bound over the blanket ``period - 1`` charge.
+* **Coverage** crosses every workload kernel with the cache-model variants
+  (method-cache persistence/always-miss, conventional I-cache and unified
+  data-cache baselines, stack-cache refined/naive) and the arbiter
+  configurations (single core, TDMA, weighted TDMA, round-robin, priority).
+  One observation per scenario is no proof — but a matrix of hundreds of
+  differential checks is exactly how a soundness regression in either the
+  analyzer or the simulator gets caught before users do.
+* **Unbounded by design** cells (non-top cores under priority arbitration)
+  are reported as such rather than skipped: the absence of a bound there is
+  itself a result the paper argues for.
+
+The matrix lives in :mod:`repro.verify.scenarios`, the execution engine in
+:mod:`repro.verify.harness`.
+"""
+
+from .harness import (
+    ConformanceHarness,
+    ConformanceReport,
+    ScenarioOutcome,
+    run_conformance,
+)
+from .scenarios import (
+    DEFAULT_ARBITERS,
+    DEFAULT_VARIANTS,
+    ArbiterConfig,
+    CacheModelVariant,
+    Scenario,
+    build_scenarios,
+)
+
+__all__ = [
+    "ArbiterConfig",
+    "CacheModelVariant",
+    "ConformanceHarness",
+    "ConformanceReport",
+    "DEFAULT_ARBITERS",
+    "DEFAULT_VARIANTS",
+    "Scenario",
+    "ScenarioOutcome",
+    "build_scenarios",
+    "run_conformance",
+]

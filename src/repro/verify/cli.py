@@ -1,0 +1,110 @@
+"""Command-line front end: ``python -m repro.verify``.
+
+Runs the WCET-vs-simulation conformance matrix and exits non-zero if any
+static bound fails to cover its observed execution::
+
+    python -m repro.verify                          # full matrix
+    python -m repro.verify --kernels performance    # a suite subset
+    python -m repro.verify --json report.json       # machine-readable report
+    python -m repro.verify --arbiters single,tdma2  # arbiter subset
+
+``--kernels`` accepts kernel and suite names (``performance``, ``branchy``,
+``all``); ``--variants``/``--arbiters`` filter the cache-model and arbiter
+columns of the matrix by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..errors import ReproError
+from ..workloads.suite import resolve_kernels
+from .harness import run_conformance
+from .scenarios import DEFAULT_ARBITERS, DEFAULT_VARIANTS
+
+
+def _select(available, requested: Optional[str], what: str):
+    """Filter a column tuple by a comma-separated name list."""
+    if requested is None:
+        return available
+    by_name = {item.name: item for item in available}
+    selected = []
+    for name in requested.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in by_name:
+            raise ReproError(
+                f"unknown {what} {name!r}; available: {sorted(by_name)}")
+        selected.append(by_name[name])
+    if not selected:
+        raise ReproError(f"no {what}s selected")
+    return tuple(selected)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential WCET soundness conformance harness.")
+    parser.add_argument("--kernels", default="all",
+                        help="comma-separated kernel or suite names "
+                             "(default: all)")
+    parser.add_argument("--variants", default=None,
+                        help="comma-separated cache-model variant names "
+                             f"(default: all of "
+                             f"{[v.name for v in DEFAULT_VARIANTS]})")
+    parser.add_argument("--arbiters", default=None,
+                        help="comma-separated arbiter configuration names "
+                             f"(default: all of "
+                             f"{[a.name for a in DEFAULT_ARBITERS]})")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="write the machine-readable report here")
+    parser.add_argument("--table", action="store_true",
+                        help="print the full per-core conformance table")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-scenario progress lines")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    # Usage errors (unknown kernels/variants/arbiters) are reported cleanly
+    # before the run; only this validation may catch KeyError (the error
+    # resolve_kernels raises), so a genuine KeyError bug inside the harness
+    # still produces a traceback instead of masquerading as a typo.
+    try:
+        variants = _select(DEFAULT_VARIANTS, args.variants, "variant")
+        arbiters = _select(DEFAULT_ARBITERS, args.arbiters, "arbiter")
+        kernels = resolve_kernels(
+            name.strip() for name in args.kernels.split(",") if name.strip())
+        if not kernels:
+            # An empty selection must never let the soundness gate pass
+            # vacuously (0 scenarios checked, exit 0).
+            raise ReproError("no kernels selected")
+    except (ReproError, KeyError) as exc:
+        # A KeyError's args[0] is the message (str() would add repr quotes).
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return 2
+    try:
+        report = run_conformance(
+            kernels=kernels, variants=variants, arbiters=arbiters,
+            progress=None if args.quiet else print)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.table:
+        print()
+        print(report.table())
+    print()
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.json}")
+    return 1 if report.violations() else 0

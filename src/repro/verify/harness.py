@@ -1,0 +1,308 @@
+"""The differential WCET-vs-simulation conformance harness.
+
+For every scenario of the matrix the harness runs the *genuine* execution —
+the cycle-accurate fast-engine simulation on a single core, or the fully
+interleaved shared-memory co-simulation for multicore arbiters — and the
+static WCET analysis configured for exactly that hardware, then checks the
+paper's soundness property per core::
+
+    observed cycles  <=  wcet_cycles
+
+Every checked core yields one :class:`ScenarioOutcome` carrying the
+tightness ratio ``wcet_cycles / cycles``; a ratio below 1.0 is a soundness
+violation and fails the run.  Cores without a bound (any non-top core under
+priority arbitration) are recorded as *unbounded* rather than silently
+skipped, so the report also documents where the paper says no bound exists.
+
+Simulations are memoised per (kernel, hardware organisation, arbiter), so
+analysis-only variants (``always_miss``, ``naive``) reuse the simulation of
+the default variant and the full matrix stays CI-sized.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..cmp.system import MulticoreSystem
+from ..compiler.passes import compile_and_link
+from ..config import DEFAULT_CONFIG, PatmosConfig
+from ..errors import VerificationError
+from ..explore.tables import format_table
+from ..sim.cycle import CycleSimulator
+from ..wcet.analyzer import WcetOptions, analyze_wcet
+from ..workloads.suite import build_kernel
+from .scenarios import (
+    DEFAULT_ARBITERS,
+    DEFAULT_VARIANTS,
+    ArbiterConfig,
+    CacheModelVariant,
+    Scenario,
+    build_scenarios,
+)
+
+
+@dataclass
+class ScenarioOutcome:
+    """The conformance verdict of one core of one scenario."""
+
+    kernel: str
+    variant: str
+    arbiter: str
+    cores: int
+    core_id: int
+    cycles: int
+    wcet_cycles: Optional[int]
+
+    @property
+    def tightness(self) -> Optional[float]:
+        """Bound over observation (>= 1.0 iff the bound is sound)."""
+        if self.wcet_cycles is None or self.cycles <= 0:
+            return None
+        return self.wcet_cycles / self.cycles
+
+    @property
+    def sound(self) -> Optional[bool]:
+        """True/False for bounded cores, None where no bound exists."""
+        if self.wcet_cycles is None:
+            return None
+        return self.wcet_cycles >= self.cycles
+
+    def to_dict(self) -> dict:
+        return {
+            "kernel": self.kernel,
+            "variant": self.variant,
+            "arbiter": self.arbiter,
+            "cores": self.cores,
+            "core": self.core_id,
+            "cycles": self.cycles,
+            "wcet_cycles": self.wcet_cycles,
+            "tightness": (None if self.tightness is None
+                          else round(self.tightness, 4)),
+            "sound": self.sound,
+        }
+
+
+@dataclass
+class ConformanceReport:
+    """All outcomes of one conformance run plus aggregate statistics."""
+
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def violations(self) -> list[ScenarioOutcome]:
+        """Outcomes whose bound failed to cover the observation."""
+        return [outcome for outcome in self.outcomes
+                if outcome.sound is False]
+
+    def bounded(self) -> list[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes
+                if outcome.tightness is not None]
+
+    def unbounded(self) -> list[ScenarioOutcome]:
+        return [outcome for outcome in self.outcomes
+                if outcome.wcet_cycles is None]
+
+    def mean_tightness(self) -> Optional[float]:
+        bounded = self.bounded()
+        if not bounded:
+            return None
+        return sum(outcome.tightness for outcome in bounded) / len(bounded)
+
+    def max_tightness(self) -> Optional[ScenarioOutcome]:
+        bounded = self.bounded()
+        if not bounded:
+            return None
+        return max(bounded, key=lambda outcome: outcome.tightness)
+
+    def to_dict(self) -> dict:
+        worst = self.max_tightness()
+        return {
+            "schema": "repro.verify/v1",
+            "scenarios": [outcome.to_dict() for outcome in self.outcomes],
+            "summary": {
+                "checked": len(self.outcomes),
+                "bounded": len(self.bounded()),
+                "unbounded": len(self.unbounded()),
+                "violations": len(self.violations()),
+                "mean_tightness": (None if self.mean_tightness() is None
+                                   else round(self.mean_tightness(), 4)),
+                "max_tightness": (None if worst is None
+                                  else round(worst.tightness, 4)),
+                "max_tightness_scenario": (
+                    None if worst is None else
+                    f"{worst.kernel}/{worst.variant}/{worst.arbiter}"),
+                "elapsed_s": round(self.elapsed_s, 3),
+            },
+        }
+
+    def table(self) -> str:
+        """Aligned per-outcome conformance table."""
+        headers = ["kernel", "cache model", "arbiter", "core", "cycles",
+                   "WCET", "bound/obs", "sound"]
+        rows = []
+        for outcome in self.outcomes:
+            rows.append([
+                outcome.kernel, outcome.variant, outcome.arbiter,
+                outcome.core_id, outcome.cycles,
+                outcome.wcet_cycles if outcome.wcet_cycles is not None
+                else "-",
+                f"{outcome.tightness:.2f}" if outcome.tightness is not None
+                else "-",
+                {True: "yes", False: "NO", None: "n/a"}[outcome.sound],
+            ])
+        return format_table(headers, rows)
+
+    def summary(self) -> str:
+        mean = self.mean_tightness()
+        worst = self.max_tightness()
+        lines = [
+            f"{len(self.outcomes)} core-scenarios checked in "
+            f"{self.elapsed_s:.2f}s: {len(self.bounded())} bounded, "
+            f"{len(self.unbounded())} unbounded by design, "
+            f"{len(self.violations())} soundness violations",
+        ]
+        if mean is not None and worst is not None:
+            lines.append(
+                f"tightness (bound/observed): mean {mean:.3f}, worst "
+                f"{worst.tightness:.3f} "
+                f"({worst.kernel}/{worst.variant}/{worst.arbiter})")
+        for outcome in self.violations():
+            lines.append(
+                f"  VIOLATION {outcome.kernel}/{outcome.variant}/"
+                f"{outcome.arbiter} core {outcome.core_id}: observed "
+                f"{outcome.cycles} > bound {outcome.wcet_cycles}")
+        return "\n".join(lines)
+
+
+class ConformanceHarness:
+    """Execute conformance scenarios with per-hardware simulation reuse."""
+
+    def __init__(self, config: Optional[PatmosConfig] = None,
+                 strict: bool = True):
+        self.config = config or DEFAULT_CONFIG
+        self.strict = strict
+        self._images: dict[str, object] = {}
+        self._expected: dict[str, list[int]] = {}
+        #: (kernel, hardware, arbiter config) -> (per-core cycles,
+        #: system|None).  Keyed by the frozen ArbiterConfig value, not its
+        #: display name, so two configs that happen to share a name can
+        #: never reuse each other's simulation.
+        self._sims: dict[tuple[str, str, ArbiterConfig],
+                         tuple[list[int], Optional[MulticoreSystem]]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _image(self, kernel: str):
+        if kernel not in self._images:
+            built = build_kernel(kernel)
+            image, _ = compile_and_link(built.program, self.config)
+            self._images[kernel] = image
+            self._expected[kernel] = built.expected_output
+        return self._images[kernel]
+
+    def _simulate(self, kernel: str, variant: CacheModelVariant,
+                  arbiter: ArbiterConfig
+                  ) -> tuple[list[int], Optional[MulticoreSystem]]:
+        """Per-core observed cycles (and the system, for multicore runs)."""
+        key = (kernel, variant.hardware, arbiter)
+        if key in self._sims:
+            return self._sims[key]
+        image = self._image(kernel)
+        hierarchy = variant.hierarchy_options()
+        if arbiter.cores == 1:
+            result = CycleSimulator(
+                image, config=self.config, strict=self.strict,
+                hierarchy_options=hierarchy).run()
+            self._check_output(kernel, variant, arbiter, 0, result.output)
+            value = ([result.cycles], None)
+        else:
+            system = MulticoreSystem(
+                [image] * arbiter.cores, self.config,
+                arbiter=arbiter.kind,
+                schedule=arbiter.schedule(self.config),
+                mode="cosim", hierarchy_options=hierarchy)
+            cmp_result = system.run(analyse=False, strict=self.strict)
+            for core in cmp_result.cores:
+                self._check_output(kernel, variant, arbiter, core.core_id,
+                                   core.sim.output)
+            value = (cmp_result.observed_by_core(), system)
+        self._sims[key] = value
+        return value
+
+    def _check_output(self, kernel: str, variant: CacheModelVariant,
+                      arbiter: ArbiterConfig, core_id: int,
+                      observed: list[int]) -> None:
+        expected = self._expected[kernel]
+        if observed != expected:
+            raise VerificationError(
+                f"{kernel} × {variant.name} × {arbiter.name} core {core_id}: "
+                f"functional mismatch — simulated output {observed[:4]} "
+                f"differs from reference {expected[:4]}")
+
+    def _wcet_options(self, variant: CacheModelVariant,
+                      arbiter: ArbiterConfig, core_id: int,
+                      system: Optional[MulticoreSystem]
+                      ) -> Optional[WcetOptions]:
+        overrides = dict(variant.wcet_overrides)
+        if system is not None:
+            return system.wcet_options_for_core(core_id, **overrides)
+        return WcetOptions(**overrides)
+
+    # ------------------------------------------------------------------
+
+    def run_scenario(self, scenario: Scenario) -> list[ScenarioOutcome]:
+        """Run one scenario; returns one outcome per core."""
+        cycles_by_core, system = self._simulate(
+            scenario.kernel, scenario.variant, scenario.arbiter)
+        image = self._image(scenario.kernel)
+        outcomes = []
+        for core_id, cycles in enumerate(cycles_by_core):
+            options = self._wcet_options(
+                scenario.variant, scenario.arbiter, core_id, system)
+            wcet = (None if options is None else
+                    analyze_wcet(image, self.config, options=options)
+                    .wcet_cycles)
+            outcomes.append(ScenarioOutcome(
+                kernel=scenario.kernel,
+                variant=scenario.variant.name,
+                arbiter=scenario.arbiter.name,
+                cores=scenario.arbiter.cores,
+                core_id=core_id,
+                cycles=cycles,
+                wcet_cycles=wcet))
+        return outcomes
+
+
+def run_conformance(kernels=("all",),
+                    variants: tuple[CacheModelVariant, ...] = DEFAULT_VARIANTS,
+                    arbiters: tuple[ArbiterConfig, ...] = DEFAULT_ARBITERS,
+                    config: Optional[PatmosConfig] = None,
+                    strict: bool = True,
+                    progress: Optional[Callable[[str], None]] = None
+                    ) -> ConformanceReport:
+    """Run the full conformance matrix and collect the report.
+
+    ``progress`` (if given) receives one line per finished scenario; the
+    report itself never raises on soundness violations — callers decide
+    (the CLI and the CI gate exit non-zero when ``violations()`` is
+    non-empty).
+    """
+    harness = ConformanceHarness(config=config, strict=strict)
+    scenarios = build_scenarios(kernels, variants, arbiters)
+    report = ConformanceReport()
+    started = time.perf_counter()
+    for scenario in scenarios:
+        outcomes = harness.run_scenario(scenario)
+        report.outcomes.extend(outcomes)
+        if progress is not None:
+            worst = min((outcome.tightness for outcome in outcomes
+                         if outcome.tightness is not None), default=None)
+            status = "ok" if not any(outcome.sound is False
+                                     for outcome in outcomes) else "VIOLATION"
+            ratio = "-" if worst is None else f"{worst:.2f}"
+            progress(f"{scenario.label():60s} min bound/obs {ratio:>6s}  "
+                     f"{status}")
+    report.elapsed_s = time.perf_counter() - started
+    return report

@@ -1,0 +1,129 @@
+"""The conformance scenario matrix: kernels × cache models × arbiters.
+
+A *scenario* is one fully specified differential experiment: a workload
+kernel, a cache-model variant (which fixes both the simulated hardware
+organisation and the matching static-analysis options) and an arbiter
+configuration (core count, arbitration policy, TDMA slot geometry).  The
+harness in :mod:`repro.verify.harness` runs the genuine simulation of every
+scenario and checks the static bound against it.
+
+The default matrix crosses every workload kernel with:
+
+* **cache-model variants** — the method cache under the ``persistence`` and
+  ``always_miss`` analyses, the conventional instruction-cache baseline, the
+  unified data-cache baseline, and the stack cache under the ``naive``
+  analysis (the refined analysis is the default variant);
+* **arbiter configurations** — a single core, two-core TDMA, four-core
+  *weighted* TDMA (slot weights 1:2:1:1), two-core round-robin and two-core
+  priority arbitration (only the top-priority core has a bound).
+
+Variants that only change the *analysis* (``always_miss``, ``naive``) share
+the simulated hardware of the default variant, so the harness can reuse one
+simulation for several analyses — the matrix stays cheap enough to gate CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from ..caches.hierarchy import HierarchyOptions
+from ..cmp.system import default_tdma_schedule
+from ..config import PatmosConfig
+from ..errors import ConfigError
+from ..memory.tdma import TdmaSchedule
+from ..workloads.suite import resolve_kernels
+
+
+@dataclass(frozen=True)
+class CacheModelVariant:
+    """One cache-model column of the matrix.
+
+    ``hardware`` names the simulated cache organisation (variants sharing a
+    name share simulations); ``wcet_overrides`` are the matching
+    :class:`~repro.wcet.analyzer.WcetOptions` fields.
+    """
+
+    name: str
+    hardware: str = "default"
+    wcet_overrides: tuple[tuple[str, Any], ...] = ()
+
+    def hierarchy_options(self) -> HierarchyOptions:
+        """The simulator-side cache organisation of this variant."""
+        if self.hardware == "default":
+            return HierarchyOptions()
+        if self.hardware == "icache":
+            return HierarchyOptions(conventional_icache=True)
+        if self.hardware == "unified":
+            return HierarchyOptions(unified_data_cache=True)
+        raise ConfigError(f"unknown hardware organisation {self.hardware!r}")
+
+
+#: The cache-model variants of the default matrix (ISSUE: method-cache
+#: modes, conventional i-cache and unified d-cache baselines, stack-cache
+#: refined/naive).
+DEFAULT_VARIANTS: tuple[CacheModelVariant, ...] = (
+    CacheModelVariant("default"),
+    CacheModelVariant("mc_always_miss",
+                      wcet_overrides=(("method_cache", "always_miss"),)),
+    CacheModelVariant("conventional_icache", hardware="icache",
+                      wcet_overrides=(("conventional_icache", True),)),
+    CacheModelVariant("unified_dcache", hardware="unified",
+                      wcet_overrides=(("unified_data_cache", True),)),
+    CacheModelVariant("stack_naive",
+                      wcet_overrides=(("stack_cache", "naive"),)),
+)
+
+
+@dataclass(frozen=True)
+class ArbiterConfig:
+    """One arbiter column of the matrix."""
+
+    name: str
+    kind: str                       # "none" | "tdma" | "round_robin" | "priority"
+    cores: int = 1
+    slot_weights: tuple[int, ...] = ()
+    slot_cycles: Optional[int] = None
+
+    def schedule(self, config: PatmosConfig) -> Optional[TdmaSchedule]:
+        if self.kind != "tdma":
+            return None
+        # Shares the system-side default-slot logic so the matrix verifies
+        # exactly the schedule geometry MulticoreSystem would construct.
+        return default_tdma_schedule(self.cores, config,
+                                     slot_cycles=self.slot_cycles,
+                                     slot_weights=self.slot_weights)
+
+
+#: The arbiter configurations of the default matrix.
+DEFAULT_ARBITERS: tuple[ArbiterConfig, ...] = (
+    ArbiterConfig("single", kind="none", cores=1),
+    ArbiterConfig("tdma2", kind="tdma", cores=2),
+    ArbiterConfig("tdma4w", kind="tdma", cores=4, slot_weights=(1, 2, 1, 1)),
+    ArbiterConfig("round_robin2", kind="round_robin", cores=2),
+    ArbiterConfig("priority2", kind="priority", cores=2),
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One cell of the conformance matrix."""
+
+    kernel: str
+    variant: CacheModelVariant
+    arbiter: ArbiterConfig
+
+    def label(self) -> str:
+        return f"{self.kernel} × {self.variant.name} × {self.arbiter.name}"
+
+
+def build_scenarios(kernels=("all",),
+                    variants: tuple[CacheModelVariant, ...] = DEFAULT_VARIANTS,
+                    arbiters: tuple[ArbiterConfig, ...] = DEFAULT_ARBITERS,
+                    ) -> list[Scenario]:
+    """Expand the full kernel × cache-model × arbiter matrix."""
+    names = resolve_kernels(kernels)
+    return [Scenario(kernel=name, variant=variant, arbiter=arbiter)
+            for name in names
+            for variant in variants
+            for arbiter in arbiters]

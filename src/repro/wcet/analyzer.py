@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..config import DEFAULT_CONFIG, PatmosConfig
-from ..errors import WcetError
+from ..errors import ConfigError, WcetError
 from ..isa.opcodes import MemType, Opcode
 from ..memory.tdma import TdmaSchedule
 from ..program.callgraph import CallGraph
@@ -64,6 +64,11 @@ class WcetOptions:
     unified_data_cache: bool = False
     #: TDMA schedule of the CMP configuration (adds worst-case arbitration).
     tdma: Optional[TdmaSchedule] = None
+    #: The core whose TDMA slot this analysis models.  ``None`` falls back to
+    #: the blanket schedule-wide bound (``period - 1`` per transfer); with a
+    #: core id every transfer is charged the refined per-core, per-transfer
+    #: bound ``schedule.worst_case_wait(core, transfer_cycles)`` instead.
+    tdma_core_id: Optional[int] = None
     #: Interference model of the memory arbiter: "tdma" uses the exact
     #: per-transfer bound of ``tdma``; "round_robin" charges ``(N - 1)``
     #: maximal transfers per access; "priority" is bounded only for the
@@ -82,6 +87,7 @@ class WcetOptions:
     def for_arbiter(cls, kind: str, num_cores: int,
                     schedule: Optional[TdmaSchedule] = None,
                     priority_rank: int = 0,
+                    core_id: Optional[int] = None,
                     **overrides) -> Optional["WcetOptions"]:
         """The interference options matching one multicore arbiter.
 
@@ -90,10 +96,13 @@ class WcetOptions:
         specs: TDMA uses the exact ``schedule`` bound, round-robin the
         ``(N - 1)``-transfers bound, and priority is analysable only at
         rank 0 — any other rank returns ``None`` (no bound exists).
+        ``core_id`` selects the refined per-core TDMA bound (the analysed
+        core's own slot); ``None`` keeps the blanket ``period - 1`` bound.
         """
         if num_cores <= 1:
             return cls(**overrides)
         if kind == "tdma":
+            overrides.setdefault("tdma_core_id", core_id)
             return cls(tdma=schedule, **overrides)
         if kind == "round_robin":
             return cls(arbiter="round_robin", arbiter_cores=num_cores,
@@ -123,6 +132,7 @@ class WcetOptions:
                      {"num_cores": self.tdma.num_cores,
                       "slot_cycles": self.tdma.slot_cycles,
                       "slot_weights": list(self.tdma.slot_weights)}),
+            "tdma_core_id": self.tdma_core_id,
             "arbiter": self.arbiter,
             "arbiter_cores": self.arbiter_cores,
             "priority_rank": self.priority_rank,
@@ -183,6 +193,11 @@ class WcetAnalyzer:
         self.config = config or image.config or DEFAULT_CONFIG
         self.options = options
         self.program = image.program
+        #: Fill size in words of every linked function (method-cache events).
+        self._fill_words = {record.name: -(-record.size_bytes // 4)
+                            for record in image.functions}
+        #: Memo of the per-transfer bus wait, keyed by transfer word count.
+        self._wait_memo: dict[int, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -191,8 +206,12 @@ class WcetAnalyzer:
         entry = entry or self.program.entry
         options = self.options
         # Fail fast on an unbounded interference model (e.g. any core below
-        # the top priority) instead of deep inside the per-block costing.
+        # the top priority) instead of deep inside the per-block costing,
+        # and on a core id outside the TDMA schedule.
         self._interference_wait()
+        if (options.arbiter == "tdma" and options.tdma is not None
+                and options.tdma_core_id is not None):
+            options.tdma.slot_length(options.tdma_core_id)  # range check
 
         method_cache = None
         icache = None
@@ -237,10 +256,12 @@ class WcetAnalyzer:
             one_off_transfers += icache.one_off_transfers
         one_off += static_cache.one_off_cycles
         one_off_transfers += static_cache.one_off_transfers
-        interference = self._interference_wait()
-        if interference and one_off_transfers > 0:
-            # Every one-off transfer may additionally wait for the bus.
-            one_off += one_off_transfers * interference
+        if one_off_transfers > 0:
+            # Every one-off transfer may additionally wait for the bus; each
+            # is at most one burst on the bus (the controller's slot limit).
+            interference = self._transfer_wait(self.config.memory.burst_words)
+            if interference:
+                one_off += one_off_transfers * interference
 
         total = function_wcet[entry] + one_off
         return WcetResult(
@@ -335,6 +356,48 @@ class WcetAnalyzer:
         raise WcetError(f"unknown arbiter interference model "
                         f"{options.arbiter!r}")
 
+    def _transfer_wait(self, words: int) -> int:
+        """Worst-case bus wait of one arbitrated transfer of ``words`` words.
+
+        The memory controller arbitrates at most one burst per transaction
+        (larger fills are split), so the arbitrated length is the burst-capped
+        transfer time of ``words``.  Under TDMA with a known core id this is
+        the refined bound ``schedule.worst_case_wait(core, transfer)``; with
+        no core id it falls back to the blanket ``period - 1``, and the
+        round-robin/priority models are per-transfer constants anyway.
+
+        Note the current :class:`~repro.config.MemoryConfig` cost model
+        rounds every transfer up to whole bursts, so all ``words >= 1``
+        presently collapse to one burst and the refinement is effectively
+        per *core* (slot length).  The per-event word counts mirror what the
+        simulator registers with the arbiter at each call site, keeping the
+        bound aligned if the cost model ever gains sub-burst transfers.
+        """
+        options = self.options
+        if options.arbiter != "tdma":
+            return self._interference_wait()
+        schedule = options.tdma
+        if schedule is None:
+            return 0
+        if options.tdma_core_id is None:
+            return schedule.worst_case_wait()
+        cached = self._wait_memo.get(words)
+        if cached is None:
+            memory = self.config.memory
+            transfer = min(
+                memory.transfer_cycles(min(words, memory.burst_words)),
+                memory.burst_cycles())
+            try:
+                cached = schedule.worst_case_wait(options.tdma_core_id,
+                                                  transfer)
+            except ConfigError as exc:
+                raise WcetError(
+                    f"core {options.tdma_core_id}'s TDMA slot cannot fit a "
+                    f"{transfer}-cycle burst transfer; no WCET bound exists "
+                    f"(widen the slot or the core's weight)") from exc
+            self._wait_memo[words] = cached
+        return cached
+
     def _block_cost(self, summary: BlockSummary, function: Function,
                     function_wcet: dict[str, int],
                     method_cache: MethodCacheAnalysis | None,
@@ -344,7 +407,6 @@ class WcetAnalyzer:
                     stack_cache: StackCacheAnalysis) -> tuple[int, int]:
         """Worst-case cost of one block; returns ``(cost, callee_part)``."""
         config = self.config
-        tdma = self._interference_wait()
         cost = summary.bundles
         callee_part = 0
 
@@ -353,15 +415,27 @@ class WcetAnalyzer:
                 f"{summary.function}/{summary.label}: indirect calls (callr) "
                 "cannot be bounded without target annotations")
 
+        # Per-transfer bus interference: every event passes the word count of
+        # its (single, burst-capped) arbitrated transaction, mirroring what
+        # the simulator registers with the arbiter for that event.
+        wait = self._transfer_wait
+        fill_words = self._fill_words
+        static_line_words = config.static_cache.line_bytes // 4
+        # The simulator arbitrates every cached-line fill at the static-cache
+        # line size; take the larger of that and the object cache's own line
+        # so the charge dominates either wiring.
+        object_line_words = max(static_line_words,
+                                config.data_cache.line_bytes // 4)
+
         if icache is not None:
             cost += summary.bundles * icache.per_fetch_cost
-            if icache.per_fetch_cost and tdma:
-                cost += summary.bundles * tdma
+            if icache.per_fetch_cost:
+                cost += summary.bundles * wait(icache.line_words)
 
-        def transfer_event(base_cycles: int) -> int:
+        def transfer_event(base_cycles: int, words: int) -> int:
             if base_cycles <= 0:
                 return 0
-            return base_cycles + tdma
+            return base_cycles + wait(words)
 
         # Calls: method-cache fill of the callee, the callee's own WCET and
         # the method-cache fill of this function on return.
@@ -372,44 +446,49 @@ class WcetAnalyzer:
                     f"{summary.function!r} (call-graph order error)")
             callee_part += function_wcet[callee]
             if method_cache is not None:
-                cost += transfer_event(method_cache.transfer_cost(callee))
+                cost += transfer_event(method_cache.transfer_cost(callee),
+                                       fill_words.get(callee, 0))
                 cost += transfer_event(
-                    method_cache.transfer_cost(summary.function))
+                    method_cache.transfer_cost(summary.function),
+                    fill_words.get(summary.function, 0))
 
         # brcf into sub-functions (or other functions).
         for target in summary.brcf_targets:
             if method_cache is not None:
-                cost += transfer_event(method_cache.transfer_cost(target))
+                cost += transfer_event(method_cache.transfer_cost(target),
+                                       fill_words.get(target, 0))
 
         # Typed data accesses.
         cost += summary.read_count(MemType.STATIC) * transfer_event(
-            static_cache.per_read_cost)
+            static_cache.per_read_cost, static_line_words)
         cost += summary.write_count(MemType.STATIC) * transfer_event(
-            static_cache.per_write_cost)
+            static_cache.per_write_cost, 1)
         cost += summary.read_count(MemType.OBJECT) * transfer_event(
-            object_cache.per_read_cost)
+            object_cache.per_read_cost, object_line_words)
         cost += summary.write_count(MemType.OBJECT) * transfer_event(
-            object_cache.per_write_cost)
+            object_cache.per_write_cost, 1)
         if self.options.unified_data_cache:
             # Stack accesses also compete in the unified cache.
             cost += summary.read_count(MemType.STACK) * transfer_event(
-                static_cache.per_read_cost)
+                static_cache.per_read_cost, static_line_words)
             cost += summary.write_count(MemType.STACK) * transfer_event(
-                static_cache.per_write_cost)
+                static_cache.per_write_cost, 1)
         # Split main-memory loads are charged at the wait instruction.
-        cost += summary.wmem_count * transfer_event(config.memory.transfer_cycles(1))
+        cost += summary.wmem_count * transfer_event(
+            config.memory.transfer_cycles(1), 1)
         cost += summary.write_count(MemType.MAIN) * transfer_event(
-            config.memory.transfer_cycles(1))
+            config.memory.transfer_cycles(1), 1)
 
         # Stack-control costs.
         spill = stack_cache.spill_words.get(summary.function, 0)
         for _ in summary.sres_words:
-            cost += transfer_event(config.memory.transfer_cycles(spill))
+            cost += transfer_event(config.memory.transfer_cycles(spill), spill)
         worst_fill = max(
             (words for (caller, _), words in stack_cache.fill_words.items()
              if caller == summary.function), default=0)
         for _ in summary.sens_words:
-            cost += transfer_event(config.memory.transfer_cycles(worst_fill))
+            cost += transfer_event(config.memory.transfer_cycles(worst_fill),
+                                   worst_fill)
 
         return cost, callee_part
 

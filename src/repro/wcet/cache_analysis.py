@@ -126,6 +126,8 @@ class ConventionalICacheAnalysis:
     per_fetch_cost: int
     #: Number of separate one-off line fills behind ``one_off_cycles``.
     one_off_transfers: int = 0
+    #: Words per line fill (the arbitrated transfer size of one miss).
+    line_words: int = 4
 
 
 def analyse_conventional_icache(image: Image, config: PatmosConfig,
@@ -148,10 +150,11 @@ def analyse_conventional_icache(image: Image, config: PatmosConfig,
         lines = -(-code_bytes // line_bytes)
         return ConventionalICacheAnalysis(
             fits_whole_program=True, one_off_cycles=lines * line_fill,
-            per_fetch_cost=0, one_off_transfers=lines)
+            per_fetch_cost=0, one_off_transfers=lines,
+            line_words=line_bytes // 4)
     return ConventionalICacheAnalysis(
         fits_whole_program=False, one_off_cycles=0, per_fetch_cost=line_fill,
-        one_off_transfers=0)
+        one_off_transfers=0, line_words=line_bytes // 4)
 
 
 # ---------------------------------------------------------------------------

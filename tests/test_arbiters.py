@@ -164,6 +164,36 @@ class TestTdmaBusArbiter:
                  for cycle in range(schedule.period)]
         assert max(waits) == schedule.worst_case_wait(1, 10) == 40 - 20 + 9
 
+    def test_refined_bound_pins_empirical_worst_case(self):
+        """Regression for the core-aware WCET interference model: for every
+        core and every transfer length that fits its slot, the refined
+        closed form ``period - slot + transfer - 1`` equals the *observed*
+        worst case over a full period and never exceeds the blanket
+        ``period - 1`` the analyzer used to charge."""
+        schedule = TdmaSchedule(num_cores=3, slot_cycles=BURST,
+                                slot_weights=(1, 2, 1))
+        for core in range(schedule.num_cores):
+            slot = schedule.slot_length(core)
+            for transfer in (1, BURST // 2, BURST, slot):
+                observed = max(schedule.wait_cycles(core, cycle, transfer)
+                               for cycle in range(schedule.period))
+                refined = schedule.worst_case_wait(core, transfer)
+                assert refined == observed, (core, transfer)
+                assert refined <= schedule.worst_case_wait()
+
+    def test_bottleneck_core_is_smallest_slot(self):
+        weighted = TdmaSchedule(num_cores=3, slot_cycles=10,
+                                slot_weights=(2, 1, 3))
+        assert weighted.bottleneck_core() == 1
+        # Its refined bound dominates every other core's for any transfer.
+        for transfer in (1, 5, 10):
+            worst = weighted.worst_case_wait(weighted.bottleneck_core(),
+                                             transfer)
+            assert worst == max(weighted.worst_case_wait(core, transfer)
+                                for core in range(3))
+        # Unweighted schedules tie; the first core is the canonical pick.
+        assert TdmaSchedule(num_cores=4, slot_cycles=10).bottleneck_core() == 0
+
     def test_weight_validation(self):
         with pytest.raises(ConfigError, match="slot weights"):
             TdmaSchedule(num_cores=2, slot_cycles=10, slot_weights=(1,))

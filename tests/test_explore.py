@@ -335,6 +335,68 @@ class TestResultCache:
         assert fresh.get("k1") == {"cycles": 1}
         assert "k1" in fresh
 
+    def test_save_merges_concurrent_writers(self, tmp_path):
+        """Two sweeps sharing one cache file must not clobber each other:
+        records another process persisted after our load survive our save."""
+        path = tmp_path / "cache.json"
+        ours = ResultCache(path)
+        assert ours.get("k1") is None  # load the (empty) file first
+
+        theirs = ResultCache(path)
+        theirs.put("k_other", {"cycles": 7})
+        theirs.save()
+
+        ours.put("k1", {"cycles": 1})
+        ours.save()
+
+        fresh = ResultCache(path)
+        assert fresh.get("k1") == {"cycles": 1}
+        assert fresh.get("k_other") == {"cycles": 7}
+
+    def test_save_keeps_newest_record_per_key(self, tmp_path):
+        """On a key conflict the writer's own record wins (it is newer than
+        the state it loaded), while untouched keys take the disk's newer
+        version."""
+        path = tmp_path / "cache.json"
+        seed = ResultCache(path)
+        seed.put("shared", {"cycles": 1})
+        seed.put("untouched", {"cycles": 1})
+        seed.save()
+
+        ours = ResultCache(path)
+        assert len(ours) == 2  # loaded both
+
+        theirs = ResultCache(path)
+        theirs.put("shared", {"cycles": 2})
+        theirs.put("untouched", {"cycles": 2})
+        theirs.save()
+
+        ours.put("shared", {"cycles": 3})
+        ours.save()
+
+        fresh = ResultCache(path)
+        assert fresh.get("shared") == {"cycles": 3}       # ours is newest
+        assert fresh.get("untouched") == {"cycles": 2}    # theirs is newest
+
+    def test_save_merge_survives_corrupt_concurrent_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        ours = ResultCache(path)
+        ours.put("k1", {"cycles": 1})
+        path.write_text("{not json", encoding="utf-8")  # concurrent torn write
+        ours.save()  # must not raise, must not lose our record
+        fresh = ResultCache(path)
+        assert fresh.get("k1") == {"cycles": 1}
+
+    def test_clear_empties_the_file(self, tmp_path):
+        path = tmp_path / "cache.json"
+        seed = ResultCache(path)
+        seed.put("k1", {"cycles": 1})
+        seed.save()
+        seed.clear()
+        seed.save()
+        fresh = ResultCache(path)
+        assert len(fresh) == 0  # an explicit clear does not merge back
+
 
 class TestPareto:
     # Hand-built fixture: minimize "wcet" and "cycles", maximize "fmax".

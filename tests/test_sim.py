@@ -449,6 +449,33 @@ class TestCycleAccounting:
         result, _ = run_program(build)
         assert 0.0 < result.slot_utilisation <= 1.0
         assert result.ipc >= result.useful_ipc
+        assert result.issue_width == 2
+        assert result.metrics()["issue_width"] == 2
+
+    def test_slot_utilisation_respects_issue_width(self):
+        """A single-issue run must not be capped at 0.5 by construction:
+        one fully used slot per bundle is a utilisation of 1.0."""
+        def program():
+            b = ProgramBuilder("iw")
+            f = b.function("main")
+            f.li("r1", 1)
+            f.emit("add", "r2", "r1", "r1")
+            f.out("r2")
+            f.halt()
+            return b.build()
+        config = PatmosConfig().single_issue()
+        image, _ = compile_and_link(program(), config,
+                                    CompileOptions(dual_issue=False))
+        result = CycleSimulator(image, config=config, strict=True).run()
+        assert result.issue_width == 1
+        assert result.slot_utilisation > 0.5
+        # Same instruction mix under the dual-issue default reports a lower
+        # utilisation only because it has twice the slots, never because the
+        # divisor ignores the configuration.
+        useful = result.instructions - result.nops
+        assert result.slot_utilisation == useful / result.bundles
+        assert (result.metrics()["slot_utilisation"]
+                == pytest.approx(result.slot_utilisation))
 
     def test_trace_collection(self):
         def build(b, f):

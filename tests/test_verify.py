@@ -1,0 +1,331 @@
+"""Tests of the WCET soundness conformance subsystem (repro.verify).
+
+Two layers: the harness mechanics (matrix expansion, per-core outcomes,
+violation detection, report/CLI plumbing) and soundness *as a property* —
+seeded-random synthetic programs checked ``wcet >= simulated`` across the
+cache-mode and arbiter axes, so a regression in either the analyzer or the
+simulator trips the property rather than a hand-picked example.
+"""
+
+import dataclasses
+import json
+from dataclasses import fields
+
+import pytest
+
+from repro import PatmosConfig, compile_and_link
+from repro.cmp import MulticoreSystem
+from repro.errors import VerificationError, WcetError
+from repro.memory import TdmaSchedule
+from repro.sim.cycle import CycleSimulator
+from repro.verify import (
+    DEFAULT_ARBITERS,
+    DEFAULT_VARIANTS,
+    ArbiterConfig,
+    CacheModelVariant,
+    ConformanceHarness,
+    ConformanceReport,
+    Scenario,
+    ScenarioOutcome,
+    build_scenarios,
+    run_conformance,
+)
+from repro.verify.cli import main
+from repro.wcet import WcetOptions, analyze_wcet
+from repro.workloads.synthetic import random_alu_kernel
+
+CONFIG = PatmosConfig()
+
+#: A fast sub-matrix used by the harness-mechanics tests.
+FAST_ARBITERS = tuple(a for a in DEFAULT_ARBITERS
+                      if a.name in ("single", "tdma2", "priority2"))
+
+
+class TestScenarioMatrix:
+    def test_full_matrix_is_crossed(self):
+        scenarios = build_scenarios(["vector_sum", "fir_filter"])
+        assert len(scenarios) == 2 * len(DEFAULT_VARIANTS) * len(DEFAULT_ARBITERS)
+        labels = {scenario.label() for scenario in scenarios}
+        assert len(labels) == len(scenarios)
+
+    def test_suite_names_resolve(self):
+        scenarios = build_scenarios(["performance"],
+                                    arbiters=FAST_ARBITERS[:1])
+        assert {s.kernel for s in scenarios} >= {"vector_sum", "matmul"}
+
+    def test_weighted_tdma_schedule(self):
+        weighted = next(a for a in DEFAULT_ARBITERS if a.slot_weights)
+        schedule = weighted.schedule(CONFIG)
+        assert schedule.num_cores == weighted.cores
+        assert schedule.slot_weights == weighted.slot_weights
+        # Non-TDMA configs have no schedule.
+        rr = next(a for a in DEFAULT_ARBITERS if a.kind == "round_robin")
+        assert rr.schedule(CONFIG) is None
+
+
+class TestHarness:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_conformance(kernels=["vector_sum", "stack_chain"],
+                               arbiters=FAST_ARBITERS)
+
+    def test_zero_violations(self, report):
+        assert report.violations() == []
+        assert all(outcome.tightness >= 1.0 for outcome in report.bounded())
+
+    def test_priority_non_top_core_unbounded(self, report):
+        unbounded = report.unbounded()
+        assert unbounded, "priority scenarios must record unbounded cores"
+        assert all(outcome.arbiter == "priority2" and outcome.core_id != 0
+                   for outcome in unbounded)
+        assert all(outcome.sound is None for outcome in unbounded)
+
+    def test_every_core_of_every_scenario_reported(self, report):
+        expected = sum(arbiter.cores for arbiter in FAST_ARBITERS)
+        assert len(report.outcomes) == 2 * len(DEFAULT_VARIANTS) * expected
+
+    def test_report_serialization(self, report):
+        payload = report.to_dict()
+        assert payload["schema"] == "repro.verify/v1"
+        assert payload["summary"]["violations"] == 0
+        assert payload["summary"]["checked"] == len(report.outcomes)
+        json.dumps(payload)  # JSON-serializable end to end
+        assert "bound/obs" in report.table()
+        assert "0 soundness violations" in report.summary()
+
+    def test_simulations_shared_across_analysis_variants(self):
+        harness = ConformanceHarness(config=CONFIG)
+        default, naive = (
+            harness.run_scenario(Scenario("stack_chain", variant,
+                                          FAST_ARBITERS[0]))
+            for variant in (CacheModelVariant("default"),
+                            CacheModelVariant(
+                                "stack_naive",
+                                wcet_overrides=(("stack_cache", "naive"),))))
+        # One simulation (same hardware), two analyses: observations equal,
+        # the naive stack bound at least as loose.
+        assert default[0].cycles == naive[0].cycles
+        assert naive[0].wcet_cycles >= default[0].wcet_cycles
+        assert len(harness._sims) == 1
+
+    def test_simulations_not_shared_across_arbiter_geometries(self):
+        """Two arbiter configs sharing a display name must not reuse each
+        other's simulation (the memo is keyed by config value, not name)."""
+        harness = ConformanceHarness(config=CONFIG)
+        narrow = ArbiterConfig("tdma2", kind="tdma", cores=2)
+        wide = ArbiterConfig("tdma2", kind="tdma", cores=2,
+                             slot_cycles=4 * CONFIG.memory.burst_cycles())
+        variant = CacheModelVariant("default")
+        first = harness.run_scenario(Scenario("stream_checksum", variant,
+                                              narrow))
+        second = harness.run_scenario(Scenario("stream_checksum", variant,
+                                               wide))
+        assert len(harness._sims) == 2
+        # Different slot geometry, different observed timing.
+        assert ([o.cycles for o in first] != [o.cycles for o in second])
+
+    def test_functional_mismatch_raises(self):
+        harness = ConformanceHarness(config=CONFIG)
+        harness._image("vector_sum")
+        harness._expected["vector_sum"] = [-1]  # sabotage the reference
+        with pytest.raises(VerificationError, match="functional mismatch"):
+            harness.run_scenario(Scenario("vector_sum",
+                                          CacheModelVariant("default"),
+                                          FAST_ARBITERS[0]))
+
+    def test_violation_detection(self):
+        outcome = ScenarioOutcome(kernel="k", variant="v", arbiter="a",
+                                  cores=1, core_id=0, cycles=100,
+                                  wcet_cycles=99)
+        report = ConformanceReport(outcomes=[outcome])
+        assert outcome.sound is False
+        assert report.violations() == [outcome]
+        assert "VIOLATION" in report.summary()
+
+
+class TestCli:
+    def test_json_report_and_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        code = main(["--kernels", "vector_sum", "--arbiters", "single,tdma2",
+                     "--quiet", "--json", str(path)])
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload["summary"]["violations"] == 0
+        assert "soundness violations" in capsys.readouterr().out
+
+    def test_unknown_selection_rejected(self, capsys):
+        assert main(["--arbiters", "fifo"]) == 2
+        assert "unknown arbiter" in capsys.readouterr().err
+
+    def test_unknown_kernel_rejected_cleanly(self, capsys):
+        assert main(["--kernels", "no_such_kernel"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: unknown kernel")
+
+    def test_empty_kernel_selection_rejected(self, capsys):
+        """The gate must never pass vacuously on an empty matrix."""
+        assert main(["--kernels", ","]) == 2
+        assert "no kernels selected" in capsys.readouterr().err
+
+
+#: WCET option variants of the property test (the cache-mode axis).
+PROPERTY_VARIANTS = [
+    {},
+    {"method_cache": "always_miss"},
+    {"stack_cache": "naive"},
+    {"conventional_icache": True},
+    {"unified_data_cache": True},
+]
+
+
+class TestSoundnessProperty:
+    """wcet >= simulated for seeded-random programs across the axes."""
+
+    @pytest.mark.parametrize("seed", [7, 23, 91])
+    def test_synthetic_sound_across_cache_modes(self, seed):
+        kernel = random_alu_kernel(seed, length=60)
+        image, _ = compile_and_link(kernel.program, CONFIG)
+        observed = CycleSimulator(image, config=CONFIG, strict=True).run()
+        assert observed.output == kernel.expected_output
+        for overrides in PROPERTY_VARIANTS:
+            result = analyze_wcet(image, CONFIG,
+                                  options=WcetOptions(**overrides))
+            assert result.wcet_cycles >= observed.cycles, overrides
+
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_synthetic_sound_across_arbiters(self, seed):
+        kernel = random_alu_kernel(seed, length=50)
+        image, _ = compile_and_link(kernel.program, CONFIG)
+        for arbiter in ("tdma", "round_robin", "priority"):
+            system = MulticoreSystem([image] * 2, CONFIG, arbiter=arbiter,
+                                     mode="cosim")
+            result = system.run(analyse=True, strict=True)
+            for core in result.cores:
+                if core.wcet is None:
+                    assert arbiter == "priority" and core.core_id != 0
+                    continue
+                assert core.wcet_cycles >= core.observed_cycles, (
+                    seed, arbiter, core.core_id)
+
+    def test_baseline_hierarchy_analysed_consistently(self):
+        """Regression: run(analyse=True) on a system simulating a baseline
+        cache organisation must analyse that same organisation — with the
+        unified D$ simulated but the split-cache analysis applied, the
+        reported bound fell below the observed cycles of its own run."""
+        from repro.caches.hierarchy import HierarchyOptions
+        from repro.workloads import build_kernel
+        image, _ = compile_and_link(build_kernel("stack_chain").program,
+                                    CONFIG)
+        for hierarchy in (HierarchyOptions(unified_data_cache=True),
+                          HierarchyOptions(conventional_icache=True)):
+            system = MulticoreSystem([image] * 2, CONFIG, arbiter="tdma",
+                                     mode="cosim",
+                                     hierarchy_options=hierarchy)
+            result = system.run(analyse=True, strict=True)
+            for core in result.cores:
+                assert core.wcet_cycles >= core.observed_cycles, hierarchy
+        # The implied fields are reflected in the options themselves.
+        system = MulticoreSystem(
+            [image] * 2, CONFIG, mode="cosim",
+            hierarchy_options=HierarchyOptions(unified_data_cache=True))
+        assert system.wcet_options_for_core(0).unified_data_cache
+
+    def test_weighted_tdma_cosim_sound_per_core(self):
+        kernel = random_alu_kernel(5, length=40)
+        image, _ = compile_and_link(kernel.program, CONFIG)
+        schedule = TdmaSchedule(num_cores=3,
+                                slot_cycles=CONFIG.memory.burst_cycles(),
+                                slot_weights=(1, 3, 2))
+        system = MulticoreSystem([image] * 3, CONFIG, schedule=schedule,
+                                 mode="cosim")
+        result = system.run(analyse=True, strict=True)
+        for core in result.cores:
+            assert core.wcet_cycles >= core.observed_cycles
+
+
+class TestRefinedTdmaBound:
+    """The core-aware interference model: tighter yet still sound."""
+
+    @pytest.fixture(scope="class")
+    def image(self):
+        from repro.workloads import build_kernel
+        image, _ = compile_and_link(build_kernel("stream_checksum").program,
+                                    CONFIG)
+        return image
+
+    def test_refined_tighter_than_blanket_on_weighted_schedule(self, image):
+        burst = CONFIG.memory.burst_cycles()
+        # Slot exactly one burst: a weight-1 core's refined bound degenerates
+        # to the blanket period - 1 (every transfer is a whole burst), while
+        # the weighted core's stays strictly tighter.
+        tight = TdmaSchedule(num_cores=4, slot_cycles=burst,
+                             slot_weights=(1, 2, 1, 1))
+        blanket = analyze_wcet(image, CONFIG, options=WcetOptions(tdma=tight))
+        bounds = [analyze_wcet(image, CONFIG,
+                               options=WcetOptions(tdma=tight,
+                                                   tdma_core_id=core))
+                  .wcet_cycles for core in range(4)]
+        assert all(bound <= blanket.wcet_cycles for bound in bounds)
+        assert bounds[1] < blanket.wcet_cycles
+        # With head-room in the slot every core's bound tightens strictly.
+        roomy = TdmaSchedule(num_cores=4, slot_cycles=2 * burst,
+                             slot_weights=(1, 2, 1, 1))
+        blanket = analyze_wcet(image, CONFIG, options=WcetOptions(tdma=roomy))
+        for core in range(4):
+            refined = analyze_wcet(
+                image, CONFIG,
+                options=WcetOptions(tdma=roomy, tdma_core_id=core))
+            assert refined.wcet_cycles < blanket.wcet_cycles, core
+
+    def test_refined_bound_still_covers_cosim(self, image):
+        schedule = TdmaSchedule(num_cores=2,
+                                slot_cycles=CONFIG.memory.burst_cycles(),
+                                slot_weights=(1, 2))
+        system = MulticoreSystem([image] * 2, CONFIG, schedule=schedule,
+                                 mode="cosim")
+        result = system.run(analyse=True, strict=True)
+        for core in result.cores:
+            assert core.wcet.options.tdma_core_id == core.core_id
+            assert core.wcet_cycles >= core.observed_cycles
+
+    def test_out_of_range_core_rejected(self, image):
+        schedule = TdmaSchedule(num_cores=2, slot_cycles=28)
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            analyze_wcet(image, CONFIG,
+                         options=WcetOptions(tdma=schedule, tdma_core_id=5))
+
+    def test_unschedulable_transfer_rejected(self, image):
+        # A slot shorter than one burst can never fit a burst transfer: the
+        # refined analysis must refuse rather than emit a meaningless bound.
+        schedule = TdmaSchedule(num_cores=2, slot_cycles=5)
+        with pytest.raises(WcetError, match="cannot fit"):
+            analyze_wcet(image, CONFIG,
+                         options=WcetOptions(tdma=schedule, tdma_core_id=0))
+
+
+class TestOptionsCacheKeyAudit:
+    def test_to_dict_covers_every_field(self):
+        """Every WcetOptions field must appear in the serialized cache key,
+        so the explore result cache can never serve a stale bound across an
+        option change (the regression this PR fixes for tdma_core_id)."""
+        options = WcetOptions()
+        assert set(options.to_dict()) == {f.name for f in fields(options)}
+
+    def test_core_id_changes_the_key(self):
+        schedule = TdmaSchedule(num_cores=2, slot_cycles=28)
+        base = WcetOptions(tdma=schedule)
+        refined = dataclasses.replace(base, tdma_core_id=1)
+        assert base.to_dict() != refined.to_dict()
+
+    def test_for_arbiter_plumbs_core_id(self):
+        schedule = TdmaSchedule(num_cores=2, slot_cycles=28)
+        options = WcetOptions.for_arbiter("tdma", 2, schedule=schedule,
+                                          core_id=1)
+        assert options.tdma_core_id == 1
+        # Explicit overrides win over the plumbed core id.
+        overridden = WcetOptions.for_arbiter("tdma", 2, schedule=schedule,
+                                             core_id=1, tdma_core_id=None)
+        assert overridden.tdma_core_id is None
+        # Single-core systems never carry interference options.
+        assert WcetOptions.for_arbiter("tdma", 1).tdma is None
