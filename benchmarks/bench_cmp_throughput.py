@@ -1,17 +1,25 @@
-"""Multicore co-simulation throughput and the TDMA decoupling gate.
+"""Multicore co-simulation throughput: event-driven vs quantum scheduling.
 
 Co-simulates a mixed workload on 1/2/4/8 cores under TDMA and round-robin
-arbitration, measures aggregate simulated bundles per second of wall time,
-verifies the decoupling property (TDMA co-simulation must report per-core
-cycles identical to independent per-core simulation) and emits a
-machine-readable ``BENCH_cmp.json``::
+arbitration with *both* interleaving schedulers — the event-driven default
+(``scheduler="event"``) and the quantum-polling reference
+(``scheduler="reference"``) — measures aggregate simulated bundles per
+second of wall time, records the scheduler activity (slices / releases per
+run), verifies the TDMA decoupling property (co-simulated per-core cycles
+identical to independent per-core simulation) *and* the scheduler
+equivalence (event and reference timing bit-identical), and emits a
+machine-readable ``BENCH_cmp.json`` (schema v2)::
 
     python benchmarks/bench_cmp_throughput.py [--smoke] [--output PATH]
+                                              [--min-speedup X] [--profile]
 
-``--smoke`` runs every configuration once (fast enough for CI) and the
-process exits non-zero if any core of any TDMA configuration diverges from
-its independent simulation, so a CI step catches an interference leak in
-the shared-memory co-simulation even without stable timing.
+``--smoke`` runs every configuration once (fast enough for CI); the
+decoupling and scheduler-equivalence gates still apply, so a CI step
+catches an interference leak or a scheduler divergence even without stable
+timing.  ``--min-speedup X`` additionally fails the run when the measured
+``event_vs_quantum_speedup`` on the 4-core TDMA mix falls below ``X`` (the
+CI perf gate).  ``--profile`` dumps the top 20 functions by cumulative time
+so future performance work starts from data.
 """
 
 from __future__ import annotations
@@ -24,12 +32,14 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from harness import profiled  # noqa: E402
 from repro import PatmosConfig, compile_and_link  # noqa: E402
 from repro.cmp import MulticoreSystem  # noqa: E402
 from repro.workloads import build_kernel  # noqa: E402
 
 CORE_COUNTS = (1, 2, 4, 8)
 ARBITERS = ("tdma", "round_robin")
+SCHEDULERS = ("event", "reference")
 #: Mixed per-core programs (repeated to the core count) so the cores'
 #: clocks diverge the way a real workload mix does.
 MIX = ("vector_sum", "stream_checksum", "fir_filter", "saturate")
@@ -43,24 +53,31 @@ def _images(config):
     return images
 
 
-def _measure(images, config, arbiter: str, min_seconds: float):
+def _measure(images, config, arbiter: str, scheduler: str,
+             min_seconds: float):
     """Run one co-simulation repeatedly; returns (report_row, result)."""
     elapsed = 0.0
     bundles = 0
+    runs = 0
     result = None
     while elapsed < min_seconds or result is None:
         system = MulticoreSystem(images, config, arbiter=arbiter,
-                                 mode="cosim")
+                                 mode="cosim", scheduler=scheduler)
         started = time.perf_counter()
         result = system.run(analyse=False, strict=True)
         elapsed += time.perf_counter() - started
         bundles += sum(core.sim.bundles for core in result.cores)
+        runs += 1
+    stats = result.scheduler_stats or {}
     row = {
         "bundles_per_run": sum(core.sim.bundles for core in result.cores),
         "bundles_per_sec": round(bundles / elapsed, 1),
+        "wall_s_per_run": round(elapsed / runs, 6),
         "makespan": result.makespan,
         "arbitration_wait_cycles":
             result.system_stats()["totals"]["arbitration_cycles"],
+        "slices": stats.get("slices"),
+        "releases": stats.get("releases"),
     }
     return row, result
 
@@ -70,7 +87,7 @@ def run_benchmark(smoke: bool) -> dict:
     base_images = _images(config)
     min_seconds = 0.0 if smoke else 0.3
     report: dict = {
-        "schema": "bench_cmp_throughput/v1",
+        "schema": "bench_cmp_throughput/v2",
         "mode": "smoke" if smoke else "full",
         "mix": list(MIX),
         "cores": {},
@@ -78,9 +95,29 @@ def run_benchmark(smoke: bool) -> dict:
     divergences = 0
     for cores in CORE_COUNTS:
         images = [base_images[i % len(MIX)] for i in range(cores)]
-        per_core = {}
+        per_arbiter = {}
         for arbiter in ARBITERS:
-            row, result = _measure(images, config, arbiter, min_seconds)
+            cell: dict = {}
+            results = {}
+            for scheduler in SCHEDULERS:
+                row, result = _measure(images, config, arbiter, scheduler,
+                                       min_seconds)
+                cell[scheduler] = row
+                results[scheduler] = result
+            cell["event_vs_quantum_speedup"] = round(
+                cell["event"]["bundles_per_sec"]
+                / cell["reference"]["bundles_per_sec"], 2)
+            # Scheduler-equivalence gate: the event-driven and quantum
+            # schedulers must report bit-identical per-core timing.
+            event, reference = results["event"], results["reference"]
+            cell["schedulers_match"] = (
+                event.observed_by_core() == reference.observed_by_core()
+                and event.arbiter_stats == reference.arbiter_stats)
+            if not cell["schedulers_match"]:
+                divergences += 1
+                print(f"SCHEDULER DIVERGENCE at {cores} cores/{arbiter}: "
+                      f"event {event.observed_by_core()} != reference "
+                      f"{reference.observed_by_core()}", file=sys.stderr)
             if arbiter == "tdma":
                 # The decoupling gate: every TDMA-co-simulated core must
                 # match its fully independent simulation, cycle for cycle.
@@ -88,21 +125,23 @@ def run_benchmark(smoke: bool) -> dict:
                     images, config, arbiter="tdma", mode="analytic").run(
                         analyse=False, strict=True)
                 expected = analytic.observed_by_core()
-                observed = result.observed_by_core()
-                row["decoupling_ok"] = observed == expected
-                if not row["decoupling_ok"]:
+                cell["decoupling_ok"] = (
+                    event.observed_by_core() == expected
+                    and reference.observed_by_core() == expected)
+                if not cell["decoupling_ok"]:
                     divergences += 1
                     print(f"DECOUPLING FAILURE at {cores} cores: cosim "
-                          f"{observed} != independent {expected}",
-                          file=sys.stderr)
-            per_core[arbiter] = row
+                          f"{event.observed_by_core()} != independent "
+                          f"{expected}", file=sys.stderr)
+            per_arbiter[arbiter] = cell
             print(f"{cores} cores  {arbiter:12s} "
-                  f"{row['bundles_per_sec'] / 1e3:8.1f}k bundles/s  "
-                  f"makespan {row['makespan']:7d}  "
-                  f"{'ok' if row.get('decoupling_ok', True) else 'DIVERGED'}")
-        report["cores"][str(cores)] = per_core
+                  f"event {cell['event']['bundles_per_sec'] / 1e3:8.1f}k  "
+                  f"quantum {cell['reference']['bundles_per_sec'] / 1e3:8.1f}k"
+                  f"  speedup {cell['event_vs_quantum_speedup']:5.2f}x  "
+                  f"{'ok' if cell['schedulers_match'] and cell.get('decoupling_ok', True) else 'DIVERGED'}")
+        report["cores"][str(cores)] = per_arbiter
     report["decoupling"] = {
-        "checked": len(CORE_COUNTS),
+        "checked": len(CORE_COUNTS) + len(CORE_COUNTS) * len(ARBITERS),
         "divergences": divergences,
     }
     return report
@@ -111,19 +150,35 @@ def run_benchmark(smoke: bool) -> dict:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
-                        help="single run per configuration; decoupling gate "
-                             "only")
+                        help="single run per configuration; decoupling and "
+                             "equivalence gates only")
     parser.add_argument("--output", default="BENCH_cmp.json",
                         help="where to write the JSON report")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail unless the event scheduler is at least X "
+                             "times faster than the quantum scheduler on "
+                             "the 4-core TDMA mix")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 20 "
+                             "functions by cumulative time")
     args = parser.parse_args(argv)
 
-    report = run_benchmark(smoke=args.smoke)
+    report = profiled(lambda: run_benchmark(smoke=args.smoke), args.profile)
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
     if report["decoupling"]["divergences"]:
-        print("TDMA co-simulation diverged from independent simulation — "
-              "failing", file=sys.stderr)
+        print("co-simulation diverged (decoupling or scheduler "
+              "equivalence) — failing", file=sys.stderr)
         return 1
+    if args.min_speedup is not None:
+        speedup = report["cores"]["4"]["tdma"]["event_vs_quantum_speedup"]
+        if speedup < args.min_speedup:
+            print(f"PERF REGRESSION: event scheduler only {speedup:.2f}x "
+                  f"the quantum scheduler on the 4-core TDMA mix "
+                  f"(required {args.min_speedup:.2f}x) — failing",
+                  file=sys.stderr)
+            return 1
     return 0
 
 

@@ -7,6 +7,7 @@ interference bound over the blanket ``period - 1`` charge, emitting a
 machine-readable ``BENCH_wcet.json``::
 
     python benchmarks/bench_wcet_conformance.py [--smoke] [--output PATH]
+                                                [--jobs N] [--profile]
 
 The process exits non-zero if
 
@@ -30,6 +31,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from harness import profiled  # noqa: E402
 from repro import PatmosConfig, compile_and_link  # noqa: E402
 from repro.cmp import MulticoreSystem  # noqa: E402
 from repro.memory import TdmaSchedule  # noqa: E402
@@ -102,12 +104,13 @@ def tdma_refinement(kernels, config: PatmosConfig) -> dict:
     }
 
 
-def run_benchmark(smoke: bool) -> dict:
+def run_benchmark(smoke: bool, jobs: int = 1) -> dict:
     config = PatmosConfig()
     kernel_set = ("performance",) if smoke else ("all",)
     kernels = resolve_kernels(kernel_set)
 
-    report = run_conformance(kernels=kernel_set, config=config, progress=None)
+    report = run_conformance(kernels=kernel_set, config=config, jobs=jobs,
+                             progress=None)
     refinement = tdma_refinement(kernels, config)
 
     payload = report.to_dict()
@@ -127,9 +130,22 @@ def main(argv=None) -> int:
                         help="performance-suite subset (CI-sized)")
     parser.add_argument("--output", default="BENCH_wcet.json",
                         help="where to write the JSON report")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the conformance matrix")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 20 "
+                             "functions by cumulative time")
     args = parser.parse_args(argv)
 
-    report = run_benchmark(smoke=args.smoke)
+    jobs = args.jobs
+    if args.profile and jobs > 1:
+        # Worker processes are invisible to the parent's profiler; a
+        # parallel profile would show nothing but pool waits.
+        print("--profile runs single-process (ignoring --jobs) so the "
+              "dump shows conformance work, not IPC waits", file=sys.stderr)
+        jobs = 1
+    report = profiled(lambda: run_benchmark(smoke=args.smoke, jobs=jobs),
+                      args.profile)
     Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
 
     summary = report["conformance"]

@@ -58,6 +58,26 @@ def run_kernel(kernel: Kernel, config: PatmosConfig | None = None,
                       extra={"stalls": result.stalls.total()})
 
 
+def profiled(fn, enabled: bool):
+    """Run ``fn()``, optionally under cProfile, and return its result.
+
+    With ``enabled`` the top 20 functions by cumulative time are printed
+    (also when ``fn`` raises), so the perf benchmarks' ``--profile`` flags
+    share one definition of "the profile dump".
+    """
+    if not enabled:
+        return fn()
+    import cProfile
+    import pstats
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+
 def print_table(title: str, headers: list[str], rows: list[list]) -> None:
     """Print a simple aligned table (the per-experiment result)."""
     print(f"\n=== {title} ===")

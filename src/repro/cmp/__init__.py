@@ -4,6 +4,20 @@
 memory and a pluggable arbiter (TDMA, round-robin, priority);
 :class:`CmpSystem` keeps the historical decoupled TDMA view as
 ``mode="analytic"``.
+
+Module map
+----------
+
+``system``
+    :class:`MulticoreSystem` and its two co-simulation schedulers:
+    ``scheduler="event"`` (default) — next-event lookahead over persistent
+    :class:`~repro.sim.engine.EngineContext` objects with a heap-based
+    ready queue keyed on ``(next_event_cycle, arbiter_preference,
+    core_id)``, synchronising only at actual arbitrated transfers (and not
+    at all under order-independent TDMA); ``scheduler="reference"`` — the
+    quantum-polling baseline retained for differential testing.  Both
+    produce bit-identical timing (``tests/test_cosim_scheduler.py``);
+    ``CmpResult.scheduler_stats`` records slices/releases per run.
 """
 
 from .system import (

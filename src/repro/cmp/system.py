@@ -11,10 +11,31 @@ cores on one global clock against one shared physical
 :class:`~repro.memory.main_memory.MainMemory` (each core owns a private,
 zero-copy bank view) and one shared
 :class:`~repro.memory.arbiter.MemoryArbiter`, so every arbitration decision
-observes the cores' actual concurrent memory traffic.  A global scheduler
-always advances the core with the smallest local clock and re-schedules on
-every arbitrated transfer (the engine's run-until-memory-event stepping), so
-requests reach the arbiter in global time order at bundle granularity.
+observes the cores' actual concurrent memory traffic.
+
+Two interleaving schedulers produce bit-identical timing:
+
+* ``scheduler="event"`` (the default) exploits the very decoupling the
+  paper is about: cores interact *only* through the shared arbiter, so each
+  core runs completely undisturbed inside a persistent
+  :class:`~repro.sim.engine.EngineContext` until it is about to register an
+  arbitrated transfer, pausing *before* the requesting bundle and reporting
+  the exact global cycle its request would carry.  A heap-based ready queue
+  keyed on ``(next_event_cycle, arbiter_preference, core_id)`` releases
+  paused cores in global time order, so the shared arbiter observes the
+  same request stream as under quantum polling while the scheduler
+  synchronises only at actual memory events.
+* ``scheduler="reference"`` is the original quantum-polling loop: always
+  advance the core with the smallest local clock up to one ``quantum`` past
+  the next core's clock, yielding early on every arbitrated transfer (the
+  engine's run-until-memory-event stepping).  It re-enters the engine every
+  few cycles and exists as the differential baseline for the golden
+  equivalence suite (mirroring the ``engine="fast"|"reference"`` pattern).
+
+Both deliver requests to the arbiter in global time order at bundle
+granularity with simultaneous requests served in the arbiter's preference
+order, which is why their per-core cycle counts, arbitration statistics and
+memory images match exactly (``tests/test_cosim_scheduler.py``).
 
 Under TDMA arbitration the interleaved co-simulation must reproduce, cycle
 for cycle, what each core observes when simulated completely alone with the
@@ -30,6 +51,7 @@ simulated independently with its own :class:`~repro.memory.tdma.TdmaArbiter`
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
@@ -40,7 +62,9 @@ from ..memory.arbiter import MemoryArbiter, PriorityArbiter, make_arbiter
 from ..memory.main_memory import MainMemory
 from ..memory.tdma import TdmaArbiter, TdmaSchedule
 from ..program.linker import Image
+from ..sim.base import _uses_reference_semantics
 from ..sim.cycle import CycleSimulator
+from ..sim.engine import EngineContext
 from ..sim.results import SimResult
 from ..wcet.analyzer import WcetOptions, WcetResult, analyze_wcet
 
@@ -85,6 +109,10 @@ class CmpResult:
     arbiter: str = "tdma"
     #: Shared-arbiter activity (co-simulation mode only).
     arbiter_stats: Optional[dict] = None
+    #: Interleaving scheduler that produced this result and its activity
+    #: counters (slices / releases); co-simulation mode only.
+    scheduler: Optional[str] = None
+    scheduler_stats: Optional[dict] = None
 
     @property
     def makespan(self) -> int:
@@ -117,6 +145,7 @@ class CmpResult:
         return {
             "mode": self.mode,
             "arbiter": self.arbiter,
+            "scheduler": self.scheduler,
             "makespan": self.makespan,
             "per_core": per_core,
             "totals": totals,
@@ -133,6 +162,13 @@ class MulticoreSystem:
     physical memory and bus.  ``arbiter`` is a policy name (``"tdma"``,
     ``"round_robin"``, ``"priority"``) or a ready-made
     :class:`~repro.memory.arbiter.MemoryArbiter` instance.
+
+    ``scheduler`` picks the co-simulation interleaving: the event-driven
+    default synchronises only at actual arbitrated transfers, while
+    ``"reference"`` is the quantum-polling baseline — both produce
+    bit-identical timing (see the module docstring).  ``quantum`` only
+    affects the reference scheduler; values above 1 trade request-ordering
+    fidelity for fewer engine re-entries.
     """
 
     def __init__(self, images: list[Image],
@@ -143,13 +179,16 @@ class MulticoreSystem:
                  slot_weights: Optional[Sequence[int]] = None,
                  priorities: Optional[Sequence[int]] = None,
                  mode: str = "cosim", engine: str = "fast",
-                 quantum: int = 1,
+                 scheduler: str = "event", quantum: int = 1,
                  hierarchy_options: Optional[HierarchyOptions] = None):
         if not images:
             raise ConfigError("a multicore system needs at least one core image")
         if mode not in ("cosim", "analytic"):
             raise ConfigError(
                 f"unknown mode {mode!r}; use 'cosim' or 'analytic'")
+        if scheduler not in ("event", "reference"):
+            raise ConfigError(
+                f"unknown scheduler {scheduler!r}; use 'event' or 'reference'")
         if quantum < 1:
             raise ConfigError("scheduler quantum must be at least one cycle")
         self.images = list(images)
@@ -168,7 +207,11 @@ class MulticoreSystem:
                     "share one physical memory and bus")
         self.mode = mode
         self.engine = engine
+        self.scheduler = scheduler
         self.quantum = quantum
+        #: Shared physical memory of the most recent co-simulation run
+        #: (all banks); exposed for memory-image inspection and tests.
+        self.shared_memory: Optional[MainMemory] = None
         #: Cache-organisation baseline applied to every core (conventional
         #: I-cache / unified data cache experiments on the CMP).
         self.hierarchy_options = hierarchy_options
@@ -277,15 +320,19 @@ class MulticoreSystem:
     def run(self, analyse: bool = True, strict: bool = False,
             max_bundles: int = 2_000_000) -> CmpResult:
         """Simulate the system (and optionally analyse per-core WCETs)."""
+        scheduler_stats = None
         if self.mode == "analytic":
             sims = self._run_analytic(strict, max_bundles)
             arbiter_stats = None
         else:
-            sims, arbiter = self._run_cosim(strict, max_bundles)
+            sims, arbiter, scheduler_stats = self._run_cosim(
+                strict, max_bundles)
             arbiter_stats = arbiter.stats_summary()
         result = CmpResult(num_cores=self.num_cores, schedule=self.schedule,
                            mode=self.mode, arbiter=self.arbiter_kind,
-                           arbiter_stats=arbiter_stats)
+                           arbiter_stats=arbiter_stats,
+                           scheduler=(scheduler_stats or {}).get("scheduler"),
+                           scheduler_stats=scheduler_stats)
         for core_id, sim in enumerate(sims):
             wcet = self._analyse_core(core_id) if analyse else None
             result.cores.append(CoreResult(core_id=core_id,
@@ -308,7 +355,7 @@ class MulticoreSystem:
         return sims
 
     def _run_cosim(self, strict: bool, max_bundles: int
-                   ) -> tuple[list[CycleSimulator], MemoryArbiter]:
+                   ) -> tuple[list[CycleSimulator], MemoryArbiter, dict]:
         """Interleave all cores on one clock against the shared arbiter."""
         arbiter = self._arbiter_template
         arbiter.reset()
@@ -317,6 +364,7 @@ class MulticoreSystem:
         # sized by its own MemoryConfig (all equal, validated above).
         bank_bytes = self.config.memory.size_bytes
         shared_memory = MainMemory(bank_bytes * self.num_cores)
+        self.shared_memory = shared_memory
         sims = []
         for core_id, (image, config) in enumerate(
                 zip(self.images, self.configs)):
@@ -328,30 +376,161 @@ class MulticoreSystem:
                 memory=bank, engine=self.engine,
                 hierarchy_options=self.hierarchy_options))
 
-        # Global scheduler: always advance the core with the smallest local
-        # clock (ties broken in the arbiter's service order), up to one
-        # quantum past the next core's clock, yielding early on every
-        # arbitrated transfer.  Requests therefore reach the shared arbiter
-        # in global time order at bundle granularity.
-        active = {core_id: sim for core_id, sim in enumerate(sims)}
-        while active:
-            min_cycles = min(sim.cycles for sim in active.values())
-            tied = [core_id for core_id, sim in active.items()
-                    if sim.cycles == min_cycles]
-            core_id = (arbiter.preference_order(tied)[0]
-                       if len(tied) > 1 else tied[0])
-            sim = active[core_id]
-            other_clocks = [s.cycles for cid, s in active.items()
-                            if cid != core_id]
-            if other_clocks:
+        # The event-driven scheduler needs the pre-decoded engine contexts;
+        # cores forced onto the reference interpreter (engine="reference" or
+        # a subclass overriding execution internals) fall back to the
+        # quantum scheduler, mirroring the engine's own auto-fallback.
+        if self.scheduler == "event" and self.engine == "fast" and \
+                all(_uses_reference_semantics(type(sim)) for sim in sims):
+            stats = self._schedule_event(sims, arbiter, max_bundles)
+        else:
+            stats = self._schedule_quantum(sims, arbiter, max_bundles)
+        return sims, arbiter, stats
+
+    def _schedule_event(self, sims: list[CycleSimulator],
+                        arbiter: MemoryArbiter, max_bundles: int) -> dict:
+        """Event-driven interleaving: synchronise only at memory events.
+
+        Every core owns a persistent :class:`~repro.sim.engine.EngineContext`
+        and runs undisturbed until it is *about to* register a transfer with
+        the shared arbiter; the context pauses before that bundle and
+        reports the core's clock — the exact cycle the request would carry.
+        A heap keyed on ``(next_event_cycle, tie_rank, core_id)`` releases
+        the paused core with the earliest request; simultaneous requests are
+        served in the arbiter's preference order (re-evaluated at release
+        time for round-robin, whose rotation follows the last grant).
+        Requests therefore reach the shared arbiter exactly as under the
+        quantum scheduler — sorted by global cycle, ties in hardware service
+        order — which is what makes the two schedulers bit-identical.
+
+        Entry-point method-cache fills are ordered too: every core starts
+        paused at cycle 0 and performs its ``_on_start`` transfer when first
+        released.  Once a single core remains, its requests can no longer
+        interleave with anyone and it runs to completion without pausing.
+
+        Under an *order-independent* arbiter (TDMA — the decoupling property
+        itself) every grant is a pure function of the requesting core and
+        cycle, so the request stream needs no global ordering at all: each
+        core simply runs start to finish at full single-core engine speed.
+        """
+        if arbiter.order_independent:
+            for sim in sims:
+                sim.run_step(max_bundles=max_bundles)
+            return {"scheduler": "event", "slices": len(sims), "releases": 0}
+        ranks = arbiter.tie_ranks()
+        dynamic_ties = ranks is None
+        if dynamic_ties:
+            ranks = range(len(sims))
+        heap: list[tuple[int, int, int]] = [
+            (0, ranks[core_id], core_id) for core_id in range(len(sims))]
+        heapq.heapify(heap)
+        contexts: list[Optional[EngineContext]] = [None] * len(sims)
+        slices = 0
+        releases = 0
+        try:
+            while heap:
+                stamp, rank, core_id = heapq.heappop(heap)
+                if dynamic_ties and heap and heap[0][0] == stamp:
+                    # Simultaneous next events: ask the arbiter which core
+                    # the hardware would serve first and re-queue the rest.
+                    entries = [(stamp, rank, core_id)]
+                    while heap and heap[0][0] == stamp:
+                        entries.append(heapq.heappop(heap))
+                    core_id = arbiter.preferred_core(
+                        [entry[2] for entry in entries])
+                    for entry in entries:
+                        if entry[2] != core_id:
+                            heapq.heappush(heap, entry)
+                slices += 1
+                context = contexts[core_id]
+                if context is None:
+                    sim = sims[core_id]
+                    sim._ensure_started()  # entry fill requests at cycle 0
+                    context = contexts[core_id] = EngineContext(sim)
+                    context.enable_sync()
+                    status = context.advance(max_bundles, release=False,
+                                             sync=bool(heap))
+                else:
+                    releases += 1
+                    status = context.advance(max_bundles, release=True,
+                                             sync=bool(heap))
+                if status == "sync":
+                    heapq.heappush(heap,
+                                   (context.cycles, ranks[core_id], core_id))
+        finally:
+            # Export the in-flight state back to the simulators so results
+            # and post-mortem inspection (also after a mid-run exception)
+            # are indistinguishable from the reference path.
+            for context in contexts:
+                if context is not None:
+                    context.export()
+        return {"scheduler": "event", "slices": slices, "releases": releases}
+
+    def _schedule_quantum(self, sims: list[CycleSimulator],
+                          arbiter: MemoryArbiter, max_bundles: int) -> dict:
+        """Reference scheduler: quantum-bounded polling of the slowest core.
+
+        Always advance the core with the smallest local clock (ties broken
+        in the arbiter's service order), up to one quantum past the next
+        core's clock, yielding early on every arbitrated transfer.  Requests
+        therefore reach the shared arbiter in global time order at bundle
+        granularity.  The loop itself is allocation-free — one min/second-min
+        scan per slice and a reused tie buffer — so scheduler overhead
+        measured against the event-driven path reflects the engine
+        re-entries, not per-slice garbage.
+        """
+        quantum = self.quantum
+        alive = [True] * len(sims)
+        n_active = len(sims)
+        tied: list[int] = []  # reused tie buffer
+        slices = 0
+        while n_active:
+            min1 = min2 = -1  # smallest / second-smallest live clock
+            core_id = -1
+            tie = False
+            for cid, sim in enumerate(sims):
+                if not alive[cid]:
+                    continue
+                cycles = sim.cycles
+                if core_id < 0 or cycles < min1:
+                    min2 = min1 if core_id >= 0 else -1
+                    min1 = cycles
+                    core_id = cid
+                    tie = False
+                elif cycles == min1:
+                    tie = True
+                    min2 = min1
+                elif min2 < 0 or cycles < min2:
+                    min2 = cycles
+            if tie:
+                del tied[:]
+                for cid, sim in enumerate(sims):
+                    if alive[cid] and sim.cycles == min1:
+                        tied.append(cid)
+                core_id = arbiter.preferred_core(tied)
+            sim = sims[core_id]
+            slices += 1
+            if n_active > 1:
+                # min(other cores' clocks) is min1 on a tie (another core
+                # still sits at min1) and min2 otherwise.  The horizon lets
+                # the chosen core run up to that clock but never *through*
+                # it: a core catching up from behind yields exactly at clock
+                # equality, so every simultaneous request is tie-broken by
+                # the arbiter's preference order rather than by scheduling
+                # history.  (own + quantum keeps a tied core progressing by
+                # at least one bundle per slice.)
+                others_min = min1 if tie else min2
                 reason = sim.run_step(
-                    until_cycle=min(other_clocks) + self.quantum,
+                    until_cycle=max(others_min + quantum - 1,
+                                    sim.cycles + quantum),
                     stop_on_memory_event=True, max_bundles=max_bundles)
             else:
                 reason = sim.run_step(max_bundles=max_bundles)
             if reason == "halted":
-                del active[core_id]
-        return sims, arbiter
+                alive[core_id] = False
+                n_active -= 1
+        return {"scheduler": "reference", "quantum": quantum,
+                "slices": slices}
 
     # ------------------------------------------------------------------
     # WCET

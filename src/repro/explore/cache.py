@@ -57,7 +57,11 @@ def _save_lock(path: Path):
 #: slot_weights axes) and records carry the interference metrics.
 #: v3: WCET options carry ``tdma_core_id`` and TDMA design points use the
 #: refined per-core, per-transfer interference bound.
-CACHE_VERSION = 3
+#: v4: co-simulation serves simultaneous memory requests strictly in the
+#: arbiter's preference order (a core catching up from behind yields the
+#: bus tie instead of keeping a scheduling-slice privilege), which can
+#: shift round-robin/priority interference timings by a few cycles.
+CACHE_VERSION = 4
 
 
 class ResultCache:

@@ -93,6 +93,15 @@ class MemoryArbiter:
     #: Policy name used by configuration strings and result records.
     kind = "abstract"
 
+    #: True iff :meth:`grant_cycle` is a pure function of its arguments —
+    #: grants never depend on the other cores' traffic or on arbitration
+    #: history.  This is the paper's temporal-decoupling property, and the
+    #: event-driven co-simulation exploits it directly: under an
+    #: order-independent arbiter every core can run to completion without
+    #: synchronising with anyone and still observe exactly the delays of the
+    #: fully interleaved simulation.
+    order_independent = False
+
     def __init__(self, num_cores: int):
         if num_cores < 1:
             raise ConfigError("a memory arbiter needs at least one core")
@@ -123,6 +132,26 @@ class MemoryArbiter:
         :meth:`request` in the order the hardware would serve them.
         """
         return sorted(core_ids)
+
+    def preferred_core(self, core_ids: Sequence[int]) -> int:
+        """First core of :meth:`preference_order`, without building the list.
+
+        The co-simulation schedulers only ever need the *next* core to
+        serve; computing just the minimum keeps tie-breaking allocation-free
+        on the hot path.  Must always equal ``preference_order(core_ids)[0]``.
+        """
+        return min(core_ids)
+
+    def tie_ranks(self) -> Optional[Sequence[int]]:
+        """Static per-core tie-break ranks, or ``None`` if state-dependent.
+
+        When the service order of simultaneous requests does not depend on
+        arbitration history, the event-driven scheduler can key its ready
+        queue on ``(cycle, rank, core_id)`` and never consult the arbiter
+        for ties.  Round-robin returns ``None`` (its rotation follows the
+        last grant) and is tie-resolved via :meth:`preferred_core` instead.
+        """
+        return range(self.num_cores)
 
     # -- shared bookkeeping -----------------------------------------------------------
 
@@ -184,14 +213,35 @@ class TdmaBusArbiter(MemoryArbiter):
 
     kind = "tdma"
 
+    #: The decoupling property itself: a TDMA grant depends only on the
+    #: schedule and the requesting cycle, never on concurrent traffic.
+    order_independent = True
+
     def __init__(self, schedule: TdmaSchedule):
         super().__init__(schedule.num_cores)
         self.schedule = schedule
+        # Closed-form grant arithmetic: the schedule geometry is frozen, so
+        # the per-core offsets/lengths and the period are read exactly once
+        # and every grant is three integer operations plus the fit check —
+        # no method dispatch into the schedule on the hot path.
+        self._period = schedule.period
+        self._offsets = tuple(schedule.slot_offset(core)
+                              for core in range(schedule.num_cores))
+        self._lengths = tuple(schedule.slot_length(core)
+                              for core in range(schedule.num_cores))
 
     def grant_cycle(self, core_id: int, cycle: int,
                     transfer_cycles: int) -> int:
-        return cycle + self.schedule.wait_cycles(core_id, cycle,
-                                                 transfer_cycles)
+        length = self._lengths[core_id]
+        if transfer_cycles > length:
+            raise ConfigError(
+                f"transfer of {transfer_cycles} cycles does not fit into a "
+                f"TDMA slot of {length} cycles")
+        period = self._period
+        phase = (cycle - self._offsets[core_id]) % period
+        if phase + transfer_cycles <= length:
+            return cycle  # inside the own slot with enough room left
+        return cycle + period - phase
 
     def worst_case_delay(self, core_id: int) -> int:
         return self.schedule.worst_case_wait()
@@ -230,6 +280,13 @@ class RoundRobinArbiter(MemoryArbiter):
         start = (self.last_granted + 1) % self.num_cores
         return sorted(core_ids,
                       key=lambda cid: (cid - start) % self.num_cores)
+
+    def preferred_core(self, core_ids: Sequence[int]) -> int:
+        start = (self.last_granted + 1) % self.num_cores
+        return min(core_ids, key=lambda cid: (cid - start) % self.num_cores)
+
+    def tie_ranks(self) -> Optional[Sequence[int]]:
+        return None  # service order rotates with every grant
 
     def worst_case_delay(self, core_id: int) -> Optional[int]:
         if self.max_transfer_cycles is None:
@@ -298,6 +355,14 @@ class PriorityArbiter(MemoryArbiter):
 
     def preference_order(self, core_ids: Sequence[int]) -> list[int]:
         return sorted(core_ids, key=lambda cid: (self.priorities[cid], cid))
+
+    def preferred_core(self, core_ids: Sequence[int]) -> int:
+        return min(core_ids, key=lambda cid: (self.priorities[cid], cid))
+
+    def tie_ranks(self) -> Optional[Sequence[int]]:
+        # (rank, core_id) ordering equals the (priority, core_id) key of
+        # preference_order, so the priorities themselves are the ranks.
+        return self.priorities
 
     def top_core(self) -> int:
         """The core with the highest priority (the only bounded one)."""

@@ -52,31 +52,47 @@ class TdmaSchedule:
                     f"for {self.num_cores} cores")
             if any(weight < 1 for weight in self.slot_weights):
                 raise ConfigError("TDMA slot weights must be at least 1")
+        # Pre-computed slot geometry: wait_cycles sits on the arbitration
+        # fast path of every simulated memory transfer, so the per-core
+        # offsets/lengths and the period must not be re-derived (allocating
+        # a weights tuple and a prefix slice) on each request.  The fields
+        # are frozen, so this is computed exactly once.
+        weights = self.slot_weights or (1,) * self.num_cores
+        offsets = []
+        acc = 0
+        for weight in weights:
+            offsets.append(acc * self.slot_cycles)
+            acc += weight
+        object.__setattr__(self, "_weights", weights)
+        object.__setattr__(self, "_offsets", tuple(offsets))
+        object.__setattr__(self, "_lengths",
+                           tuple(w * self.slot_cycles for w in weights))
+        object.__setattr__(self, "_period", acc * self.slot_cycles)
 
     @property
     def weights(self) -> tuple[int, ...]:
         """Effective per-core weights (all 1 when unweighted)."""
-        return self.slot_weights or (1,) * self.num_cores
+        return self._weights
 
     @property
     def period(self) -> int:
         """Length of one full TDMA round in cycles."""
-        return sum(self.weights) * self.slot_cycles
+        return self._period
 
     def slot_length(self, core_id: int) -> int:
         """Length of ``core_id``'s slot in cycles."""
         self._check_core(core_id)
-        return self.weights[core_id] * self.slot_cycles
+        return self._lengths[core_id]
 
     def slot_offset(self, core_id: int) -> int:
         """Start of ``core_id``'s slot relative to the period start."""
         self._check_core(core_id)
-        return sum(self.weights[:core_id]) * self.slot_cycles
+        return self._offsets[core_id]
 
     def slot_start(self, core_id: int, cycle: int) -> int:
         """First cycle >= ``cycle`` at which ``core_id``'s slot begins."""
         offset = self.slot_offset(core_id)
-        period = self.period
+        period = self._period
         phase = (cycle - offset) % period
         if phase == 0:
             return cycle
@@ -90,13 +106,14 @@ class TdmaSchedule:
         slot start.  Transfers longer than the slot can never be scheduled
         and are rejected — the CMP system validates this up front.
         """
-        length = self.slot_length(core_id)
+        self._check_core(core_id)
+        length = self._lengths[core_id]
         if transfer_cycles > length:
             raise ConfigError(
                 f"transfer of {transfer_cycles} cycles does not fit into a "
                 f"TDMA slot of {length} cycles")
-        period = self.period
-        phase = (cycle - self.slot_offset(core_id)) % period
+        period = self._period
+        phase = (cycle - self._offsets[core_id]) % period
         if phase + transfer_cycles <= length:
             return 0  # inside the own slot with enough room left
         return period - phase

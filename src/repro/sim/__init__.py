@@ -25,7 +25,13 @@ Module map
     (``tests/test_engine_equivalence.py``).  Both engines are resumable
     through ``run_step`` (run-until-cycle / run-until-memory-event), which
     is how the multicore co-simulation (:mod:`repro.cmp`) interleaves N
-    cores on one clock without losing the fast path.
+    cores on one clock without losing the fast path.  The engine's hot loop
+    lives in :class:`~repro.sim.engine.EngineContext` — a persistent
+    per-core execution context whose ``advance`` method re-enters the
+    dispatch loop at method-call cost and can pause *before* a bundle that
+    may register an arbitrated memory transfer; the event-driven co-sim
+    scheduler holds one context per core and releases them in global time
+    order (``tests/test_cosim_scheduler.py`` pins the equivalence).
 ``executor``
     Pure evaluation of ALU/compare/predicate/multiply semantics shared by
     the reference interpreter (the fast engine pre-binds its own inlined
@@ -40,7 +46,7 @@ Module map
 
 from .base import BaseSimulator
 from .cycle import CycleSimulator
-from .engine import DecodedProgram, decode_image
+from .engine import DecodedProgram, EngineContext, decode_image
 from .functional import FunctionalSimulator
 from .results import SimResult, StallBreakdown, TraceEntry
 from .state import ArchState, to_signed, to_unsigned
@@ -50,6 +56,7 @@ __all__ = [
     "BaseSimulator",
     "CycleSimulator",
     "DecodedProgram",
+    "EngineContext",
     "FunctionalSimulator",
     "SimResult",
     "StallBreakdown",

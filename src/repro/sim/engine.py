@@ -14,10 +14,17 @@ interpretation à la the interpreter literature cited in PAPERS.md):
   type), delay-slot counts, resolved control-flow targets (including the
   :class:`~repro.program.linker.FunctionRecord` of call/brcf targets), basic
   block keys and call-count keys are all resolved at decode time.
-* :func:`run_predecoded` executes the table with a flat dispatch loop: no
+* :class:`EngineContext` executes the table with a flat dispatch loop: no
   ``Format`` if-chain, no per-step dict probes, and the linear
   ``_pending_writes`` scan is replaced by a small ring of write slots indexed
   by due-issue, so committing exposed-delay results is O(writes due now).
+  The context is *persistent*: in-flight state stays inside it between
+  :meth:`~EngineContext.advance` calls, so a multicore scheduler re-enters
+  the hot loop at method-call cost (:func:`run_predecoded` wraps a
+  throw-away context for the single-shot case).  With
+  :meth:`~EngineContext.enable_sync` the context additionally pauses before
+  any bundle that may register a shared-bus transfer — the next-event
+  lookahead protocol of the event-driven co-simulation.
 * ``strict`` and ``trace`` handling are hoisted out of the hot loop into
   *decode-time variants*: strict staleness checks become dedicated check
   micro-ops that exist only in the strict decode of the program, and the
@@ -44,7 +51,7 @@ Register indices are validated once at decode time; the hot loop then indexes
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..config import NUM_GPRS, NUM_PREDS
 from ..errors import (
@@ -197,6 +204,9 @@ class DecodedProgram:
     ring_size: int
     strict: bool
     trace: bool
+    #: Memoised per-bundle may-arbitrate flags, keyed by the cache/store
+    #: organisation signature (see :meth:`EngineContext.enable_sync`).
+    sync_flags_cache: dict = field(default_factory=dict)
 
 
 def decode_image(image: Image, pipeline, strict: bool,
@@ -501,6 +511,799 @@ def _hook(sim, base_cls, name):
     return getattr(sim, name)
 
 
+def _uop_may_arbitrate(u: tuple, uses_method_cache: bool, unified: bool,
+                       ideal: bool, store_arbitrates: bool) -> bool:
+    """Can executing this micro-op ever register a shared-bus transfer?
+
+    The classification mirrors the timing hooks of
+    :class:`~repro.sim.cycle.CycleSimulator` exactly: typed cached accesses
+    arbitrate only on a miss path that exists for their cache organisation,
+    split main-memory loads always arbitrate, stores only reach the arbiter
+    when the store buffer has zero entries (background drains are not
+    modelled on the bus), stack control arbitrates on spill/fill traffic and
+    call/return/brcf on method-cache fills.  Being conservative here is
+    always sound — a pause before a bundle that then hits in its cache costs
+    a scheduling round trip, never correctness.
+    """
+    k = u[0]
+    if k == K_LOAD_W or k == K_LOAD:
+        mem_type = u[7]
+        return not ideal and (mem_type is MemType.STATIC
+                              or mem_type is MemType.OBJECT
+                              or (mem_type is MemType.STACK and unified))
+    if k == K_LOAD_M:
+        return True
+    if k == K_STORE_W or k == K_STORE:
+        mem_type = u[6]
+        return store_arbitrates and (mem_type is MemType.STATIC
+                                     or mem_type is MemType.OBJECT
+                                     or (mem_type is MemType.STACK
+                                         and unified))
+    if k == K_STORE_M:
+        return store_arbitrates
+    if k == K_STACK:
+        return u[4] != 2  # sres/sens may spill/fill; sfree never transfers
+    if k in (K_BRCF, K_CALL, K_CALLR, K_RET):
+        return uses_method_cache
+    return False
+
+
+class EngineContext:
+    """Persistent, resumable execution context of one pre-decoded simulator.
+
+    The fast engine's per-call prologue — decoding-cache lookup, some forty
+    local aliases, materialising the due-issue ring and pending-write
+    counters, resolving the timing hooks — is cheap once per *run* but
+    dominates wall-clock when a multicore scheduler re-enters the engine
+    every few bundles.  An ``EngineContext`` hoists all of that into one
+    object created once per core per co-simulation: :meth:`advance` re-binds
+    locals from the context and continues exactly where the previous call
+    stopped, so a slice re-entry costs a method call instead of a full
+    import/export of the in-flight state.
+
+    The context also implements the *next-event lookahead* protocol of the
+    event-driven co-simulation scheduler: :meth:`enable_sync` classifies
+    every decoded bundle by whether it can register a transfer with the
+    shared memory arbiter (see :func:`_uop_may_arbitrate`), and
+    :meth:`advance` then pauses *before* executing such a bundle, reporting
+    ``"sync"`` with the core's clock — which is the exact global cycle its
+    next arbitration request would be stamped with.  The scheduler releases
+    paused cores in global time order (``release=True`` executes the pending
+    bundle), so requests reach the shared arbiter exactly as the quantum
+    scheduler's interleaving would deliver them, while the core runs
+    completely undisturbed between its own memory events.
+
+    In-flight state lives in the context between calls; :meth:`export`
+    writes it back to the simulator's reference-format attributes
+    (``_pending_writes`` and friends) so results, resumption by the
+    interpreter and post-mortem inspection are indistinguishable from the
+    reference engine.  ``export`` is idempotent and must be called after the
+    final :meth:`advance` (also on exceptions — :func:`run_predecoded` and
+    the co-sim scheduler both guarantee this with ``finally``).
+    """
+
+    def __init__(self, sim):
+        from .base import BaseSimulator
+
+        self.sim = sim
+        program = decode_image(sim.image, sim.config.pipeline, sim.strict,
+                               sim.trace_enabled)
+        self.program = program
+        self.table = program.table
+        self.tlen = len(program.table)
+        self.base = program.base
+        nring = program.ring_size
+        self.ring_mask = nring - 1
+
+        # -- architectural state aliases (mutated in place) --------------------
+        state = sim.state
+        self.state = state
+        self.regs = state.regs
+        self.preds = state.preds
+        self.specials = state.specials
+        self.output = state.output
+        self.block_counts = sim.block_counts
+        self.call_counts = sim.call_counts
+        self.stack_cache = sim.stack_cache
+        self.memory = sim.memory
+        self.scratchpad = sim.scratchpad
+        self.func_at = sim.image.function_at
+        self.func_containing = sim.image.function_containing
+        self.trace_append = sim.trace.append
+
+        # -- timing hooks (None = the subclass charges no stalls there) --------
+        self.fetch_hook = sim._engine_fetch_hook()
+        self.mc_hook = _hook(sim, BaseSimulator, "_method_cache_stall")
+        self.read_hook = _hook(sim, BaseSimulator, "_cached_read_stall")
+        self.write_hook = _hook(sim, BaseSimulator, "_cached_write_stall")
+        self.stack_hook = _hook(sim, BaseSimulator, "_stack_control_stall")
+        self.store_hook = _hook(sim, BaseSimulator, "_main_store_stall")
+        self.split_hook = _hook(sim, BaseSimulator, "_split_load_latency")
+
+        # -- dynamic state import ----------------------------------------------
+        issued = sim.issued
+        self.issued = issued
+        self.cycles = sim.cycles
+        self.instructions = sim.instructions
+        self.nops = sim.nops
+        self.halted = state.halted
+        self.cur_func = sim._current_func
+        self.idx = (sim._pc - self.base) >> 2
+
+        ring: list[list] = [[] for _ in range(nring)]
+        pg = [0] * NUM_GPRS
+        pp = [0] * NUM_PREDS
+        ps: dict = {}
+        regs = self.regs
+        preds = self.preds
+        specials = self.specials
+        for write in sim._pending_writes:
+            kind_id = (0 if write.kind == "gpr"
+                       else 1 if write.kind == "pred" else 2)
+            if write.due_issue <= issued:
+                # Would commit at the next reference step start: apply now.
+                if kind_id == 0:
+                    regs[write.index] = write.value & _M
+                elif kind_id == 1:
+                    preds[write.index] = bool(write.value)
+                else:
+                    specials[write.index] = write.value & _M
+                continue
+            ring[write.due_issue & self.ring_mask].append(
+                (kind_id, write.index, write.value))
+            if kind_id == 0:
+                pg[write.index] += 1
+            elif kind_id == 1:
+                pp[write.index] += 1
+            else:
+                ps[write.index] = ps.get(write.index, 0) + 1
+        self.ring = ring
+        self.pg = pg
+        self.pp = pp
+        self.ps = ps
+
+        self.ctrl_cd = 0
+        self.ctrl_tidx = -1
+        self.ctrl_target = 0
+        self.ctrl_is_call = False
+        self.ctrl_name = None
+        if sim._pending_control is not None:
+            pending = sim._pending_control
+            self.ctrl_cd = pending.countdown
+            self.ctrl_target = pending.target
+            self.ctrl_tidx = (pending.target - self.base) >> 2
+            self.ctrl_is_call = pending.is_call
+            self.ctrl_name = pending.call_target_name
+
+        self.has_pml = sim._pending_main_load is not None
+        self.pml_rd = self.pml_val = self.pml_ready = 0
+        if self.has_pml:
+            pml = sim._pending_main_load
+            self.pml_rd, self.pml_val, self.pml_ready = \
+                pml.rd, pml.value, pml.ready_cycle
+
+        #: Stall cycles accumulated since the last :meth:`export`.
+        self.s_icache = self.s_data = self.s_method = 0
+        self.s_stack = self.s_split = self.s_store = 0
+
+        #: Per-bundle "may register an arbitrated transfer" flags
+        #: (:meth:`enable_sync`); ``None`` disables the pause protocol.
+        self.sync_flags = None
+
+    def enable_sync(self) -> None:
+        """Classify every bundle for the pause-before-memory-event protocol.
+
+        The flags depend on the core's cache organisation and store-buffer
+        configuration, not just on the image, so they are per-context rather
+        than part of the shared decode cache.
+        """
+        sim = self.sim
+        hierarchy = getattr(sim, "hierarchy", None)
+        controller = getattr(sim, "controller", None)
+        if controller is None or controller.arbiter is None:
+            key = None  # no arbiter: no bundle can ever request
+        else:
+            uses_mc = hierarchy is not None and hierarchy.uses_method_cache
+            options = hierarchy.options if hierarchy is not None else None
+            key = (uses_mc,
+                   options is not None and options.unified_data_cache,
+                   options is not None and options.ideal_data_caches,
+                   controller.store_buffer_entries == 0)
+        flags = self.program.sync_flags_cache.get(key)
+        if flags is None:
+            flags = [False] * self.tlen
+            if key is not None:
+                uses_mc, unified, ideal, store_arb = key
+                for index, rec in enumerate(self.table):
+                    if rec is None:
+                        continue
+                    for u in rec[R_UOPS]:
+                        if _uop_may_arbitrate(u, uses_mc, unified, ideal,
+                                              store_arb):
+                            flags[index] = True
+                            break
+            self.program.sync_flags_cache[key] = flags
+        self.sync_flags = flags
+
+    def export(self) -> None:
+        """Write the in-flight state back to the simulator (idempotent)."""
+        from .base import _PendingControl, _PendingMainLoad, _PendingWrite
+
+        sim = self.sim
+        sim.issued = self.issued
+        sim.cycles = self.cycles
+        sim.instructions = self.instructions
+        sim.nops = self.nops
+        stalls = sim.stalls
+        stalls.icache += self.s_icache
+        stalls.data_cache += self.s_data
+        stalls.method_cache += self.s_method
+        stalls.stack_cache += self.s_stack
+        stalls.split_load_wait += self.s_split
+        stalls.store_buffer += self.s_store
+        self.s_icache = self.s_data = self.s_method = 0
+        self.s_stack = self.s_split = self.s_store = 0
+        sim._pc = self.base + (self.idx << 2)
+        sim._current_func = self.cur_func
+        sim._pending_control = _PendingControl(
+            target=self.ctrl_target, countdown=self.ctrl_cd,
+            is_call=self.ctrl_is_call,
+            call_target_name=self.ctrl_name) if self.ctrl_cd else None
+        sim._pending_main_load = _PendingMainLoad(
+            rd=self.pml_rd, value=self.pml_val,
+            ready_cycle=self.pml_ready) if self.has_pml else None
+        pending_writes = []
+        ring_mask = self.ring_mask
+        for offset in range(ring_mask + 1):
+            due = self.issued + offset
+            for write in self.ring[due & ring_mask]:
+                pending_writes.append(_PendingWrite(
+                    due_issue=due, kind=_KIND_NAMES[write[0]],
+                    index=write[1], value=write[2]))
+        sim._pending_writes = pending_writes
+
+    def advance(self, max_bundles: int, release: bool = False,
+                sync: bool = True, until_cycle=None, event_source=None) -> str:
+        """Run until the next scheduling point; returns why it stopped.
+
+        * ``"halted"`` — the program executed ``halt``;
+        * ``"sync"`` — sync flags are enabled and the *next* bundle may
+          register an arbitrated transfer (the bundle has **not** executed;
+          ``self.cycles`` is the global cycle its requests would carry);
+        * ``"memory_event"`` / ``"cycle_limit"`` — the reference stepping
+          conditions, for :func:`run_predecoded` compatibility.
+
+        ``release=True`` executes the pending flagged bundle (the scheduler
+        granting this core its turn) before pausing again; ``sync=False``
+        ignores the flags entirely — used for single-core runs and for the
+        last surviving core of a co-simulation, whose requests can no longer
+        interleave with anyone.
+        """
+        sim = self.sim
+        table = self.table
+        tlen = self.tlen
+        base = self.base
+        ring_mask = self.ring_mask
+
+        state = self.state
+        regs = self.regs
+        preds = self.preds
+        specials = self.specials
+        output = self.output
+        block_counts = self.block_counts
+        call_counts = self.call_counts
+        stack_cache = self.stack_cache
+        contains = stack_cache.contains
+        func_at = self.func_at
+        func_containing = self.func_containing
+        memory = self.memory
+        mem_read = memory.read
+        mem_read_u32 = memory.read_u32
+        mem_write = memory.write
+        mem_write_u32 = memory.write_u32
+        spad = self.scratchpad
+        spad_read = spad.read
+        spad_read_u32 = spad.read_u32
+        spad_write = spad.write
+        spad_write_u32 = spad.write_u32
+        trace_append = self.trace_append
+
+        ST, SS = SpecialReg.ST, SpecialReg.SS
+        SL, SH = SpecialReg.SL, SpecialReg.SH
+        SRB, SRO = SpecialReg.SRB, SpecialReg.SRO
+
+        fetch_hook = self.fetch_hook
+        mc_hook = self.mc_hook
+        read_hook = self.read_hook
+        write_hook = self.write_hook
+        stack_hook = self.stack_hook
+        store_hook = self.store_hook
+        split_hook = self.split_hook
+
+        issued = self.issued
+        cycles = self.cycles
+        instructions = self.instructions
+        nops = self.nops
+        halted = self.halted
+        cur_func = self.cur_func
+        cur_entry = cur_func.entry_addr
+        idx = self.idx
+        ring = self.ring
+        pg = self.pg
+        pp = self.pp
+        ps = self.ps
+
+        ctrl_cd = self.ctrl_cd
+        ctrl_tidx = self.ctrl_tidx
+        ctrl_target = self.ctrl_target
+        ctrl_is_call = self.ctrl_is_call
+        ctrl_name = self.ctrl_name
+        has_pml = self.has_pml
+        pml_rd = self.pml_rd
+        pml_val = self.pml_val
+        pml_ready = self.pml_ready
+
+        s_icache = self.s_icache
+        s_data = self.s_data
+        s_method = self.s_method
+        s_stack = self.s_stack
+        s_split = self.s_split
+        s_store = self.s_store
+
+        sync_flags = self.sync_flags if sync else None
+        skip_sync = release
+        status = "cycle_limit"
+
+        # Co-simulation stepping: all checks live behind one flag so the
+        # single-core fast path pays a single predictable branch per bundle.
+        stepping = (until_cycle is not None or event_source is not None
+                    or sync_flags is not None)
+        events_before = event_source.events if event_source is not None else 0
+
+        try:
+            while not halted:
+                if issued >= max_bundles:
+                    raise SimulationError(
+                        f"program did not halt within {max_bundles} bundles")
+                if stepping:
+                    if until_cycle is not None and cycles >= until_cycle:
+                        break
+                    if event_source is not None and \
+                            event_source.events != events_before:
+                        status = "memory_event"
+                        break
+                    if sync_flags is not None:
+                        if skip_sync:
+                            skip_sync = False
+                        elif 0 <= idx < tlen and sync_flags[idx]:
+                            status = "sync"
+                            break
+                # Commit results whose exposed delay elapsed (due == issued).
+                slot = ring[issued & ring_mask]
+                if slot:
+                    for write in slot:
+                        kind = write[0]
+                        if kind == 0:
+                            regs[write[1]] = write[2]
+                            pg[write[1]] -= 1
+                        elif kind == 1:
+                            preds[write[1]] = write[2]
+                            pp[write[1]] -= 1
+                        else:
+                            specials[write[1]] = write[2]
+                            ps[write[1]] -= 1
+                    del slot[:]
+
+                rec = table[idx] if 0 <= idx < tlen else None
+                if rec is None:
+                    raise LinkError(f"no bundle at address {base + (idx << 2):#x}")
+                uops, block_key, addr, fall_addr, fall_idx, bundle, _func, \
+                    trace_text, n_instr, n_nops = rec
+
+                sim.cycles = cycles  # timing hooks (TDMA, store buffer) read this
+                if block_key is not None:
+                    block_counts[block_key] = block_counts.get(block_key, 0) + 1
+
+                if fetch_hook is not None:
+                    stall = fetch_hook(addr, bundle)
+                    s_icache += stall
+                else:
+                    stall = 0
+
+                for u in uops:
+                    k = u[0]
+                    g = u[1]
+                    if g >= 0 and preds[g] == u[2]:
+                        continue  # guard false
+                    if k == 2:  # ALU reg-imm
+                        value = u[3](regs[u[4]], u[5])
+                        rd = u[6]
+                        ring[(issued + 1) & ring_mask].append((0, rd, value))
+                        pg[rd] += 1
+                    elif k == 31:  # strict check: one GPR read
+                        gg = u[3]
+                        if gg >= 0:
+                            if pp[gg]:
+                                _raise_stale(1, gg, issued, ring, ring_mask)
+                            if preds[gg] == u[4]:
+                                continue
+                        if pg[u[5]]:
+                            _raise_stale(0, u[5], issued, ring, ring_mask)
+                    elif k == 32:  # strict check: two GPR reads
+                        gg = u[3]
+                        if gg >= 0:
+                            if pp[gg]:
+                                _raise_stale(1, gg, issued, ring, ring_mask)
+                            if preds[gg] == u[4]:
+                                continue
+                        if pg[u[5]]:
+                            _raise_stale(0, u[5], issued, ring, ring_mask)
+                        if pg[u[6]]:
+                            _raise_stale(0, u[6], issued, ring, ring_mask)
+                    elif k == 1:  # ALU reg-reg
+                        value = u[3](regs[u[4]], regs[u[5]])
+                        rd = u[6]
+                        ring[(issued + 1) & ring_mask].append((0, rd, value))
+                        pg[rd] += 1
+                    elif k == 6:  # compare reg-imm
+                        value = u[3](regs[u[4]], u[5])
+                        pd = u[6]
+                        ring[(issued + 1) & ring_mask].append((1, pd, value))
+                        pp[pd] += 1
+                    elif k == 5:  # compare reg-reg
+                        value = u[3](regs[u[4]], regs[u[5]])
+                        pd = u[6]
+                        ring[(issued + 1) & ring_mask].append((1, pd, value))
+                        pp[pd] += 1
+                    elif k == 9:  # word load via a data cache
+                        a0 = regs[u[3]] + u[4]
+                        if u[9]:
+                            a0 += specials[ST]
+                        a0 &= _M
+                        if u[8] and not contains(a0, 4):
+                            raise StackCacheError(
+                                f"stack access at {a0:#x} outside the cached "
+                                f"window [{stack_cache.st:#x}, "
+                                f"{stack_cache.ss:#x})")
+                        value = mem_read_u32(a0)
+                        rd = u[5]
+                        if rd:
+                            ring[(issued + 1 + u[6]) & ring_mask].append(
+                                (0, rd, value))
+                            pg[rd] += 1
+                        if read_hook is not None:
+                            st_ = read_hook(u[7], a0)
+                            if st_:
+                                s_data += st_
+                                stall += st_
+                    elif k == 14:  # word store via a data cache
+                        a0 = regs[u[3]] + u[4]
+                        if u[8]:
+                            a0 += specials[ST]
+                        a0 &= _M
+                        if u[7] and not contains(a0, 4):
+                            raise StackCacheError(
+                                f"stack store at {a0:#x} outside the cached "
+                                f"window [{stack_cache.st:#x}, "
+                                f"{stack_cache.ss:#x})")
+                        mem_write_u32(a0, regs[u[5]])
+                        if write_hook is not None:
+                            st_ = write_hook(u[6], a0)
+                            if st_:
+                                s_data += st_
+                                stall += st_
+                    elif k == 3:  # load 16-bit immediate (low half, pre-computed)
+                        rd = u[4]
+                        ring[(issued + 1) & ring_mask].append((0, rd, u[3]))
+                        pg[rd] += 1
+                    elif k == 4:  # load 16-bit immediate into the high half
+                        rd = u[4]
+                        value = (regs[rd] & 0xFFFF) | u[3]
+                        ring[(issued + 1) & ring_mask].append((0, rd, value))
+                        pg[rd] += 1
+                    elif k == 21:  # branch
+                        if ctrl_cd:
+                            raise SimulationError(
+                                "control-transfer issued inside the delay slots "
+                                "of another control transfer")
+                        ctrl_tidx = u[3]
+                        ctrl_target = u[4]
+                        ctrl_cd = u[5] + 1
+                        ctrl_is_call = False
+                        ctrl_name = None
+                    elif k == 7:  # predicate combine
+                        a = preds[u[4]]
+                        b = preds[u[5]] if u[5] >= 0 else False
+                        pd = u[6]
+                        ring[(issued + 1) & ring_mask].append((1, pd, u[3](a, b)))
+                        pp[pd] += 1
+                    elif k == 0:  # strict-mode staleness checks
+                        gg = u[3]
+                        if gg >= 0:
+                            if pp[gg]:
+                                _raise_stale(1, gg, issued, ring, ring_mask)
+                            if preds[gg] == u[4]:
+                                continue
+                        for i in u[5]:
+                            if pg[i]:
+                                _raise_stale(0, i, issued, ring, ring_mask)
+                        for i in u[6]:
+                            if pp[i]:
+                                _raise_stale(1, i, issued, ring, ring_mask)
+                        for r in u[7]:
+                            if ps.get(r):
+                                _raise_stale(2, r, issued, ring, ring_mask)
+                    elif k == 10:  # sub-word load via a data cache
+                        a0 = regs[u[3]] + u[4]
+                        if u[9]:
+                            a0 += specials[ST]
+                        a0 &= _M
+                        if u[8] and not contains(a0, u[10]):
+                            raise StackCacheError(
+                                f"stack access at {a0:#x} outside the cached "
+                                f"window [{stack_cache.st:#x}, "
+                                f"{stack_cache.ss:#x})")
+                        value = mem_read(a0, u[10], u[11]) & _M
+                        rd = u[5]
+                        if rd:
+                            ring[(issued + 1 + u[6]) & ring_mask].append(
+                                (0, rd, value))
+                            pg[rd] += 1
+                        if read_hook is not None:
+                            st_ = read_hook(u[7], a0)
+                            if st_:
+                                s_data += st_
+                                stall += st_
+                    elif k == 11 or k == 12:  # scratchpad load
+                        a0 = (regs[u[3]] + u[4]) & _M
+                        if k == 11:
+                            value = spad_read_u32(a0)
+                        else:
+                            value = spad_read(a0, u[8], u[9]) & _M
+                        rd = u[5]
+                        if rd:
+                            ring[(issued + 1 + u[6]) & ring_mask].append(
+                                (0, rd, value))
+                            pg[rd] += 1
+                        if read_hook is not None:
+                            st_ = read_hook(u[7], a0)
+                            if st_:
+                                s_data += st_
+                                stall += st_
+                    elif k == 15:  # sub-word store via a data cache
+                        a0 = regs[u[3]] + u[4]
+                        if u[8]:
+                            a0 += specials[ST]
+                        a0 &= _M
+                        if u[7] and not contains(a0, u[9]):
+                            raise StackCacheError(
+                                f"stack store at {a0:#x} outside the cached "
+                                f"window [{stack_cache.st:#x}, "
+                                f"{stack_cache.ss:#x})")
+                        mem_write(a0, regs[u[5]], u[9])
+                        if write_hook is not None:
+                            st_ = write_hook(u[6], a0)
+                            if st_:
+                                s_data += st_
+                                stall += st_
+                    elif k == 16 or k == 17:  # scratchpad store
+                        a0 = (regs[u[3]] + u[4]) & _M
+                        if k == 16:
+                            spad_write_u32(a0, regs[u[5]])
+                        else:
+                            spad_write(a0, regs[u[5]], u[7])
+                        if write_hook is not None:
+                            st_ = write_hook(u[6], a0)
+                            if st_:
+                                s_data += st_
+                                stall += st_
+                    elif k == 13:  # split main-memory load
+                        if has_pml:
+                            raise SimulationError(
+                                "split load issued while another main-memory "
+                                "load is pending")
+                        a0 = (regs[u[3]] + u[4]) & _M
+                        if u[6] == 4:
+                            pml_val = mem_read_u32(a0)
+                        else:
+                            pml_val = mem_read(a0, u[6], u[7]) & _M
+                        pml_rd = u[5]
+                        pml_ready = cycles + (split_hook() if split_hook is not None
+                                              else 0)
+                        has_pml = True
+                    elif k == 19:  # wmem: wait for the split load
+                        if has_pml:
+                            has_pml = False
+                            st_ = pml_ready - cycles
+                            if st_ < 0:
+                                st_ = 0
+                            if pml_rd:
+                                ring[(issued + 1) & ring_mask].append(
+                                    (0, pml_rd, pml_val))
+                                pg[pml_rd] += 1
+                            s_split += st_
+                            stall += st_
+                    elif k == 18:  # uncached main-memory store
+                        a0 = (regs[u[3]] + u[4]) & _M
+                        value = regs[u[5]]
+                        st_ = store_hook(a0, value, u[6]) if store_hook is not None \
+                            else 0
+                        if u[6] == 4:
+                            mem_write_u32(a0, value)
+                        else:
+                            mem_write(a0, value, u[6])
+                        if st_:
+                            s_store += st_
+                            stall += st_
+                    elif k == 20:  # sres/sens/sfree
+                        st_ = stack_hook(u[3], u[5]) if stack_hook is not None \
+                            else 0
+                        if u[4] == 0:
+                            stack_cache.reserve(u[5])
+                        elif u[4] == 1:
+                            stack_cache.ensure(u[5])
+                        else:
+                            stack_cache.free(u[5])
+                        specials[ST] = stack_cache.st & _M
+                        specials[SS] = stack_cache.ss & _M
+                        s_stack += st_
+                        stall += st_
+                    elif k == 8:  # multiply
+                        low, high = u[3](regs[u[4]], regs[u[5]])
+                        mslot = ring[(issued + 1 + u[6]) & ring_mask]
+                        mslot.append((2, SL, low))
+                        mslot.append((2, SH, high))
+                        ps[SL] = ps.get(SL, 0) + 1
+                        ps[SH] = ps.get(SH, 0) + 1
+                    elif k == 22:  # brcf: branch with method-cache fill
+                        record = u[6]
+                        if record is None:
+                            record = func_containing(u[4])
+                        if mc_hook is not None:
+                            st_ = mc_hook(record)
+                            if st_:
+                                s_method += st_
+                                stall += st_
+                        if ctrl_cd:
+                            raise SimulationError(
+                                "control-transfer issued inside the delay slots "
+                                "of another control transfer")
+                        ctrl_tidx = u[3]
+                        ctrl_target = u[4]
+                        ctrl_cd = u[5] + 1
+                        ctrl_is_call = False
+                        ctrl_name = None
+                    elif k == 23 or k == 24:  # call / call-register
+                        if k == 23:
+                            record = u[6]
+                            if record is None:
+                                record = func_at(u[4])
+                            target = u[4]
+                            t_idx = u[3]
+                            delay = u[5]
+                        else:
+                            target = regs[u[3]]
+                            record = func_at(target)
+                            t_idx = (target - base) >> 2
+                            delay = u[4]
+                        if mc_hook is not None:
+                            st_ = mc_hook(record)
+                            if st_:
+                                s_method += st_
+                                stall += st_
+                        name = record.name
+                        call_counts[name] = call_counts.get(name, 0) + 1
+                        specials[SRB] = cur_entry
+                        if ctrl_cd:
+                            raise SimulationError(
+                                "control-transfer issued inside the delay slots "
+                                "of another control transfer")
+                        ctrl_tidx = t_idx
+                        ctrl_target = target
+                        ctrl_cd = delay + 1
+                        ctrl_is_call = True
+                        ctrl_name = name
+                    elif k == 25:  # return
+                        ret_base = specials[SRB]
+                        record = func_containing(ret_base)
+                        if mc_hook is not None:
+                            st_ = mc_hook(record)
+                            if st_:
+                                s_method += st_
+                                stall += st_
+                        target = (ret_base + specials[SRO]) & _M
+                        if ctrl_cd:
+                            raise SimulationError(
+                                "control-transfer issued inside the delay slots "
+                                "of another control transfer")
+                        ctrl_tidx = (target - base) >> 2
+                        ctrl_target = target
+                        ctrl_cd = u[3] + 1
+                        ctrl_is_call = False
+                        ctrl_name = None
+                    elif k == 26:  # mts
+                        value = regs[u[4]]
+                        special = u[3]
+                        specials[special] = value
+                        if special is ST:
+                            stack_cache.st = value
+                            if stack_cache.ss < value:
+                                stack_cache.ss = value
+                        elif special is SS:
+                            stack_cache.ss = value
+                    elif k == 27:  # mfs
+                        rd = u[4]
+                        ring[(issued + 1) & ring_mask].append(
+                            (0, rd, specials[u[3]]))
+                        pg[rd] += 1
+                    elif k == 29:  # debug output
+                        value = regs[u[3]]
+                        output.append(value - 0x1_0000_0000
+                                      if value & 0x8000_0000 else value)
+                    elif k == 28:  # halt
+                        state.halted = True
+                        halted = True
+                    else:  # k == 30: unresolved control-flow target
+                        raise SimulationError(
+                            f"unresolved control-flow target {u[3]!r}; "
+                            "simulate a linked image")
+
+                if trace_text is not None:
+                    trace_append(TraceEntry(cycle=cycles, addr=addr,
+                                            text=trace_text))
+                issued += 1
+                cycles += 1 + stall
+                instructions += n_instr
+                nops += n_nops
+
+                next_idx = fall_idx
+                if ctrl_cd:
+                    ctrl_cd -= 1
+                    if ctrl_cd == 0:
+                        if ctrl_is_call:
+                            specials[SRO] = (fall_addr - cur_entry) & _M
+                        next_idx = ctrl_tidx
+                        if not halted:
+                            rec2 = table[next_idx] \
+                                if 0 <= next_idx < tlen else None
+                            if rec2 is not None and rec2[R_FUNC] is not None:
+                                cur_func = rec2[R_FUNC]
+                            else:
+                                cur_func = func_containing(ctrl_target)
+                            cur_entry = cur_func.entry_addr
+                        ctrl_is_call = False
+                        ctrl_name = None
+                idx = next_idx
+        finally:
+            # Store the in-flight scalars back into the context; the ring,
+            # pending counters and statistics dicts are mutated in place.
+            # Resumption needs no further work, and :meth:`export` can
+            # rebuild the reference representation at any time.
+            self.issued = issued
+            self.cycles = cycles
+            self.instructions = instructions
+            self.nops = nops
+            self.halted = halted
+            self.cur_func = cur_func
+            self.idx = idx
+            self.ctrl_cd = ctrl_cd
+            self.ctrl_tidx = ctrl_tidx
+            self.ctrl_target = ctrl_target
+            self.ctrl_is_call = ctrl_is_call
+            self.ctrl_name = ctrl_name
+            self.has_pml = has_pml
+            self.pml_rd = pml_rd
+            self.pml_val = pml_val
+            self.pml_ready = pml_ready
+            self.s_icache = s_icache
+            self.s_data = s_data
+            self.s_method = s_method
+            self.s_stack = s_stack
+            self.s_split = s_split
+            self.s_store = s_store
+        return "halted" if halted else status
+
+
 def run_predecoded(sim, max_bundles: int, until_cycle=None,
                    event_source=None) -> None:
     """Run ``sim`` to completion (or ``max_bundles``) on the fast engine.
@@ -513,553 +1316,17 @@ def run_predecoded(sim, max_bundles: int, until_cycle=None,
     ``until_cycle`` the loop stops before issuing a bundle once the local
     clock reaches the horizon, and with ``event_source`` (an object whose
     ``events`` counter ticks on every arbitrated shared-memory transfer) it
-    stops after the bundle that performed a transfer.  On either stop the
-    ``finally`` block exports the complete in-flight state, so a later call
+    stops after the bundle that performed a transfer.  On any stop (also on
+    exceptions) the complete in-flight state is exported, so a later call
     resumes exactly where this one left off.
+
+    Each call builds a fresh :class:`EngineContext` and tears it down again;
+    a scheduler that re-enters a core every few bundles should hold on to
+    one context per core instead (the event-driven co-simulation does).
     """
-    from .base import BaseSimulator, _PendingControl, _PendingMainLoad, \
-        _PendingWrite
-
-    program = decode_image(sim.image, sim.config.pipeline, sim.strict,
-                           sim.trace_enabled)
-    table = program.table
-    tlen = len(table)
-    base = program.base
-    nring = program.ring_size
-    ring_mask = nring - 1
-
-    # -- architectural state aliases (mutated in place) ------------------------
-    state = sim.state
-    regs = state.regs
-    preds = state.preds
-    specials = state.specials
-    output = state.output
-    block_counts = sim.block_counts
-    call_counts = sim.call_counts
-    stack_cache = sim.stack_cache
-    contains = stack_cache.contains
-    image = sim.image
-    func_at = image.function_at
-    func_containing = image.function_containing
-    memory = sim.memory
-    mem_read = memory.read
-    mem_read_u32 = memory.read_u32
-    mem_write = memory.write
-    mem_write_u32 = memory.write_u32
-    spad = sim.scratchpad
-    spad_read = spad.read
-    spad_read_u32 = spad.read_u32
-    spad_write = spad.write
-    spad_write_u32 = spad.write_u32
-    trace_append = sim.trace.append
-
-    ST, SS = SpecialReg.ST, SpecialReg.SS
-    SL, SH = SpecialReg.SL, SpecialReg.SH
-    SRB, SRO = SpecialReg.SRB, SpecialReg.SRO
-
-    # -- timing hooks (None = the subclass charges no stalls there) ------------
-    fetch_hook = sim._engine_fetch_hook()
-    mc_hook = _hook(sim, BaseSimulator, "_method_cache_stall")
-    read_hook = _hook(sim, BaseSimulator, "_cached_read_stall")
-    write_hook = _hook(sim, BaseSimulator, "_cached_write_stall")
-    stack_hook = _hook(sim, BaseSimulator, "_stack_control_stall")
-    store_hook = _hook(sim, BaseSimulator, "_main_store_stall")
-    split_hook = _hook(sim, BaseSimulator, "_split_load_latency")
-
-    # -- dynamic state import --------------------------------------------------
-    issued = sim.issued
-    cycles = sim.cycles
-    instructions = sim.instructions
-    nops = sim.nops
-    halted = state.halted
-    cur_func = sim._current_func
-    cur_entry = cur_func.entry_addr
-    idx = (sim._pc - base) >> 2
-
-    ring: list[list] = [[] for _ in range(nring)]
-    pg = [0] * NUM_GPRS
-    pp = [0] * NUM_PREDS
-    ps: dict = {}
-    for write in sim._pending_writes:
-        kind_id = 0 if write.kind == "gpr" else 1 if write.kind == "pred" else 2
-        if write.due_issue <= issued:
-            # Would commit at the next reference step start: apply now.
-            if kind_id == 0:
-                regs[write.index] = write.value & _M
-            elif kind_id == 1:
-                preds[write.index] = bool(write.value)
-            else:
-                specials[write.index] = write.value & _M
-            continue
-        ring[write.due_issue & ring_mask].append(
-            (kind_id, write.index, write.value))
-        if kind_id == 0:
-            pg[write.index] += 1
-        elif kind_id == 1:
-            pp[write.index] += 1
-        else:
-            ps[write.index] = ps.get(write.index, 0) + 1
-
-    ctrl_cd = 0
-    ctrl_tidx = -1
-    ctrl_target = 0
-    ctrl_is_call = False
-    ctrl_name = None
-    if sim._pending_control is not None:
-        pending = sim._pending_control
-        ctrl_cd = pending.countdown
-        ctrl_target = pending.target
-        ctrl_tidx = (pending.target - base) >> 2
-        ctrl_is_call = pending.is_call
-        ctrl_name = pending.call_target_name
-
-    has_pml = sim._pending_main_load is not None
-    pml_rd = pml_val = pml_ready = 0
-    if has_pml:
-        pml = sim._pending_main_load
-        pml_rd, pml_val, pml_ready = pml.rd, pml.value, pml.ready_cycle
-
-    s_icache = s_data = s_method = s_stack = s_split = s_store = 0
-
-    # Co-simulation stepping: both checks live behind one flag so the
-    # single-core fast path pays a single predictable branch per bundle.
-    stepping = until_cycle is not None or event_source is not None
-    events_before = event_source.events if event_source is not None else 0
-
+    context = EngineContext(sim)
     try:
-        while not halted:
-            if issued >= max_bundles:
-                raise SimulationError(
-                    f"program did not halt within {max_bundles} bundles")
-            if stepping:
-                if until_cycle is not None and cycles >= until_cycle:
-                    break
-                if event_source is not None and \
-                        event_source.events != events_before:
-                    break
-            # Commit results whose exposed delay elapsed (due == issued).
-            slot = ring[issued & ring_mask]
-            if slot:
-                for write in slot:
-                    kind = write[0]
-                    if kind == 0:
-                        regs[write[1]] = write[2]
-                        pg[write[1]] -= 1
-                    elif kind == 1:
-                        preds[write[1]] = write[2]
-                        pp[write[1]] -= 1
-                    else:
-                        specials[write[1]] = write[2]
-                        ps[write[1]] -= 1
-                del slot[:]
-
-            rec = table[idx] if 0 <= idx < tlen else None
-            if rec is None:
-                raise LinkError(f"no bundle at address {base + (idx << 2):#x}")
-            uops, block_key, addr, fall_addr, fall_idx, bundle, _func, \
-                trace_text, n_instr, n_nops = rec
-
-            sim.cycles = cycles  # timing hooks (TDMA, store buffer) read this
-            if block_key is not None:
-                block_counts[block_key] = block_counts.get(block_key, 0) + 1
-
-            if fetch_hook is not None:
-                stall = fetch_hook(addr, bundle)
-                s_icache += stall
-            else:
-                stall = 0
-
-            for u in uops:
-                k = u[0]
-                g = u[1]
-                if g >= 0 and preds[g] == u[2]:
-                    continue  # guard false
-                if k == 2:  # ALU reg-imm
-                    value = u[3](regs[u[4]], u[5])
-                    rd = u[6]
-                    ring[(issued + 1) & ring_mask].append((0, rd, value))
-                    pg[rd] += 1
-                elif k == 31:  # strict check: one GPR read
-                    gg = u[3]
-                    if gg >= 0:
-                        if pp[gg]:
-                            _raise_stale(1, gg, issued, ring, ring_mask)
-                        if preds[gg] == u[4]:
-                            continue
-                    if pg[u[5]]:
-                        _raise_stale(0, u[5], issued, ring, ring_mask)
-                elif k == 32:  # strict check: two GPR reads
-                    gg = u[3]
-                    if gg >= 0:
-                        if pp[gg]:
-                            _raise_stale(1, gg, issued, ring, ring_mask)
-                        if preds[gg] == u[4]:
-                            continue
-                    if pg[u[5]]:
-                        _raise_stale(0, u[5], issued, ring, ring_mask)
-                    if pg[u[6]]:
-                        _raise_stale(0, u[6], issued, ring, ring_mask)
-                elif k == 1:  # ALU reg-reg
-                    value = u[3](regs[u[4]], regs[u[5]])
-                    rd = u[6]
-                    ring[(issued + 1) & ring_mask].append((0, rd, value))
-                    pg[rd] += 1
-                elif k == 6:  # compare reg-imm
-                    value = u[3](regs[u[4]], u[5])
-                    pd = u[6]
-                    ring[(issued + 1) & ring_mask].append((1, pd, value))
-                    pp[pd] += 1
-                elif k == 5:  # compare reg-reg
-                    value = u[3](regs[u[4]], regs[u[5]])
-                    pd = u[6]
-                    ring[(issued + 1) & ring_mask].append((1, pd, value))
-                    pp[pd] += 1
-                elif k == 9:  # word load via a data cache
-                    a0 = regs[u[3]] + u[4]
-                    if u[9]:
-                        a0 += specials[ST]
-                    a0 &= _M
-                    if u[8] and not contains(a0, 4):
-                        raise StackCacheError(
-                            f"stack access at {a0:#x} outside the cached "
-                            f"window [{stack_cache.st:#x}, "
-                            f"{stack_cache.ss:#x})")
-                    value = mem_read_u32(a0)
-                    rd = u[5]
-                    if rd:
-                        ring[(issued + 1 + u[6]) & ring_mask].append(
-                            (0, rd, value))
-                        pg[rd] += 1
-                    if read_hook is not None:
-                        st_ = read_hook(u[7], a0)
-                        if st_:
-                            s_data += st_
-                            stall += st_
-                elif k == 14:  # word store via a data cache
-                    a0 = regs[u[3]] + u[4]
-                    if u[8]:
-                        a0 += specials[ST]
-                    a0 &= _M
-                    if u[7] and not contains(a0, 4):
-                        raise StackCacheError(
-                            f"stack store at {a0:#x} outside the cached "
-                            f"window [{stack_cache.st:#x}, "
-                            f"{stack_cache.ss:#x})")
-                    mem_write_u32(a0, regs[u[5]])
-                    if write_hook is not None:
-                        st_ = write_hook(u[6], a0)
-                        if st_:
-                            s_data += st_
-                            stall += st_
-                elif k == 3:  # load 16-bit immediate (low half, pre-computed)
-                    rd = u[4]
-                    ring[(issued + 1) & ring_mask].append((0, rd, u[3]))
-                    pg[rd] += 1
-                elif k == 4:  # load 16-bit immediate into the high half
-                    rd = u[4]
-                    value = (regs[rd] & 0xFFFF) | u[3]
-                    ring[(issued + 1) & ring_mask].append((0, rd, value))
-                    pg[rd] += 1
-                elif k == 21:  # branch
-                    if ctrl_cd:
-                        raise SimulationError(
-                            "control-transfer issued inside the delay slots "
-                            "of another control transfer")
-                    ctrl_tidx = u[3]
-                    ctrl_target = u[4]
-                    ctrl_cd = u[5] + 1
-                    ctrl_is_call = False
-                    ctrl_name = None
-                elif k == 7:  # predicate combine
-                    a = preds[u[4]]
-                    b = preds[u[5]] if u[5] >= 0 else False
-                    pd = u[6]
-                    ring[(issued + 1) & ring_mask].append((1, pd, u[3](a, b)))
-                    pp[pd] += 1
-                elif k == 0:  # strict-mode staleness checks
-                    gg = u[3]
-                    if gg >= 0:
-                        if pp[gg]:
-                            _raise_stale(1, gg, issued, ring, ring_mask)
-                        if preds[gg] == u[4]:
-                            continue
-                    for i in u[5]:
-                        if pg[i]:
-                            _raise_stale(0, i, issued, ring, ring_mask)
-                    for i in u[6]:
-                        if pp[i]:
-                            _raise_stale(1, i, issued, ring, ring_mask)
-                    for r in u[7]:
-                        if ps.get(r):
-                            _raise_stale(2, r, issued, ring, ring_mask)
-                elif k == 10:  # sub-word load via a data cache
-                    a0 = regs[u[3]] + u[4]
-                    if u[9]:
-                        a0 += specials[ST]
-                    a0 &= _M
-                    if u[8] and not contains(a0, u[10]):
-                        raise StackCacheError(
-                            f"stack access at {a0:#x} outside the cached "
-                            f"window [{stack_cache.st:#x}, "
-                            f"{stack_cache.ss:#x})")
-                    value = mem_read(a0, u[10], u[11]) & _M
-                    rd = u[5]
-                    if rd:
-                        ring[(issued + 1 + u[6]) & ring_mask].append(
-                            (0, rd, value))
-                        pg[rd] += 1
-                    if read_hook is not None:
-                        st_ = read_hook(u[7], a0)
-                        if st_:
-                            s_data += st_
-                            stall += st_
-                elif k == 11 or k == 12:  # scratchpad load
-                    a0 = (regs[u[3]] + u[4]) & _M
-                    if k == 11:
-                        value = spad_read_u32(a0)
-                    else:
-                        value = spad_read(a0, u[8], u[9]) & _M
-                    rd = u[5]
-                    if rd:
-                        ring[(issued + 1 + u[6]) & ring_mask].append(
-                            (0, rd, value))
-                        pg[rd] += 1
-                    if read_hook is not None:
-                        st_ = read_hook(u[7], a0)
-                        if st_:
-                            s_data += st_
-                            stall += st_
-                elif k == 15:  # sub-word store via a data cache
-                    a0 = regs[u[3]] + u[4]
-                    if u[8]:
-                        a0 += specials[ST]
-                    a0 &= _M
-                    if u[7] and not contains(a0, u[9]):
-                        raise StackCacheError(
-                            f"stack store at {a0:#x} outside the cached "
-                            f"window [{stack_cache.st:#x}, "
-                            f"{stack_cache.ss:#x})")
-                    mem_write(a0, regs[u[5]], u[9])
-                    if write_hook is not None:
-                        st_ = write_hook(u[6], a0)
-                        if st_:
-                            s_data += st_
-                            stall += st_
-                elif k == 16 or k == 17:  # scratchpad store
-                    a0 = (regs[u[3]] + u[4]) & _M
-                    if k == 16:
-                        spad_write_u32(a0, regs[u[5]])
-                    else:
-                        spad_write(a0, regs[u[5]], u[7])
-                    if write_hook is not None:
-                        st_ = write_hook(u[6], a0)
-                        if st_:
-                            s_data += st_
-                            stall += st_
-                elif k == 13:  # split main-memory load
-                    if has_pml:
-                        raise SimulationError(
-                            "split load issued while another main-memory "
-                            "load is pending")
-                    a0 = (regs[u[3]] + u[4]) & _M
-                    if u[6] == 4:
-                        pml_val = mem_read_u32(a0)
-                    else:
-                        pml_val = mem_read(a0, u[6], u[7]) & _M
-                    pml_rd = u[5]
-                    pml_ready = cycles + (split_hook() if split_hook is not None
-                                          else 0)
-                    has_pml = True
-                elif k == 19:  # wmem: wait for the split load
-                    if has_pml:
-                        has_pml = False
-                        st_ = pml_ready - cycles
-                        if st_ < 0:
-                            st_ = 0
-                        if pml_rd:
-                            ring[(issued + 1) & ring_mask].append(
-                                (0, pml_rd, pml_val))
-                            pg[pml_rd] += 1
-                        s_split += st_
-                        stall += st_
-                elif k == 18:  # uncached main-memory store
-                    a0 = (regs[u[3]] + u[4]) & _M
-                    value = regs[u[5]]
-                    st_ = store_hook(a0, value, u[6]) if store_hook is not None \
-                        else 0
-                    if u[6] == 4:
-                        mem_write_u32(a0, value)
-                    else:
-                        mem_write(a0, value, u[6])
-                    if st_:
-                        s_store += st_
-                        stall += st_
-                elif k == 20:  # sres/sens/sfree
-                    st_ = stack_hook(u[3], u[5]) if stack_hook is not None \
-                        else 0
-                    if u[4] == 0:
-                        stack_cache.reserve(u[5])
-                    elif u[4] == 1:
-                        stack_cache.ensure(u[5])
-                    else:
-                        stack_cache.free(u[5])
-                    specials[ST] = stack_cache.st & _M
-                    specials[SS] = stack_cache.ss & _M
-                    s_stack += st_
-                    stall += st_
-                elif k == 8:  # multiply
-                    low, high = u[3](regs[u[4]], regs[u[5]])
-                    mslot = ring[(issued + 1 + u[6]) & ring_mask]
-                    mslot.append((2, SL, low))
-                    mslot.append((2, SH, high))
-                    ps[SL] = ps.get(SL, 0) + 1
-                    ps[SH] = ps.get(SH, 0) + 1
-                elif k == 22:  # brcf: branch with method-cache fill
-                    record = u[6]
-                    if record is None:
-                        record = func_containing(u[4])
-                    if mc_hook is not None:
-                        st_ = mc_hook(record)
-                        if st_:
-                            s_method += st_
-                            stall += st_
-                    if ctrl_cd:
-                        raise SimulationError(
-                            "control-transfer issued inside the delay slots "
-                            "of another control transfer")
-                    ctrl_tidx = u[3]
-                    ctrl_target = u[4]
-                    ctrl_cd = u[5] + 1
-                    ctrl_is_call = False
-                    ctrl_name = None
-                elif k == 23 or k == 24:  # call / call-register
-                    if k == 23:
-                        record = u[6]
-                        if record is None:
-                            record = func_at(u[4])
-                        target = u[4]
-                        t_idx = u[3]
-                        delay = u[5]
-                    else:
-                        target = regs[u[3]]
-                        record = func_at(target)
-                        t_idx = (target - base) >> 2
-                        delay = u[4]
-                    if mc_hook is not None:
-                        st_ = mc_hook(record)
-                        if st_:
-                            s_method += st_
-                            stall += st_
-                    name = record.name
-                    call_counts[name] = call_counts.get(name, 0) + 1
-                    specials[SRB] = cur_entry
-                    if ctrl_cd:
-                        raise SimulationError(
-                            "control-transfer issued inside the delay slots "
-                            "of another control transfer")
-                    ctrl_tidx = t_idx
-                    ctrl_target = target
-                    ctrl_cd = delay + 1
-                    ctrl_is_call = True
-                    ctrl_name = name
-                elif k == 25:  # return
-                    ret_base = specials[SRB]
-                    record = func_containing(ret_base)
-                    if mc_hook is not None:
-                        st_ = mc_hook(record)
-                        if st_:
-                            s_method += st_
-                            stall += st_
-                    target = (ret_base + specials[SRO]) & _M
-                    if ctrl_cd:
-                        raise SimulationError(
-                            "control-transfer issued inside the delay slots "
-                            "of another control transfer")
-                    ctrl_tidx = (target - base) >> 2
-                    ctrl_target = target
-                    ctrl_cd = u[3] + 1
-                    ctrl_is_call = False
-                    ctrl_name = None
-                elif k == 26:  # mts
-                    value = regs[u[4]]
-                    special = u[3]
-                    specials[special] = value
-                    if special is ST:
-                        stack_cache.st = value
-                        if stack_cache.ss < value:
-                            stack_cache.ss = value
-                    elif special is SS:
-                        stack_cache.ss = value
-                elif k == 27:  # mfs
-                    rd = u[4]
-                    ring[(issued + 1) & ring_mask].append(
-                        (0, rd, specials[u[3]]))
-                    pg[rd] += 1
-                elif k == 29:  # debug output
-                    value = regs[u[3]]
-                    output.append(value - 0x1_0000_0000
-                                  if value & 0x8000_0000 else value)
-                elif k == 28:  # halt
-                    state.halted = True
-                    halted = True
-                else:  # k == 30: unresolved control-flow target
-                    raise SimulationError(
-                        f"unresolved control-flow target {u[3]!r}; "
-                        "simulate a linked image")
-
-            if trace_text is not None:
-                trace_append(TraceEntry(cycle=cycles, addr=addr,
-                                        text=trace_text))
-            issued += 1
-            cycles += 1 + stall
-            instructions += n_instr
-            nops += n_nops
-
-            next_idx = fall_idx
-            if ctrl_cd:
-                ctrl_cd -= 1
-                if ctrl_cd == 0:
-                    if ctrl_is_call:
-                        specials[SRO] = (fall_addr - cur_entry) & _M
-                    next_idx = ctrl_tidx
-                    if not halted:
-                        rec2 = table[next_idx] \
-                            if 0 <= next_idx < tlen else None
-                        if rec2 is not None and rec2[R_FUNC] is not None:
-                            cur_func = rec2[R_FUNC]
-                        else:
-                            cur_func = func_containing(ctrl_target)
-                        cur_entry = cur_func.entry_addr
-                    ctrl_is_call = False
-                    ctrl_name = None
-            idx = next_idx
+        context.advance(max_bundles, sync=False, until_cycle=until_cycle,
+                        event_source=event_source)
     finally:
-        # Export the in-flight state back into the reference representation so
-        # results, resumption and post-mortem inspection are identical.
-        sim.issued = issued
-        sim.cycles = cycles
-        sim.instructions = instructions
-        sim.nops = nops
-        stalls = sim.stalls
-        stalls.icache += s_icache
-        stalls.data_cache += s_data
-        stalls.method_cache += s_method
-        stalls.stack_cache += s_stack
-        stalls.split_load_wait += s_split
-        stalls.store_buffer += s_store
-        sim._pc = base + (idx << 2)
-        sim._current_func = cur_func
-        sim._pending_control = _PendingControl(
-            target=ctrl_target, countdown=ctrl_cd, is_call=ctrl_is_call,
-            call_target_name=ctrl_name) if ctrl_cd else None
-        sim._pending_main_load = _PendingMainLoad(
-            rd=pml_rd, value=pml_val, ready_cycle=pml_ready) \
-            if has_pml else None
-        pending_writes = []
-        for offset in range(nring):
-            due = issued + offset
-            for write in ring[due & ring_mask]:
-                pending_writes.append(_PendingWrite(
-                    due_issue=due, kind=_KIND_NAMES[write[0]],
-                    index=write[1], value=write[2]))
-        sim._pending_writes = pending_writes
+        context.export()

@@ -7,6 +7,7 @@ This package turns that claim into a differential test::
 
     python -m repro.verify            # full kernel × cache-model × arbiter matrix
     python -m repro.verify --json BENCH_wcet.json --kernels performance
+    python -m repro.verify --jobs 4   # parallel matrix, identical report
 
 Methodology
 -----------

@@ -7,6 +7,7 @@ static bound fails to cover its observed execution::
     python -m repro.verify --kernels performance    # a suite subset
     python -m repro.verify --json report.json       # machine-readable report
     python -m repro.verify --arbiters single,tdma2  # arbiter subset
+    python -m repro.verify --jobs 4                 # parallel matrix
 
 ``--kernels`` accepts kernel and suite names (``performance``, ``branchy``,
 ``all``); ``--variants``/``--arbiters`` filter the cache-model and arbiter
@@ -61,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated arbiter configuration names "
                              f"(default: all of "
                              f"{[a.name for a in DEFAULT_ARBITERS]})")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the matrix (default: 1); "
+                             "the report is identical to a sequential run")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the machine-readable report here")
     parser.add_argument("--table", action="store_true",
@@ -85,6 +89,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # An empty selection must never let the soundness gate pass
             # vacuously (0 scenarios checked, exit 0).
             raise ReproError("no kernels selected")
+        if args.jobs < 1:
+            raise ReproError("--jobs must be at least 1")
     except (ReproError, KeyError) as exc:
         # A KeyError's args[0] is the message (str() would add repr quotes).
         message = exc.args[0] if exc.args else exc
@@ -93,7 +99,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         report = run_conformance(
             kernels=kernels, variants=variants, arbiters=arbiters,
-            progress=None if args.quiet else print)
+            jobs=args.jobs, progress=None if args.quiet else print)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

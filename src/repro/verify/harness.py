@@ -17,6 +17,14 @@ skipped, so the report also documents where the paper says no bound exists.
 Simulations are memoised per (kernel, hardware organisation, arbiter), so
 analysis-only variants (``always_miss``, ``naive``) reuse the simulation of
 the default variant and the full matrix stays CI-sized.
+
+The matrix is embarrassingly parallel: ``run_conformance(jobs=N)`` fans the
+scenario cells out over a ``multiprocessing`` pool (the explore runner's
+worker pattern).  Cells are shipped in groups that share a simulation key,
+so per-worker harnesses keep the memoisation win, and the report is
+assembled in the deterministic scenario order regardless of completion
+order — a parallel run produces the same report as a sequential one (only
+the measured ``elapsed_s`` differs).
 """
 
 from __future__ import annotations
@@ -275,34 +283,111 @@ class ConformanceHarness:
         return outcomes
 
 
+#: Per-worker harness of the parallel matrix (set by the pool initializer;
+#: workers keep their simulation memoisation across scenario groups).
+_worker_harness: Optional[ConformanceHarness] = None
+
+
+def _init_worker(config_dict: Optional[dict], strict: bool) -> None:
+    global _worker_harness
+    config = (PatmosConfig.from_dict(config_dict)
+              if config_dict is not None else None)
+    _worker_harness = ConformanceHarness(config=config, strict=strict)
+
+
+def _run_scenario_group(group: list[Scenario]
+                        ) -> list[list[ScenarioOutcome]]:
+    """Pool worker: run one group of scenarios sharing a simulation key."""
+    return [_worker_harness.run_scenario(scenario) for scenario in group]
+
+
+def _emit_progress(progress: Callable[[str], None], scenario: Scenario,
+                   outcomes: list[ScenarioOutcome]) -> None:
+    worst = min((outcome.tightness for outcome in outcomes
+                 if outcome.tightness is not None), default=None)
+    status = "ok" if not any(outcome.sound is False
+                             for outcome in outcomes) else "VIOLATION"
+    ratio = "-" if worst is None else f"{worst:.2f}"
+    progress(f"{scenario.label():60s} min bound/obs {ratio:>6s}  {status}")
+
+
+def _run_parallel(scenarios: list[Scenario],
+                  config: Optional[PatmosConfig], strict: bool, jobs: int,
+                  progress: Optional[Callable[[str], None]]
+                  ) -> Optional[list[list[ScenarioOutcome]]]:
+    """Fan scenario groups out over a worker pool; ``None`` = fall back.
+
+    Scenarios sharing a (kernel, hardware, arbiter) simulation stay in one
+    group so the per-worker memoisation is preserved; groups are collected
+    with ``imap`` (submission order), so the assembled outcome list is the
+    deterministic scenario order however the workers interleave.  Only pool
+    creation is guarded — a restricted environment without worker processes
+    falls back to the sequential path, but an error raised by a scenario
+    itself always propagates.
+    """
+    groups: dict[tuple, list[int]] = {}
+    for index, scenario in enumerate(scenarios):
+        key = (scenario.kernel, scenario.variant.hardware, scenario.arbiter)
+        groups.setdefault(key, []).append(index)
+    group_indices = list(groups.values())
+    payloads = [[scenarios[i] for i in indices] for indices in group_indices]
+    try:
+        import multiprocessing
+        pool = multiprocessing.Pool(
+            min(jobs, len(payloads)),
+            initializer=_init_worker,
+            initargs=(config.to_dict() if config is not None else None,
+                      strict))
+    except (ImportError, OSError):
+        return None
+    outcome_lists: list[Optional[list[ScenarioOutcome]]] = \
+        [None] * len(scenarios)
+    with pool:
+        for indices, results in zip(
+                group_indices, pool.imap(_run_scenario_group, payloads)):
+            for index, outcomes in zip(indices, results):
+                outcome_lists[index] = outcomes
+                if progress is not None:
+                    _emit_progress(progress, scenarios[index], outcomes)
+    return outcome_lists
+
+
 def run_conformance(kernels=("all",),
                     variants: tuple[CacheModelVariant, ...] = DEFAULT_VARIANTS,
                     arbiters: tuple[ArbiterConfig, ...] = DEFAULT_ARBITERS,
                     config: Optional[PatmosConfig] = None,
                     strict: bool = True,
+                    jobs: int = 1,
                     progress: Optional[Callable[[str], None]] = None
                     ) -> ConformanceReport:
     """Run the full conformance matrix and collect the report.
 
-    ``progress`` (if given) receives one line per finished scenario; the
-    report itself never raises on soundness violations — callers decide
-    (the CLI and the CI gate exit non-zero when ``violations()`` is
-    non-empty).
+    ``jobs > 1`` runs scenario groups on a worker pool; the report content
+    is identical to a sequential run (deterministic scenario order), only
+    the progress lines arrive in group order and ``elapsed_s`` reflects the
+    parallel wall-clock.  ``progress`` (if given) receives one line per
+    finished scenario; the report itself never raises on soundness
+    violations — callers decide (the CLI and the CI gate exit non-zero when
+    ``violations()`` is non-empty).
     """
-    harness = ConformanceHarness(config=config, strict=strict)
+    if jobs < 1:
+        raise VerificationError("jobs must be >= 1")
     scenarios = build_scenarios(kernels, variants, arbiters)
     report = ConformanceReport()
     started = time.perf_counter()
-    for scenario in scenarios:
-        outcomes = harness.run_scenario(scenario)
+    outcome_lists = None
+    if jobs > 1 and len(scenarios) > 1:
+        outcome_lists = _run_parallel(scenarios, config, strict, jobs,
+                                      progress)
+    if outcome_lists is None:
+        harness = ConformanceHarness(config=config, strict=strict)
+        outcome_lists = []
+        for scenario in scenarios:
+            outcomes = harness.run_scenario(scenario)
+            outcome_lists.append(outcomes)
+            if progress is not None:
+                _emit_progress(progress, scenario, outcomes)
+    for outcomes in outcome_lists:
         report.outcomes.extend(outcomes)
-        if progress is not None:
-            worst = min((outcome.tightness for outcome in outcomes
-                         if outcome.tightness is not None), default=None)
-            status = "ok" if not any(outcome.sound is False
-                                     for outcome in outcomes) else "VIOLATION"
-            ratio = "-" if worst is None else f"{worst:.2f}"
-            progress(f"{scenario.label():60s} min bound/obs {ratio:>6s}  "
-                     f"{status}")
     report.elapsed_s = time.perf_counter() - started
     return report

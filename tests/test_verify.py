@@ -167,6 +167,41 @@ class TestCli:
         assert main(["--kernels", ","]) == 2
         assert "no kernels selected" in capsys.readouterr().err
 
+    def test_invalid_jobs_rejected(self, capsys):
+        assert main(["--kernels", "vector_sum", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+
+class TestParallelMatrix:
+    def test_parallel_report_identical_to_sequential(self):
+        """--jobs fan-out must not change the report, only its wall-clock.
+
+        Outcomes are compared field by field in order; only the measured
+        ``elapsed_s`` (inherently non-deterministic, even between two
+        sequential runs) is excluded.
+        """
+        kwargs = dict(kernels=["vector_sum", "saturate", "stack_chain"])
+        sequential = run_conformance(**kwargs)
+        parallel = run_conformance(jobs=3, **kwargs)
+        sequential_dict = sequential.to_dict()
+        parallel_dict = parallel.to_dict()
+        sequential_dict["summary"].pop("elapsed_s")
+        parallel_dict["summary"].pop("elapsed_s")
+        assert parallel_dict == sequential_dict
+
+    def test_parallel_progress_covers_every_scenario(self):
+        lines: list[str] = []
+        report = run_conformance(kernels=["vector_sum"], jobs=2,
+                                 progress=lines.append)
+        scenarios = {(o.kernel, o.variant, o.arbiter)
+                     for o in report.outcomes}
+        assert len(lines) == len(build_scenarios(["vector_sum"]))
+        assert len(scenarios) == len(lines)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(VerificationError):
+            run_conformance(kernels=["vector_sum"], jobs=0)
+
 
 #: WCET option variants of the property test (the cache-mode axis).
 PROPERTY_VARIANTS = [
