@@ -1,0 +1,179 @@
+"""RTOS response-time soundness gate and determinism/tightness trajectory.
+
+Runs seeded preemptive task-set co-simulations of :mod:`repro.rtos` across
+arbiters and scheduling policies, checks the end-to-end response-time claim
+(``observed worst response <= analytical bound`` for every bounded task)
+and the scheduler-determinism claim (the event-driven and quantum-polling
+reference schedulers produce bit-identical task timings under interrupts),
+emitting a machine-readable ``BENCH_rtos.json``::
+
+    python benchmarks/bench_rtos.py [--smoke] [--output PATH]
+
+The process exits non-zero if
+
+* any task's observed worst response time exceeds its response-time bound
+  (an end-to-end soundness violation),
+* any released job misses its deadline, or
+* the event and reference schedulers disagree on any task timing or on the
+  final shared-memory image.
+
+``--smoke`` restricts the sweep to the CI-sized seed subset; the JSON
+schema is identical either way, so the recorded per-task tightness ratios
+form a comparable trajectory across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from harness import profiled  # noqa: E402
+from repro import PatmosConfig  # noqa: E402
+from repro.rtos import RtosSystem, synthesize_tasksets  # noqa: E402
+
+#: (name, arbiter, policy, tasks_per_core, utilisation, seed) sweep cells.
+SWEEP = (
+    ("fp_tdma", "tdma", "fixed_priority", 3, 0.4, 0),
+    ("fp_tdma_hi", "tdma", "fixed_priority", 3, 0.5, 1),
+    ("fp_rr", "round_robin", "fixed_priority", 2, 0.4, 2),
+    ("fp_priority", "priority", "fixed_priority", 2, 0.4, 3),
+    ("slot_tdma", "tdma", "tdma_slot", 2, 0.25, 1),
+)
+SMOKE_CELLS = ("fp_tdma", "fp_rr", "slot_tdma")
+DETERMINISM_SEEDS = (0, 1)
+
+
+def _build(cell, config, scheduler):
+    name, arbiter, policy, tasks_per_core, utilisation, seed = cell
+    import dataclasses
+
+    from repro.rtos import RtosOptions
+    tasksets = synthesize_tasksets(2, tasks_per_core,
+                                   utilisation=utilisation, seed=seed,
+                                   config=config)
+    options = RtosOptions.for_config(config)
+    if policy == "tdma_slot":
+        # Wide slots so a whole job plus the blocking charge fits one slot
+        # and the cyclic bound stays within a period (see the verify
+        # matrix's slot_tdma2 cell).
+        options = dataclasses.replace(options, task_slot_cycles=600)
+    return RtosSystem(tasksets, config=config, arbiter=arbiter,
+                      policy=policy, options=options, seed=seed,
+                      scheduler=scheduler)
+
+
+def run_cell(cell, config) -> dict:
+    name = cell[0]
+    system = _build(cell, config, "event")
+    result = system.run(strict=True)
+    tasks = [task for task in result.tasks]
+    bounded = [t for t in tasks if t.rta_bound is not None
+               and t.max_response is not None]
+    tightness = [t.rta_bound / t.max_response for t in bounded
+                 if t.max_response > 0]
+    return {
+        "cell": name,
+        "arbiter": cell[1],
+        "policy": cell[2],
+        "seed": cell[5],
+        "tasks": len(tasks),
+        "jobs_completed": sum(t.completed for t in tasks),
+        "deadline_misses": sum(t.deadline_misses for t in tasks),
+        "bounded": len(bounded),
+        "unbounded": len(tasks) - len(bounded),
+        "violations": len(result.violations()),
+        "mean_tightness": (round(sum(tightness) / len(tightness), 4)
+                           if tightness else None),
+        "max_tightness": (round(max(tightness), 4) if tightness else None),
+        "makespan": result.makespan,
+    }
+
+
+def run_determinism(config) -> dict:
+    """Event vs reference scheduler bit-identity under interrupts."""
+    checked = 0
+    mismatches = []
+    for seed in DETERMINISM_SEEDS:
+        for arbiter in ("tdma", "round_robin"):
+            cell = ("det", arbiter, "fixed_priority", 2, 0.4, seed)
+            runs = {}
+            for scheduler in ("event", "reference"):
+                system = _build(cell, config, scheduler)
+                result = system.run(strict=True)
+                runs[scheduler] = (result.timing_dict(),
+                                   bytes(system.shared_memory._data))
+            checked += 1
+            if runs["event"] != runs["reference"]:
+                mismatches.append(f"{arbiter}/seed{seed}")
+    return {"combinations": checked, "mismatches": mismatches,
+            "identical": not mismatches}
+
+
+def run_benchmark(smoke: bool) -> dict:
+    config = PatmosConfig()
+    cells = [cell for cell in SWEEP
+             if not smoke or cell[0] in SMOKE_CELLS]
+    rows = [run_cell(cell, config) for cell in cells]
+    determinism = run_determinism(config)
+    return {
+        "schema": "bench_rtos/v1",
+        "mode": "smoke" if smoke else "full",
+        "cells": rows,
+        "determinism": determinism,
+        "summary": {
+            "tasks": sum(r["tasks"] for r in rows),
+            "bounded": sum(r["bounded"] for r in rows),
+            "violations": sum(r["violations"] for r in rows),
+            "deadline_misses": sum(r["deadline_misses"] for r in rows),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized cell subset")
+    parser.add_argument("--output", default="BENCH_rtos.json",
+                        help="where to write the JSON report")
+    parser.add_argument("--profile", action="store_true",
+                        help="run under cProfile and print the top 20 "
+                             "functions by cumulative time")
+    args = parser.parse_args(argv)
+
+    report = profiled(lambda: run_benchmark(smoke=args.smoke), args.profile)
+    Path(args.output).write_text(json.dumps(report, indent=2) + "\n")
+
+    summary = report["summary"]
+    determinism = report["determinism"]
+    print(f"{len(report['cells'])} task-set cells, {summary['tasks']} tasks: "
+          f"{summary['bounded']} bounded, {summary['violations']} "
+          f"response-time violations, {summary['deadline_misses']} "
+          f"deadline misses")
+    print(f"scheduler determinism: {determinism['combinations']} "
+          f"event-vs-reference combinations, "
+          f"{len(determinism['mismatches'])} mismatches")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if summary["violations"]:
+        print("SOUNDNESS VIOLATION: an observed response time exceeded its "
+              "analytical bound — failing", file=sys.stderr)
+        failed = True
+    if summary["deadline_misses"]:
+        print("DEADLINE MISS: a released job completed after its deadline — "
+              "failing", file=sys.stderr)
+        failed = True
+    if not determinism["identical"]:
+        print("DETERMINISM VIOLATION: event and reference schedulers "
+              f"diverged on {determinism['mismatches']} — failing",
+              file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""System-level scenario: a preemptive multi-task workload on a 2-core CMP.
+
+Two Patmos cores share memory through a TDMA arbiter; each core runs three
+periodic/sporadic control tasks under a preemptive fixed-priority scheduler
+driven by timer and I/O interrupts.  Because the TDMA arbiter makes every
+core's memory latency independent of the other core, the classical
+response-time analysis on top of per-task WCET bounds is *end-to-end
+sound*: the observed worst response time of every task stays below its
+statically computed bound.
+
+Run with ``python examples/rtos_taskset.py``.
+"""
+
+from repro.rtos import RtosSystem, synthesize_tasksets
+
+
+def main() -> None:
+    # Seeded synthesis: four short control kernels (control_update,
+    # sensor_filter, crc_step, actuator_ramp) packed into per-core task
+    # sets at 40% utilisation with rate-monotonic priorities.
+    tasksets = synthesize_tasksets(num_cores=2, tasks_per_core=3,
+                                   utilisation=0.4,
+                                   priority_assignment="rate_monotonic",
+                                   seed=0)
+    for core_id, taskset in enumerate(tasksets):
+        for task in taskset.tasks:
+            print(f"core {core_id}: {task.name:24s} kind={task.kind:8s} "
+                  f"T={task.period:5d} prio={task.priority}")
+    print()
+
+    system = RtosSystem(tasksets, arbiter="tdma", policy="fixed_priority",
+                        seed=0)
+    result = system.run()
+
+    print(result.table())
+    print()
+    print(result.summary())
+
+    assert result.violations() == [], "a response-time bound was violated"
+    print("\nevery observed response time stays below its analytical bound;")
+    print("the bound of one task never depends on the other core's tasks.")
+
+
+if __name__ == "__main__":
+    main()

@@ -60,6 +60,7 @@ from .errors import (
     LinkError,
     MemoryAccessError,
     ReproError,
+    RtosError,
     ScheduleViolation,
     SimulationError,
     StackCacheError,
@@ -127,6 +128,7 @@ __all__ = [
     "Program",
     "ProgramBuilder",
     "ReproError",
+    "RtosError",
     "ResultCache",
     "ScheduleViolation",
     "ScratchpadConfig",

@@ -129,7 +129,8 @@ class CmpResult:
         """Aggregated per-core and system-level interference statistics."""
         per_core = []
         totals = {"arbitration_cycles": 0, "words_transferred": 0,
-                  "write_stall_cycles": 0}
+                  "write_stall_cycles": 0, "idle_cycles": 0}
+        makespan = self.makespan
         for core in self.cores:
             metrics = core.sim.metrics()
             row = {
@@ -138,6 +139,12 @@ class CmpResult:
                 "arbitration_cycles": metrics["arbitration_cycles"],
                 "words_transferred": metrics["words_transferred"],
                 "write_stall_cycles": metrics["write_stall_cycles"],
+                # Idle = gaps the core itself reports (task-scheduler waits)
+                # plus the tail it sits out after halting while the rest of
+                # the system runs on.  Neither shows up in slot_utilisation,
+                # which divides by the core's *own* issued bundles.
+                "idle_cycles": (metrics["idle_cycles"]
+                                + (makespan - metrics["cycles"])),
             }
             per_core.append(row)
             for key in totals:
@@ -355,39 +362,82 @@ class MulticoreSystem:
         return sims
 
     def _run_cosim(self, strict: bool, max_bundles: int
-                   ) -> tuple[list[CycleSimulator], MemoryArbiter, dict]:
+                   ) -> tuple[list, MemoryArbiter, dict]:
         """Interleave all cores on one clock against the shared arbiter."""
         arbiter = self._arbiter_template
         arbiter.reset()
-
-        # One shared physical memory; each core owns a zero-copy bank view
-        # sized by its own MemoryConfig (all equal, validated above).
-        bank_bytes = self.config.memory.size_bytes
-        shared_memory = MainMemory(bank_bytes * self.num_cores)
-        self.shared_memory = shared_memory
-        sims = []
-        for core_id, (image, config) in enumerate(
-                zip(self.images, self.configs)):
-            bank = MainMemory.view(shared_memory, core_id * bank_bytes,
-                                   bank_bytes)
-            sims.append(CycleSimulator(
-                image, config=config, strict=strict,
-                arbiter=arbiter.port(core_id), core_id=core_id,
-                memory=bank, engine=self.engine,
-                hierarchy_options=self.hierarchy_options))
+        cores = self._build_cores(arbiter, strict)
 
         # The event-driven scheduler needs the pre-decoded engine contexts;
         # cores forced onto the reference interpreter (engine="reference" or
         # a subclass overriding execution internals) fall back to the
         # quantum scheduler, mirroring the engine's own auto-fallback.
         if self.scheduler == "event" and self.engine == "fast" and \
-                all(_uses_reference_semantics(type(sim)) for sim in sims):
-            stats = self._schedule_event(sims, arbiter, max_bundles)
+                all(self._core_event_capable(core) for core in cores):
+            stats = self._schedule_event(cores, arbiter, max_bundles)
         else:
-            stats = self._schedule_quantum(sims, arbiter, max_bundles)
-        return sims, arbiter, stats
+            stats = self._schedule_quantum(cores, arbiter, max_bundles)
+        return cores, arbiter, stats
 
-    def _schedule_event(self, sims: list[CycleSimulator],
+    def _build_cores(self, arbiter: MemoryArbiter, strict: bool) -> list:
+        """Create the shared memory and one execution agent per core.
+
+        The default builds one :class:`CycleSimulator` per image over one
+        shared physical memory, with each core owning a private zero-copy
+        bank view sized by its own MemoryConfig (all equal, validated at
+        construction).  Subclasses swap in different per-core agents — the
+        RTOS layer (:mod:`repro.rtos`) returns preemptive task runtimes that
+        multiplex several programs on each core — as long as every agent
+        speaks the scheduler protocols: ``cycles``/``run_step``/``result``
+        for the quantum scheduler, plus the :class:`EngineContext`
+        ``advance``/``export`` protocol for the event-driven one.
+        """
+        bank_bytes = self.config.memory.size_bytes
+        shared_memory = MainMemory(bank_bytes * self.num_cores)
+        self.shared_memory = shared_memory
+        cores = []
+        for core_id, (image, config) in enumerate(
+                zip(self.images, self.configs)):
+            bank = MainMemory.view(shared_memory, core_id * bank_bytes,
+                                   bank_bytes)
+            cores.append(CycleSimulator(
+                image, config=config, strict=strict,
+                arbiter=arbiter.port(core_id), core_id=core_id,
+                memory=bank, engine=self.engine,
+                hierarchy_options=self.hierarchy_options))
+        return cores
+
+    def _core_event_capable(self, core) -> bool:
+        """Can this core agent drive the event-driven scheduler?
+
+        Agents that implement the event protocol themselves advertise it
+        with an ``event_capable`` attribute; plain simulators qualify when
+        they use the unmodified reference execution semantics (the engine's
+        own auto-fallback rule).
+        """
+        flag = getattr(core, "event_capable", None)
+        if flag is not None:
+            return bool(flag)
+        return _uses_reference_semantics(type(core))
+
+    def _event_agent(self, core):
+        """First-release hook of the event scheduler: the persistent agent.
+
+        Called once per core when the heap first releases it.  The default
+        performs the core's entry method-cache fill (its requests carry the
+        core's current clock) and wraps the simulator in a synchronising
+        :class:`~repro.sim.engine.EngineContext`.  Agents that already speak
+        the event protocol (``event_capable`` RTOS task runtimes) are
+        returned as-is.
+        """
+        if getattr(core, "event_capable", False):
+            return core
+        core._ensure_started()  # entry fill requests at cycle 0
+        context = EngineContext(core)
+        context.enable_sync()
+        return context
+
+    def _schedule_event(self, cores: list,
                         arbiter: MemoryArbiter, max_bundles: int) -> dict:
         """Event-driven interleaving: synchronise only at memory events.
 
@@ -414,17 +464,17 @@ class MulticoreSystem:
         core simply runs start to finish at full single-core engine speed.
         """
         if arbiter.order_independent:
-            for sim in sims:
-                sim.run_step(max_bundles=max_bundles)
-            return {"scheduler": "event", "slices": len(sims), "releases": 0}
+            for core in cores:
+                core.run_step(max_bundles=max_bundles)
+            return {"scheduler": "event", "slices": len(cores), "releases": 0}
         ranks = arbiter.tie_ranks()
         dynamic_ties = ranks is None
         if dynamic_ties:
-            ranks = range(len(sims))
+            ranks = range(len(cores))
         heap: list[tuple[int, int, int]] = [
-            (0, ranks[core_id], core_id) for core_id in range(len(sims))]
+            (0, ranks[core_id], core_id) for core_id in range(len(cores))]
         heapq.heapify(heap)
-        contexts: list[Optional[EngineContext]] = [None] * len(sims)
+        agents: list = [None] * len(cores)
         slices = 0
         releases = 0
         try:
@@ -442,31 +492,28 @@ class MulticoreSystem:
                         if entry[2] != core_id:
                             heapq.heappush(heap, entry)
                 slices += 1
-                context = contexts[core_id]
-                if context is None:
-                    sim = sims[core_id]
-                    sim._ensure_started()  # entry fill requests at cycle 0
-                    context = contexts[core_id] = EngineContext(sim)
-                    context.enable_sync()
-                    status = context.advance(max_bundles, release=False,
-                                             sync=bool(heap))
+                agent = agents[core_id]
+                if agent is None:
+                    agent = agents[core_id] = self._event_agent(cores[core_id])
+                    status = agent.advance(max_bundles, release=False,
+                                           sync=bool(heap))
                 else:
                     releases += 1
-                    status = context.advance(max_bundles, release=True,
-                                             sync=bool(heap))
+                    status = agent.advance(max_bundles, release=True,
+                                           sync=bool(heap))
                 if status == "sync":
                     heapq.heappush(heap,
-                                   (context.cycles, ranks[core_id], core_id))
+                                   (agent.cycles, ranks[core_id], core_id))
         finally:
             # Export the in-flight state back to the simulators so results
             # and post-mortem inspection (also after a mid-run exception)
             # are indistinguishable from the reference path.
-            for context in contexts:
-                if context is not None:
-                    context.export()
+            for agent in agents:
+                if agent is not None:
+                    agent.export()
         return {"scheduler": "event", "slices": slices, "releases": releases}
 
-    def _schedule_quantum(self, sims: list[CycleSimulator],
+    def _schedule_quantum(self, cores: list,
                           arbiter: MemoryArbiter, max_bundles: int) -> dict:
         """Reference scheduler: quantum-bounded polling of the slowest core.
 
@@ -480,18 +527,18 @@ class MulticoreSystem:
         re-entries, not per-slice garbage.
         """
         quantum = self.quantum
-        alive = [True] * len(sims)
-        n_active = len(sims)
+        alive = [True] * len(cores)
+        n_active = len(cores)
         tied: list[int] = []  # reused tie buffer
         slices = 0
         while n_active:
             min1 = min2 = -1  # smallest / second-smallest live clock
             core_id = -1
             tie = False
-            for cid, sim in enumerate(sims):
+            for cid, core in enumerate(cores):
                 if not alive[cid]:
                     continue
-                cycles = sim.cycles
+                cycles = core.cycles
                 if core_id < 0 or cycles < min1:
                     min2 = min1 if core_id >= 0 else -1
                     min1 = cycles
@@ -504,11 +551,11 @@ class MulticoreSystem:
                     min2 = cycles
             if tie:
                 del tied[:]
-                for cid, sim in enumerate(sims):
-                    if alive[cid] and sim.cycles == min1:
+                for cid, core in enumerate(cores):
+                    if alive[cid] and core.cycles == min1:
                         tied.append(cid)
                 core_id = arbiter.preferred_core(tied)
-            sim = sims[core_id]
+            sim = cores[core_id]
             slices += 1
             if n_active > 1:
                 # min(other cores' clocks) is min1 on a tie (another core

@@ -81,6 +81,16 @@ class ExplorationError(ReproError):
     """
 
 
+class RtosError(ReproError):
+    """A task set, task scheduler or response-time analysis was invalid.
+
+    Raised for malformed task parameters (non-positive periods, deadlines
+    longer than the analysis can honour), scheduling-policy misuse, and
+    functional mismatches discovered while running a task set (a job whose
+    output differs from its task's reference output).
+    """
+
+
 class VerificationError(ReproError):
     """The conformance harness could not trust a scenario's execution.
 

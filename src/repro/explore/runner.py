@@ -24,7 +24,7 @@ from ..errors import ExplorationError
 from ..hw.pipeline import estimate_pipeline_timing
 from ..sim.cycle import CycleSimulator
 from ..wcet.analyzer import analyze_wcet
-from ..workloads.suite import build_kernel
+from ..workloads.suite import build_kernel, resolve_kernels
 from .cache import ResultCache
 from .pareto import DEFAULT_OBJECTIVES, pareto_frontier, pareto_table
 from .space import ExperimentSpec, ParameterSpace
@@ -54,6 +54,10 @@ class SpecResult:
     arbitration_cycles: int = 0
     words_transferred: int = 0
     write_stall_cycles: int = 0
+    #: Response-time analysis outcome of an RTOS task-set point (``None``
+    #: for plain single-program points; absent in pre-RTOS cache records,
+    #: which load with the default).
+    rtos: Optional[dict] = None
     from_cache: bool = False
 
     @property
@@ -85,6 +89,8 @@ class SpecResult:
 
 def execute_spec(spec: ExperimentSpec) -> SpecResult:
     """Run one design point end to end (compile, simulate, analyse)."""
+    if spec.rtos:
+        return _execute_rtos_spec(spec)
     kernel = build_kernel(spec.kernel, **dict(spec.kernel_params))
     image, _ = compile_and_link(kernel.program, spec.config, spec.options)
     wcet_options = spec.wcet_options()
@@ -150,6 +156,89 @@ def execute_spec(spec: ExperimentSpec) -> SpecResult:
         words_transferred=interference["words_transferred"],
         write_stall_cycles=interference["write_stall_cycles"],
     )
+
+
+def _execute_rtos_spec(spec: ExperimentSpec) -> SpecResult:
+    """Run an RTOS task-set design point (see the rtos axes in ``space``).
+
+    The figure of merit stays the makespan; the ``rtos`` record adds the
+    task-set view — jobs, preemptions, deadline misses and above all the
+    response-time analysis outcome.  A task whose observed response time
+    exceeds its analytical bound fails the sweep, the same way a functional
+    mismatch does: an unsound point must never enter a result cache.
+    """
+    from ..rtos.system import RtosSystem
+    from ..rtos.task import synthesize_tasksets
+
+    params = dict(spec.rtos)
+    seed = int(params.get("seed", 0))
+    bodies = resolve_kernels(
+        str(params.get("bodies", "rtos")).split(":"))
+    tasksets = synthesize_tasksets(
+        spec.cores, int(params.get("tasks_per_core", 3)),
+        utilisation=float(params.get("utilisation", 0.4)),
+        period_spread=float(params.get("period_spread", 2.0)),
+        priority_assignment=str(params.get("priority_assignment",
+                                           "rate_monotonic")),
+        seed=seed, config=spec.config, bodies=bodies)
+    system = RtosSystem(
+        tasksets, config=spec.config, arbiter=spec.arbiter,
+        schedule=spec.tdma_schedule(),
+        policy=str(params.get("policy", "fixed_priority")), seed=seed)
+    rtos_result = system.run(analyse=spec.analyse_wcet, strict=True)
+    violations = rtos_result.violations()
+    if violations:
+        task = violations[0]
+        raise ExplorationError(
+            f"{spec.label()}: unsound response-time bound — task "
+            f"{task.name} observed {task.max_response} > {task.rta_bound}")
+
+    runtimes = system._runtimes
+    metrics = max((runtime.result().metrics() for runtime in runtimes),
+                  key=lambda m: m["cycles"])
+    metrics["cycles"] = rtos_result.makespan
+    interference = {"arbitration_cycles": 0, "words_transferred": 0,
+                    "write_stall_cycles": 0}
+    for runtime in runtimes:
+        core_metrics = runtime.result().metrics()
+        for key in interference:
+            interference[key] += core_metrics[key]
+
+    timing = estimate_pipeline_timing(
+        dual_issue=spec.config.pipeline.dual_issue)
+    return SpecResult(
+        key=spec.key(),
+        kernel=spec.kernel,
+        parameters=dict(spec.parameters),
+        cores=spec.cores,
+        cycles=metrics["cycles"],
+        bundles=metrics["bundles"],
+        instructions=metrics["instructions"],
+        nops=metrics["nops"],
+        stall_cycles=metrics["stall_cycles"],
+        stalls=metrics["stalls"],
+        cache_stats=metrics["cache_stats"],
+        wcet_cycles=None,
+        fmax_mhz=round(timing.max_frequency_mhz, 3),
+        arbiter=spec.arbiter,
+        arbitration_cycles=interference["arbitration_cycles"],
+        words_transferred=interference["words_transferred"],
+        write_stall_cycles=interference["write_stall_cycles"],
+        rtos={
+            "policy": rtos_result.policy,
+            "tasks": len(rtos_result.tasks),
+            "jobs_completed": sum(t.completed for t in rtos_result.tasks),
+            "deadline_misses": sum(t.deadline_misses
+                                   for t in rtos_result.tasks),
+            "bounded_tasks": sum(1 for t in rtos_result.tasks
+                                 if t.rta_bound is not None),
+            "violations": 0,
+            "max_response": max((t.max_response for t in rtos_result.tasks
+                                 if t.max_response is not None),
+                                default=None),
+            "idle_cycles": sum(row["idle_cycles"]
+                               for row in rtos_result.per_core),
+        })
 
 
 def _check_output(spec: ExperimentSpec, observed: list[int],

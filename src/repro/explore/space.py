@@ -23,7 +23,16 @@ Axes come in five kinds:
 * the ``slot_cycles`` axis sweeps the TDMA slot length;
 * the ``slot_weights`` axis sweeps per-core TDMA slot weights, written as
   colon-separated integers (``1:2:1:1``); the pattern is cycled over the
-  core count so it composes with a ``cores`` axis.
+  core count so it composes with a ``cores`` axis;
+* ``rtos`` axes (``taskset_utilisation``, ``taskset_period_spread``,
+  ``taskset_priorities``, ``tasks_per_core``, ``task_policy``,
+  ``taskset_seed``, ``taskset_bodies``) turn a design point into an RTOS
+  task-set point: instead of one bare-metal program per core, each core
+  runs a synthesized preemptive task set (:mod:`repro.rtos`) and the
+  collected figures include the response-time analysis outcome.  The
+  task bodies come from ``taskset_bodies`` (a colon-separated kernel or
+  suite list, default the ``rtos`` suite) — the space's kernel entry does
+  not select bodies, so build RTOS spaces over a single kernel.
 
 Friendly aliases (``method_cache_size`` for ``method_cache.size_bytes`` and
 so on) keep command lines short; see :data:`AXIS_ALIASES`.
@@ -62,6 +71,13 @@ AXIS_ALIASES: dict[str, tuple[str, Optional[str]]] = {
     "arbiter": ("arbiter", None),
     "slot_cycles": ("slot_cycles", None),
     "slot_weights": ("slot_weights", None),
+    "taskset_utilisation": ("rtos", "utilisation"),
+    "taskset_period_spread": ("rtos", "period_spread"),
+    "taskset_priorities": ("rtos", "priority_assignment"),
+    "taskset_seed": ("rtos", "seed"),
+    "tasks_per_core": ("rtos", "tasks_per_core"),
+    "task_policy": ("rtos", "policy"),
+    "taskset_bodies": ("rtos", "bodies"),
 }
 
 _COMPILE_FIELDS = frozenset(f.name for f in fields(CompileOptions))
@@ -118,6 +134,9 @@ class ExperimentSpec:
     arbiter: str = "tdma"
     slot_cycles: Optional[int] = None
     slot_weights: Optional[tuple[int, ...]] = None
+    #: RTOS task-set parameters (sorted name/value pairs); non-empty turns
+    #: this design point into a multi-task point (see the module docstring).
+    rtos: tuple[tuple[str, Any], ...] = ()
     analyse_wcet: bool = True
     #: The axis assignment that produced this spec (display only; two specs
     #: that resolve to the same content share a cache key regardless).
@@ -179,6 +198,10 @@ class ExperimentSpec:
             "wcet": (self.wcet_options().to_dict()
                      if self.analyse_wcet else None),
         }
+        if self.rtos:
+            # Added conditionally so the keys of pre-RTOS design points (and
+            # hence existing result caches) stay valid.
+            payload["rtos"] = sorted(self.rtos)
         blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -244,6 +267,7 @@ class ParameterSpace:
         arbiter = "tdma"
         slot_cycles: Optional[int] = None
         slot_weights: Optional[tuple[int, ...]] = None
+        rtos_overrides: dict[str, Any] = {}
         parameters = []
         for axis, value in zip(self.axes, combo):
             parameters.append((axis.name, value))
@@ -264,6 +288,8 @@ class ParameterSpace:
                 slot_cycles = int(value)
             elif axis.kind == "slot_weights":
                 slot_weights = _parse_slot_weights(value)
+            elif axis.kind == "rtos":
+                rtos_overrides[axis.target] = value
             else:  # pragma: no cover - resolve_axis guards this
                 raise ExplorationError(f"unknown axis kind {axis.kind!r}")
         if cores == 1:
@@ -293,6 +319,7 @@ class ParameterSpace:
             arbiter=arbiter,
             slot_cycles=slot_cycles,
             slot_weights=slot_weights,
+            rtos=tuple(sorted(rtos_overrides.items())),
             analyse_wcet=self.analyse_wcet,
             parameters=tuple(parameters),
         )

@@ -1,0 +1,96 @@
+"""RTOS layer: interrupts, preemptive multi-task cores, response-time bounds.
+
+Everything below the line the repo could already do for *one program per
+core*; this package lifts the same discipline one level up, to *task sets*::
+
+    python -m repro.rtos                      # synthesize, run, analyse
+    python -m repro.rtos --cores 2 --tasks 3 --policy tdma_slot --table
+
+A :class:`~repro.rtos.task.Task` is a linked program image plus real-time
+parameters; interrupt sources (:mod:`repro.rtos.interrupt`) turn periods
+into deterministic release timelines; :class:`CoreTaskRuntime`
+(:mod:`repro.rtos.scheduler`) preempts and resumes jobs on the
+cycle-accurate simulator through persistent engine contexts, charging the
+architectural interrupt/context-switch costs eagerly; and
+:class:`RtosSystem` (:mod:`repro.rtos.system`) co-simulates N such cores
+against the shared-memory arbiter and pairs every task's *observed*
+response times with the *analytical* bound of :mod:`repro.rtos.rta` — the
+end-to-end claim ``observed response <= bound``, checkable exactly like the
+``cycles <= wcet`` cells of ``repro.verify``.
+
+Module map
+----------
+
+:mod:`repro.rtos.task`
+    Tasks, per-core task sets, the RTOS cost model
+    (:class:`~repro.rtos.task.RtosOptions`) and the seeded task-set
+    generator behind the exploration axes.
+:mod:`repro.rtos.interrupt`
+    Timer and sporadic-IO interrupt sources; pre-computed release
+    timelines merged in delivery order.
+:mod:`repro.rtos.scheduler`
+    The per-core preemptive task schedulers (fixed priority and
+    TDMA-slot cyclic executive) driving resumable engine contexts; speaks
+    both co-simulation scheduler protocols.
+:mod:`repro.rtos.rta`
+    Classical fixed-priority response-time analysis plus the cyclic
+    TDMA-slot analogue, on top of arbiter-aware per-task WCETs.
+:mod:`repro.rtos.system`
+    :class:`RtosSystem` (the multicore plumbing) and
+    :class:`RtosResult` (observed vs bound, per task).
+:mod:`repro.rtos.cli`
+    ``python -m repro.rtos`` — synthesize or describe, run, report,
+    exit non-zero on any ``observed > bound`` violation.
+"""
+
+from .interrupt import (
+    ReleaseEvent,
+    SporadicInterrupt,
+    TimerInterrupt,
+    build_timeline,
+    interrupt_sources,
+)
+from .rta import (
+    TaskTiming,
+    blocking_bound,
+    fp_response_times,
+    response_time_bounds,
+    tdma_slot_response_times,
+)
+from .scheduler import POLICIES, CoreTaskRuntime
+from .system import RtosResult, RtosSystem, TaskReport, default_horizon
+from .task import (
+    PRIORITY_ASSIGNMENTS,
+    TASK_KINDS,
+    RtosOptions,
+    Task,
+    TaskSet,
+    synthesize_tasksets,
+    task_from_kernel,
+)
+
+__all__ = [
+    "CoreTaskRuntime",
+    "POLICIES",
+    "PRIORITY_ASSIGNMENTS",
+    "ReleaseEvent",
+    "RtosOptions",
+    "RtosResult",
+    "RtosSystem",
+    "SporadicInterrupt",
+    "TASK_KINDS",
+    "Task",
+    "TaskReport",
+    "TaskSet",
+    "TaskTiming",
+    "TimerInterrupt",
+    "blocking_bound",
+    "build_timeline",
+    "default_horizon",
+    "fp_response_times",
+    "interrupt_sources",
+    "response_time_bounds",
+    "synthesize_tasksets",
+    "task_from_kernel",
+    "tdma_slot_response_times",
+]

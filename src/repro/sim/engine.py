@@ -762,6 +762,30 @@ class EngineContext:
                     index=write[1], value=write[2]))
         sim._pending_writes = pending_writes
 
+    def warp_to(self, cycle: int) -> None:
+        """Advance the context's clock to ``cycle`` without issuing bundles.
+
+        A preemptive task scheduler (:mod:`repro.rtos`) suspends a context
+        mid-program and resumes it later on the same core; the cycles in
+        between belong to other tasks and to scheduling overhead, so on
+        resume the context's notion of *now* must jump forward to the core's
+        clock.  All absolute-cycle state stays consistent under the warp:
+        TDMA slot phases, store-buffer drain times and a pending split
+        load's ready cycle are compared against the warped clock, so an
+        in-flight memory operation simply completes during the preemption
+        gap — exactly what the hardware would do while the core executes
+        another task.
+
+        The clock only moves forward; warping backwards would re-order
+        already-issued arbitration requests and is rejected.
+        """
+        if cycle < self.cycles:
+            raise SimulationError(
+                f"cannot warp context clock backwards ({self.cycles} -> "
+                f"{cycle})")
+        self.cycles = cycle
+        self.sim.cycles = cycle
+
     def advance(self, max_bundles: int, release: bool = False,
                 sync: bool = True, until_cycle=None, event_source=None) -> str:
         """Run until the next scheduling point; returns why it stopped.
@@ -778,6 +802,14 @@ class EngineContext:
         ignores the flags entirely — used for single-core runs and for the
         last surviving core of a co-simulation, whose requests can no longer
         interleave with anyone.
+
+        ``until_cycle`` doubles as the *interrupt check* of the RTOS layer:
+        it is tested **before** the sync flags, at every bundle boundary, so
+        a task scheduler that bounds each run by the next release time gets
+        control back at the first bundle boundary at or after an interrupt
+        fires — a bundle already issued runs to completion (the source of
+        the one-bundle blocking term in the response-time analysis), and no
+        sync pause is ever reported at or beyond the interrupt time.
         """
         sim = self.sim
         table = self.table

@@ -68,6 +68,11 @@ class SimResult:
     halted: bool = True
     #: Issue slots offered per bundle cycle (2 for dual-issue, 1 otherwise).
     issue_width: int = 2
+    #: Cycles the core spent with no work to run (task scheduler idle gaps,
+    #: or the tail a halted-early core sits out while the rest of a co-sim
+    #: finishes).  Distinct from stall cycles: a stalled core is *executing*
+    #: a program that is waiting on memory; an idle core has nothing to run.
+    idle_cycles: int = 0
 
     @property
     def ipc(self) -> float:
@@ -121,6 +126,7 @@ class SimResult:
                                    + controller.get("arbitration_cycles", 0)),
             "words_transferred": controller.get("words_transferred", 0),
             "write_stall_cycles": controller.get("write_stall_cycles", 0),
+            "idle_cycles": self.idle_cycles,
             "halted": self.halted,
         }
 
@@ -139,4 +145,6 @@ class SimResult:
             f"  split-load wait: {self.stalls.split_load_wait}",
             f"  store buffer   : {self.stalls.store_buffer}",
         ]
+        if self.idle_cycles:
+            lines.append(f"idle cycles      : {self.idle_cycles}")
         return "\n".join(lines)

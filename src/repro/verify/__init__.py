@@ -46,9 +46,11 @@ from .harness import (
 )
 from .scenarios import (
     DEFAULT_ARBITERS,
+    DEFAULT_RTOS_SCENARIOS,
     DEFAULT_VARIANTS,
     ArbiterConfig,
     CacheModelVariant,
+    RtosScenario,
     Scenario,
     build_scenarios,
 )
@@ -59,7 +61,9 @@ __all__ = [
     "ConformanceHarness",
     "ConformanceReport",
     "DEFAULT_ARBITERS",
+    "DEFAULT_RTOS_SCENARIOS",
     "DEFAULT_VARIANTS",
+    "RtosScenario",
     "Scenario",
     "ScenarioOutcome",
     "build_scenarios",

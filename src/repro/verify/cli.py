@@ -25,7 +25,8 @@ from typing import Optional, Sequence
 from ..errors import ReproError
 from ..workloads.suite import resolve_kernels
 from .harness import run_conformance
-from .scenarios import DEFAULT_ARBITERS, DEFAULT_VARIANTS
+from .scenarios import (DEFAULT_ARBITERS, DEFAULT_RTOS_SCENARIOS,
+                        DEFAULT_VARIANTS)
 
 
 def _select(available, requested: Optional[str], what: str):
@@ -62,6 +63,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="comma-separated arbiter configuration names "
                              f"(default: all of "
                              f"{[a.name for a in DEFAULT_ARBITERS]})")
+    parser.add_argument("--no-rtos", action="store_true",
+                        help="skip the RTOS response-time soundness cells")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the matrix (default: 1); "
                              "the report is identical to a sequential run")
@@ -99,6 +102,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         report = run_conformance(
             kernels=kernels, variants=variants, arbiters=arbiters,
+            rtos_scenarios=() if args.no_rtos else DEFAULT_RTOS_SCENARIOS,
             jobs=args.jobs, progress=None if args.quiet else print)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

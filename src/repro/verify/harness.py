@@ -43,9 +43,11 @@ from ..wcet.analyzer import WcetOptions, analyze_wcet
 from ..workloads.suite import build_kernel
 from .scenarios import (
     DEFAULT_ARBITERS,
+    DEFAULT_RTOS_SCENARIOS,
     DEFAULT_VARIANTS,
     ArbiterConfig,
     CacheModelVariant,
+    RtosScenario,
     Scenario,
     build_scenarios,
 )
@@ -282,6 +284,48 @@ class ConformanceHarness:
                 wcet_cycles=wcet))
         return outcomes
 
+    def run_rtos_scenario(self, scenario: RtosScenario
+                          ) -> list[ScenarioOutcome]:
+        """Run one response-time cell; returns one outcome per task.
+
+        The ``cycles``/``wcet_cycles`` slots carry the task's observed
+        worst response time and its response-time bound, so the report's
+        soundness/tightness machinery applies unchanged.  Tasks without a
+        bound (e.g. every task of a non-top core under priority
+        arbitration, or a non-converging fixpoint) are recorded as
+        unbounded rather than skipped.
+        """
+        import dataclasses
+
+        from ..rtos.system import RtosSystem
+        from ..rtos.task import RtosOptions, synthesize_tasksets
+
+        tasksets = synthesize_tasksets(
+            scenario.cores, scenario.tasks_per_core,
+            utilisation=scenario.utilisation,
+            priority_assignment=scenario.priority_assignment,
+            seed=scenario.seed, config=self.config)
+        options = RtosOptions.for_config(self.config)
+        if scenario.task_slot_cycles is not None:
+            options = dataclasses.replace(
+                options, task_slot_cycles=scenario.task_slot_cycles)
+        system = RtosSystem(tasksets, config=self.config,
+                            arbiter=scenario.arbiter, policy=scenario.policy,
+                            options=options, seed=scenario.seed)
+        result = system.run(strict=self.strict)
+        outcomes = []
+        for task in result.tasks:
+            outcomes.append(ScenarioOutcome(
+                kernel=f"taskset[{scenario.name}]/{task.name}",
+                variant=f"rtos_{scenario.policy}",
+                arbiter=f"{scenario.arbiter}{scenario.cores}",
+                cores=scenario.cores,
+                core_id=task.core,
+                cycles=task.max_response if task.max_response is not None
+                else 0,
+                wcet_cycles=task.rta_bound))
+        return outcomes
+
 
 #: Per-worker harness of the parallel matrix (set by the pool initializer;
 #: workers keep their simulation memoisation across scenario groups).
@@ -355,6 +399,8 @@ def _run_parallel(scenarios: list[Scenario],
 def run_conformance(kernels=("all",),
                     variants: tuple[CacheModelVariant, ...] = DEFAULT_VARIANTS,
                     arbiters: tuple[ArbiterConfig, ...] = DEFAULT_ARBITERS,
+                    rtos_scenarios: tuple[RtosScenario, ...]
+                    = DEFAULT_RTOS_SCENARIOS,
                     config: Optional[PatmosConfig] = None,
                     strict: bool = True,
                     jobs: int = 1,
@@ -365,7 +411,9 @@ def run_conformance(kernels=("all",),
     ``jobs > 1`` runs scenario groups on a worker pool; the report content
     is identical to a sequential run (deterministic scenario order), only
     the progress lines arrive in group order and ``elapsed_s`` reflects the
-    parallel wall-clock.  ``progress`` (if given) receives one line per
+    parallel wall-clock.  The response-time cells (``rtos_scenarios``; pass
+    ``()`` to skip them) run after the kernel matrix on the main process —
+    there are only a handful.  ``progress`` (if given) receives one line per
     finished scenario; the report itself never raises on soundness
     violations — callers decide (the CLI and the CI gate exit non-zero when
     ``violations()`` is non-empty).
@@ -379,6 +427,7 @@ def run_conformance(kernels=("all",),
     if jobs > 1 and len(scenarios) > 1:
         outcome_lists = _run_parallel(scenarios, config, strict, jobs,
                                       progress)
+    harness = None
     if outcome_lists is None:
         harness = ConformanceHarness(config=config, strict=strict)
         outcome_lists = []
@@ -387,6 +436,13 @@ def run_conformance(kernels=("all",),
             outcome_lists.append(outcomes)
             if progress is not None:
                 _emit_progress(progress, scenario, outcomes)
+    for rtos_scenario in rtos_scenarios:
+        if harness is None:
+            harness = ConformanceHarness(config=config, strict=strict)
+        outcomes = harness.run_rtos_scenario(rtos_scenario)
+        outcome_lists.append(outcomes)
+        if progress is not None:
+            _emit_progress(progress, rtos_scenario, outcomes)
     for outcomes in outcome_lists:
         report.outcomes.extend(outcomes)
     report.elapsed_s = time.perf_counter() - started

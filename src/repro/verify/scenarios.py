@@ -117,6 +117,50 @@ class Scenario:
         return f"{self.kernel} × {self.variant.name} × {self.arbiter.name}"
 
 
+@dataclass(frozen=True)
+class RtosScenario:
+    """One response-time soundness cell: a whole task set as the workload.
+
+    The harness synthesizes the seeded task set, co-simulates it on the CMP
+    (:class:`~repro.rtos.system.RtosSystem`) and emits one outcome per
+    *task*, with the observed worst response time in the ``cycles`` slot and
+    the end-to-end response-time bound in the ``wcet_cycles`` slot — the
+    same ``observed <= bound`` verdict, one level up the stack.
+    """
+
+    name: str
+    cores: int = 2
+    tasks_per_core: int = 3
+    utilisation: float = 0.4
+    policy: str = "fixed_priority"
+    arbiter: str = "tdma"
+    priority_assignment: str = "rate_monotonic"
+    seed: int = 0
+    #: Task-scheduler slot width (``tdma_slot`` cells need wide slots so a
+    #: whole job plus the blocking charge fits one slot); None = default.
+    task_slot_cycles: Optional[int] = None
+
+    def label(self) -> str:
+        return (f"taskset[{self.name}] × {self.policy} × "
+                f"{self.arbiter}{self.cores}")
+
+
+#: The response-time cells of the default matrix: the fixed-priority and
+#: TDMA-slot task schedulers under every arbiter, including the
+#: priority-arbiter cell whose non-top cores are unbounded by design.
+DEFAULT_RTOS_SCENARIOS: tuple[RtosScenario, ...] = (
+    RtosScenario("fp_tdma2", cores=2, tasks_per_core=3,
+                 policy="fixed_priority", arbiter="tdma"),
+    RtosScenario("slot_tdma2", cores=2, tasks_per_core=2, utilisation=0.25,
+                 policy="tdma_slot", arbiter="tdma", seed=1,
+                 task_slot_cycles=600),
+    RtosScenario("fp_rr2", cores=2, tasks_per_core=2,
+                 policy="fixed_priority", arbiter="round_robin", seed=2),
+    RtosScenario("fp_priority2", cores=2, tasks_per_core=2,
+                 policy="fixed_priority", arbiter="priority", seed=3),
+)
+
+
 def build_scenarios(kernels=("all",),
                     variants: tuple[CacheModelVariant, ...] = DEFAULT_VARIANTS,
                     arbiters: tuple[ArbiterConfig, ...] = DEFAULT_ARBITERS,

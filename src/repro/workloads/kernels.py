@@ -678,3 +678,182 @@ def build_mixed_access(n: int = 24, seed: int = 11) -> Kernel:
                   description=(f"{n} iterations touching static, heap, stack "
                                "and scratchpad data"),
                   attrs={"n": n})
+
+
+# ---------------------------------------------------------------------------
+# Short-running task bodies for the RTOS scenarios (repro.rtos)
+# ---------------------------------------------------------------------------
+#
+# Periodic real-time tasks execute for a few hundred cycles per activation,
+# not the tens of thousands the benchmark kernels above run for.  These
+# variants keep the iteration counts small and bounded so a job completes
+# well inside a realistic period, which is what the response-time analysis
+# (and the preemption machinery it is checked against) needs to exercise
+# interesting interleavings.
+
+
+def build_control_update(n: int = 6, seed: int = 21) -> Kernel:
+    """One step of a PI controller over a block of measurements.
+
+    Accumulates the error against a fixed setpoint and derives the command
+    as ``Kp*err + (integral >> 4)`` — a classic periodic control-task body.
+    """
+    setpoint = 50
+    kp = 3
+    measurements = _values(n, seed, 0, 100)
+    b = ProgramBuilder("control_update")
+    b.data("measurements", measurements, space=DataSpace.CONST)
+    f = b.function("main")
+    f.li("r1", "measurements")
+    f.li("r2", n)
+    f.li("r3", setpoint)
+    f.li("r4", 0)          # integral term
+    f.li("r5", 0)          # last command
+    f.label("loop")
+    f.emit("lwc", "r6", "r1", 0)
+    f.emit("sub", "r7", "r3", "r6")       # error = setpoint - measurement
+    f.emit("add", "r4", "r4", "r7")       # integral += error
+    f.li("r8", kp)
+    f.emit("mul", "r7", "r8")
+    f.emit("mfs", "r9", "sl")             # proportional = Kp * error
+    f.emit("shri", "r10", "r4", 4)
+    f.emit("add", "r5", "r9", "r10")      # command = prop + (integral >> 4)
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("subi", "r2", "r2", 1)
+    f.emit("cmpineq", "p1", "r2", 0)
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    f.out("r5")
+    f.out("r4")
+    f.halt()
+
+    # Mirror the 32-bit register arithmetic: ``shri`` is a *logical* shift
+    # of the two's-complement pattern, and ``mul``/``mfs sl`` yields the low
+    # 32 bits of the product.
+    integral = 0
+    command = 0
+    for m in measurements:
+        error = setpoint - m
+        integral = (integral + error) & 0xFFFF_FFFF
+        prop = (kp * error) & 0xFFFF_FFFF
+        command = (prop + (integral >> 4)) & 0xFFFF_FFFF
+    return Kernel(name="control_update", program=b.build(),
+                  expected_output=[signed32(command), signed32(integral)],
+                  description=f"PI control step over {n} measurements",
+                  attrs={"n": n})
+
+
+def build_sensor_filter(n: int = 8, seed: int = 22) -> Kernel:
+    """Exponential moving average over a short burst of sensor samples.
+
+    ``ema += (sample - ema) >> 2`` per sample — the archetypal sporadic
+    IO-interrupt handler body (read, filter, store).
+    """
+    samples = _values(n, seed, 0, 1023)
+    b = ProgramBuilder("sensor_filter")
+    b.data("samples", samples, space=DataSpace.CONST)
+    f = b.function("main")
+    f.li("r1", "samples")
+    f.li("r2", n)
+    f.li("r3", 0)          # ema
+    f.label("loop")
+    f.emit("lwc", "r4", "r1", 0)
+    f.emit("sub", "r5", "r4", "r3")
+    f.emit("shri", "r5", "r5", 2)
+    f.emit("add", "r3", "r3", "r5")
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("subi", "r2", "r2", 1)
+    f.emit("cmpineq", "p1", "r2", 0)
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    f.out("r3")
+    f.halt()
+
+    ema = 0
+    for s in samples:
+        ema += ((s - ema) & 0xFFFF_FFFF) >> 2
+        ema &= 0xFFFF_FFFF
+    return Kernel(name="sensor_filter", program=b.build(),
+                  expected_output=[signed32(ema)],
+                  description=f"EMA filter over {n} sensor samples",
+                  attrs={"n": n})
+
+
+def build_crc_step(n: int = 8, seed: int = 23) -> Kernel:
+    """Rotate/xor/add message digest over a short frame (checksum variant).
+
+    A communications task body: digest one frame per activation.  Differs
+    from :func:`build_checksum` in the mixing step (adds the rotated value
+    instead of only xoring) and in running over far fewer words.
+    """
+    frame = _values(n, seed, 0, 2**31 - 1)
+    b = ProgramBuilder("crc_step")
+    b.data("frame", frame, space=DataSpace.CONST)
+    f = b.function("main")
+    f.li("r1", "frame")
+    f.li("r2", n)
+    f.li("r3", 0)
+    f.label("loop")
+    f.emit("lwc", "r4", "r1", 0)
+    f.emit("shli", "r5", "r3", 5)
+    f.emit("shri", "r6", "r3", 27)
+    f.emit("or", "r3", "r5", "r6")        # rotate left by 5
+    f.emit("xor", "r3", "r3", "r4")
+    f.emit("add", "r3", "r3", "r4")
+    f.emit("addi", "r1", "r1", 4)
+    f.emit("subi", "r2", "r2", 1)
+    f.emit("cmpineq", "p1", "r2", 0)
+    f.br("loop", pred="p1")
+    f.loop_bound("loop", n)
+    f.out("r3")
+    f.halt()
+
+    acc = 0
+    for value in frame:
+        acc = (((acc << 5) & 0xFFFF_FFFF) | (acc >> 27)) ^ value
+        acc = (acc + value) & 0xFFFF_FFFF
+    return Kernel(name="crc_step", program=b.build(),
+                  expected_output=[signed32(acc)],
+                  description=f"rotate/xor/add digest over a {n}-word frame",
+                  attrs={"n": n})
+
+
+def build_actuator_ramp(steps: int = 10, target: int = 37,
+                        rate: int = 5) -> Kernel:
+    """Slew an actuator position toward a target with rate limiting.
+
+    Branchy task body: per step move by at most ``rate`` toward ``target``,
+    clamping the final partial step — preemption points therefore fall into
+    data-dependent control flow.
+    """
+    b = ProgramBuilder("actuator_ramp")
+    f = b.function("main")
+    f.li("r1", steps)
+    f.li("r2", 0)          # position
+    f.li("r3", target)
+    f.li("r4", rate)
+    f.label("loop")
+    f.emit("sub", "r5", "r3", "r2")       # remaining = target - position
+    f.emit("cmplt", "p1", "r4", "r5")     # rate < remaining ?
+    f.br("full_step", pred="p1")
+    f.emit("add", "r2", "r2", "r5")       # partial (or zero) final step
+    f.br("next")
+    f.label("full_step")
+    f.emit("add", "r2", "r2", "r4")
+    f.label("next")
+    f.emit("subi", "r1", "r1", 1)
+    f.emit("cmpineq", "p2", "r1", 0)
+    f.br("loop", pred="p2")
+    f.loop_bound("loop", steps)
+    f.out("r2")
+    f.halt()
+
+    position = 0
+    for _ in range(steps):
+        remaining = target - position
+        position += rate if rate < remaining else remaining
+    return Kernel(name="actuator_ramp", program=b.build(),
+                  expected_output=[signed32(position)],
+                  description=(f"rate-limited ramp to {target} over "
+                               f"{steps} steps"),
+                  attrs={"steps": steps, "target": target, "rate": rate})

@@ -6,9 +6,12 @@ from typing import Callable
 
 from .kernel import Kernel
 from .kernels import (
+    build_actuator_ramp,
     build_bubble_sort,
     build_call_tree,
     build_checksum,
+    build_control_update,
+    build_crc_step,
     build_dot_product,
     build_fir_filter,
     build_large_function,
@@ -17,6 +20,7 @@ from .kernels import (
     build_mixed_access,
     build_pointer_chase,
     build_saturate,
+    build_sensor_filter,
     build_stack_chain,
     build_stream_checksum,
     build_vector_sum,
@@ -38,6 +42,10 @@ KERNEL_BUILDERS: dict[str, Callable[[], Kernel]] = {
     "stream_checksum": build_stream_checksum,
     "pointer_chase": build_pointer_chase,
     "mixed_access": build_mixed_access,
+    "control_update": build_control_update,
+    "sensor_filter": build_sensor_filter,
+    "crc_step": build_crc_step,
+    "actuator_ramp": build_actuator_ramp,
 }
 
 #: The subset of kernels used for general performance comparisons (E2):
@@ -55,11 +63,17 @@ PERFORMANCE_SUITE = (
 #: Kernels whose control flow is data-dependent (if-conversion / single-path).
 BRANCHY_SUITE = ("saturate", "linear_search", "bubble_sort")
 
+#: Short-running, bounded-iteration kernels sized to serve as the bodies of
+#: periodic/sporadic real-time tasks (:mod:`repro.rtos`): a job completes in
+#: a few hundred cycles, so realistic periods yield many activations.
+RTOS_SUITE = ("control_update", "sensor_filter", "crc_step", "actuator_ramp")
+
 #: Named kernel groups accepted wherever a kernel list is expected (CLI,
 #: parameter spaces): a suite name expands to its members in order.
 SUITES: dict[str, tuple[str, ...]] = {
     "performance": PERFORMANCE_SUITE,
     "branchy": BRANCHY_SUITE,
+    "rtos": RTOS_SUITE,
     "all": tuple(KERNEL_BUILDERS),
 }
 

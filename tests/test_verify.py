@@ -67,7 +67,7 @@ class TestHarness:
     @pytest.fixture(scope="class")
     def report(self):
         return run_conformance(kernels=["vector_sum", "stack_chain"],
-                               arbiters=FAST_ARBITERS)
+                               arbiters=FAST_ARBITERS, rtos_scenarios=())
 
     def test_zero_violations(self, report):
         assert report.violations() == []
@@ -180,7 +180,8 @@ class TestParallelMatrix:
         ``elapsed_s`` (inherently non-deterministic, even between two
         sequential runs) is excluded.
         """
-        kwargs = dict(kernels=["vector_sum", "saturate", "stack_chain"])
+        kwargs = dict(kernels=["vector_sum", "saturate", "stack_chain"],
+                      rtos_scenarios=())
         sequential = run_conformance(**kwargs)
         parallel = run_conformance(jobs=3, **kwargs)
         sequential_dict = sequential.to_dict()
@@ -192,6 +193,7 @@ class TestParallelMatrix:
     def test_parallel_progress_covers_every_scenario(self):
         lines: list[str] = []
         report = run_conformance(kernels=["vector_sum"], jobs=2,
+                                 rtos_scenarios=(),
                                  progress=lines.append)
         scenarios = {(o.kernel, o.variant, o.arbiter)
                      for o in report.outcomes}
