@@ -1,0 +1,58 @@
+"""Seeded fault injection: bit flips and bus errors under a WCET bound.
+
+Part one runs a single 2-core TDMA co-simulation under a deterministic
+:class:`~repro.faults.FaultPlan` — main-memory bit flips corrected by
+SEC-DED ECC (the correction latency is charged to the core's clock) and
+bus transfer errors absorbed by bounded retries — and prints the per-fault
+log: what was injected, when, and how it was recovered.
+
+Part two runs a full seeded campaign over a kernel × core-count matrix and
+checks the two claims the paper's time-predictability argument extends to:
+the faulted outputs still match the reference, and every core stays at or
+below its *fault-aware* WCET bound (bus retries and ECC latency folded
+into the static analysis).  Same seed ⇒ same faults ⇒ same report.
+
+Run with ``python examples/fault_campaign.py``.
+"""
+
+from repro import DEFAULT_CONFIG, compile_and_link
+from repro.cmp import MulticoreSystem
+from repro.faults import FaultPlan, run_fault_campaign
+from repro.workloads import build_kernel
+
+SEED = 42
+
+
+def main() -> None:
+    kernel = build_kernel("checksum")
+    image, _ = compile_and_link(kernel.program)
+
+    # Size the plan from a fault-free baseline so every fault lands while
+    # the program is still running.
+    baseline = MulticoreSystem([image] * 2).run(analyse=False)
+    horizon = max(baseline.observed_by_core())
+    plan = FaultPlan.generate(
+        SEED, num_cores=2, horizon=horizon,
+        bank_bytes=DEFAULT_CONFIG.memory.size_bytes,
+        memory_flips=4, bus_errors=2, ecc=True)
+    print(f"fault plan: seed {SEED}, {len(plan)} faults, "
+          f"hash {plan.content_hash()}\n")
+
+    result = MulticoreSystem([image] * 2, faults=plan).run(analyse=False)
+    print("per-fault log (one 2-core checksum run):")
+    print(result.fault_log.table())
+    for core in result.cores:
+        assert core.sim.output == kernel.expected_output
+    print(f"\nfaulted run finished in {max(result.observed_by_core())} "
+          f"cycles (fault-free: {horizon}); all outputs still correct.\n")
+
+    report = run_fault_campaign(seed=SEED, cores=(2, 4),
+                                memory_flips=3, bus_errors=3)
+    print("campaign outcome table (kernel x cores, fault-aware WCET):")
+    print(report.table())
+    print()
+    print(report.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -52,12 +52,15 @@ simulated independently with its own :class:`~repro.memory.tdma.TdmaArbiter`
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from ..caches.hierarchy import HierarchyOptions
 from ..config import DEFAULT_CONFIG, PatmosConfig
-from ..errors import ConfigError
+from ..errors import ConfigError, SimulationTimeout
+from ..faults.injector import FaultInjector
+from ..faults.plan import FaultLog, FaultPlan
 from ..memory.arbiter import MemoryArbiter, PriorityArbiter, make_arbiter
 from ..memory.main_memory import MainMemory
 from ..memory.tdma import TdmaArbiter, TdmaSchedule
@@ -67,6 +70,10 @@ from ..sim.cycle import CycleSimulator
 from ..sim.engine import EngineContext
 from ..sim.results import SimResult
 from ..wcet.analyzer import WcetOptions, WcetResult, analyze_wcet
+
+
+#: Sentinel cycle for draining post-halt memory flips onto the final image.
+_END_OF_TIME = 1 << 62
 
 
 def default_tdma_schedule(num_cores: int, config: PatmosConfig = DEFAULT_CONFIG,
@@ -113,6 +120,8 @@ class CmpResult:
     #: counters (slices / releases); co-simulation mode only.
     scheduler: Optional[str] = None
     scheduler_stats: Optional[dict] = None
+    #: Executed fault events of this run (``None`` when no plan was given).
+    fault_log: Optional[FaultLog] = None
 
     @property
     def makespan(self) -> int:
@@ -176,7 +185,20 @@ class MulticoreSystem:
     bit-identical timing (see the module docstring).  ``quantum`` only
     affects the reference scheduler; values above 1 trade request-ordering
     fidelity for fewer engine re-entries.
+
+    ``faults`` threads a :class:`~repro.faults.FaultPlan` through the run
+    (co-simulation mode only).  An empty plan is indistinguishable from no
+    plan: the unmodified scheduler code paths run and no injector objects
+    exist.  A plan with memory flips forces the quantum scheduler — a flip
+    can change data-dependent control flow and hence the request stream, so
+    slices are clipped to the next flip cycle; bus-only plans keep the
+    configured scheduler because retries happen inside a single arbitration
+    call (identical under both interleavings).
     """
+
+    #: Fault kinds this system class can execute; ``FaultPlan`` events of
+    #: other kinds are a configuration error (the RTOS layer overrides).
+    _fault_kinds = ("memory", "bus")
 
     def __init__(self, images: list[Image],
                  config: PatmosConfig = DEFAULT_CONFIG,
@@ -187,7 +209,8 @@ class MulticoreSystem:
                  priorities: Optional[Sequence[int]] = None,
                  mode: str = "cosim", engine: str = "fast",
                  scheduler: str = "event", quantum: int = 1,
-                 hierarchy_options: Optional[HierarchyOptions] = None):
+                 hierarchy_options: Optional[HierarchyOptions] = None,
+                 faults: Optional[FaultPlan] = None):
         if not images:
             raise ConfigError("a multicore system needs at least one core image")
         if mode not in ("cosim", "analytic"):
@@ -264,6 +287,36 @@ class MulticoreSystem:
                 f"{self.arbiter_kind!r}; use mode='cosim'")
         self._validate_schedule()
 
+        #: Fault plan of this system (``None`` or empty = fault-free), the
+        #: injector of the most recent run and its log.
+        self.faults = faults
+        self._injector: Optional[FaultInjector] = None
+        self.fault_log: Optional[FaultLog] = None
+        if faults is not None and not faults.empty:
+            if mode == "analytic":
+                raise ConfigError(
+                    "fault injection needs the interleaved co-simulation; "
+                    "use mode='cosim'")
+            self._validate_fault_plan(faults)
+
+    def _validate_fault_plan(self, plan: FaultPlan) -> None:
+        """Reject plans with events this system class cannot execute."""
+        present = {
+            "memory": plan.has_memory_faults,
+            "bus": plan.has_bus_faults,
+            "storm": bool(plan.storm_faults),
+            "overrun": bool(plan.overrun_faults),
+        }
+        for kind, scheduled in present.items():
+            if scheduled and kind not in self._fault_kinds:
+                raise ConfigError(
+                    f"{kind} faults are not supported by "
+                    f"{type(self).__name__}; supported kinds: "
+                    f"{', '.join(self._fault_kinds)}")
+        plan.validate(
+            self.num_cores, self.config.memory.size_bytes,
+            scratchpad_bytes=self.config.scratchpad.size_bytes)
+
     @classmethod
     def homogeneous(cls, image: Image, num_cores: int,
                     config: PatmosConfig = DEFAULT_CONFIG,
@@ -325,21 +378,35 @@ class MulticoreSystem:
     # ------------------------------------------------------------------
 
     def run(self, analyse: bool = True, strict: bool = False,
-            max_bundles: int = 2_000_000) -> CmpResult:
-        """Simulate the system (and optionally analyse per-core WCETs)."""
+            max_bundles: int = 2_000_000, max_cycles: Optional[int] = None,
+            max_wall_s: Optional[float] = None) -> CmpResult:
+        """Simulate the system (and optionally analyse per-core WCETs).
+
+        ``max_cycles`` and ``max_wall_s`` arm the co-simulation watchdog: a
+        run whose slowest core passes ``max_cycles`` without halting, or
+        that exceeds the wall-clock budget, raises a structured
+        :class:`~repro.errors.SimulationTimeout` instead of spinning — the
+        resilience guard the sweep runners rely on to contain hung cells.
+        """
         scheduler_stats = None
         if self.mode == "analytic":
+            if max_cycles is not None or max_wall_s is not None:
+                raise ConfigError(
+                    "the watchdog applies to co-simulation; analytic mode "
+                    "runs each core alone (use max_bundles)")
             sims = self._run_analytic(strict, max_bundles)
             arbiter_stats = None
         else:
             sims, arbiter, scheduler_stats = self._run_cosim(
-                strict, max_bundles)
+                strict, max_bundles, max_cycles=max_cycles,
+                max_wall_s=max_wall_s)
             arbiter_stats = arbiter.stats_summary()
         result = CmpResult(num_cores=self.num_cores, schedule=self.schedule,
                            mode=self.mode, arbiter=self.arbiter_kind,
                            arbiter_stats=arbiter_stats,
                            scheduler=(scheduler_stats or {}).get("scheduler"),
-                           scheduler_stats=scheduler_stats)
+                           scheduler_stats=scheduler_stats,
+                           fault_log=self.fault_log)
         for core_id, sim in enumerate(sims):
             wcet = self._analyse_core(core_id) if analyse else None
             result.cores.append(CoreResult(core_id=core_id,
@@ -361,23 +428,67 @@ class MulticoreSystem:
             sims.append(simulator)
         return sims
 
-    def _run_cosim(self, strict: bool, max_bundles: int
+    def _run_cosim(self, strict: bool, max_bundles: int,
+                   max_cycles: Optional[int] = None,
+                   max_wall_s: Optional[float] = None
                    ) -> tuple[list, MemoryArbiter, dict]:
         """Interleave all cores on one clock against the shared arbiter."""
         arbiter = self._arbiter_template
         arbiter.reset()
+        plan = self.faults
+        injector = (FaultInjector(plan, self.num_cores)
+                    if plan is not None and not plan.empty else None)
+        self._injector = injector
+        self.fault_log = injector.log if injector is not None else None
         cores = self._build_cores(arbiter, strict)
+        deadline = (time.monotonic() + max_wall_s
+                    if max_wall_s is not None else None)
 
         # The event-driven scheduler needs the pre-decoded engine contexts;
         # cores forced onto the reference interpreter (engine="reference" or
         # a subclass overriding execution internals) fall back to the
         # quantum scheduler, mirroring the engine's own auto-fallback.
-        if self.scheduler == "event" and self.engine == "fast" and \
+        # Memory flips force the quantum scheduler too: a flip can change
+        # data-dependent control flow and with it the request stream, so the
+        # schedule must be able to clip every slice to the next flip cycle.
+        if injector is not None and plan.has_memory_faults:
+            stats = self._schedule_quantum(
+                cores, arbiter, max_bundles, injector=injector,
+                max_cycles=max_cycles, deadline=deadline,
+                max_wall_s=max_wall_s)
+        elif self.scheduler == "event" and self.engine == "fast" and \
                 all(self._core_event_capable(core) for core in cores):
-            stats = self._schedule_event(cores, arbiter, max_bundles)
+            stats = self._schedule_event(
+                cores, arbiter, max_bundles, max_cycles=max_cycles,
+                deadline=deadline, max_wall_s=max_wall_s)
         else:
-            stats = self._schedule_quantum(cores, arbiter, max_bundles)
+            stats = self._schedule_quantum(
+                cores, arbiter, max_bundles, max_cycles=max_cycles,
+                deadline=deadline, max_wall_s=max_wall_s)
         return cores, arbiter, stats
+
+    def _core_port(self, arbiter: MemoryArbiter, core_id: int):
+        """One core's port on the shared arbiter, fault-wrapped if planned."""
+        port = arbiter.port(core_id)
+        if self._injector is not None:
+            port = self._injector.port(port, core_id)
+        return port
+
+    def _check_watchdog(self, cycle: int, core_id: int,
+                        max_cycles: Optional[int],
+                        deadline: Optional[float],
+                        max_wall_s: Optional[float]) -> None:
+        """Raise a structured timeout when a watchdog budget is exhausted."""
+        if max_cycles is not None and cycle >= max_cycles:
+            raise SimulationTimeout(
+                f"core {core_id} reached the watchdog limit of "
+                f"{max_cycles} cycles without halting", kind="cycles",
+                limit=max_cycles, cycle=cycle, core_id=core_id)
+        if deadline is not None and time.monotonic() >= deadline:
+            raise SimulationTimeout(
+                f"co-simulation exceeded its wall-clock budget of "
+                f"{max_wall_s:g} s", kind="wall_clock", limit=max_wall_s,
+                cycle=cycle, core_id=core_id)
 
     def _build_cores(self, arbiter: MemoryArbiter, strict: bool) -> list:
         """Create the shared memory and one execution agent per core.
@@ -402,7 +513,7 @@ class MulticoreSystem:
                                    bank_bytes)
             cores.append(CycleSimulator(
                 image, config=config, strict=strict,
-                arbiter=arbiter.port(core_id), core_id=core_id,
+                arbiter=self._core_port(arbiter, core_id), core_id=core_id,
                 memory=bank, engine=self.engine,
                 hierarchy_options=self.hierarchy_options))
         return cores
@@ -437,8 +548,14 @@ class MulticoreSystem:
         context.enable_sync()
         return context
 
+    #: Cycles a core may run between wall-clock watchdog probes.
+    _WATCHDOG_CHUNK = 65_536
+
     def _schedule_event(self, cores: list,
-                        arbiter: MemoryArbiter, max_bundles: int) -> dict:
+                        arbiter: MemoryArbiter, max_bundles: int,
+                        max_cycles: Optional[int] = None,
+                        deadline: Optional[float] = None,
+                        max_wall_s: Optional[float] = None) -> dict:
         """Event-driven interleaving: synchronise only at memory events.
 
         Every core owns a persistent :class:`~repro.sim.engine.EngineContext`
@@ -464,8 +581,26 @@ class MulticoreSystem:
         core simply runs start to finish at full single-core engine speed.
         """
         if arbiter.order_independent:
-            for core in cores:
-                core.run_step(max_bundles=max_bundles)
+            if max_cycles is None and deadline is None:
+                for core in cores:
+                    core.run_step(max_bundles=max_bundles)
+            else:
+                # Watchdog-armed variant: bounce back into the scheduler at
+                # the cycle limit (and periodically for wall-clock probes).
+                for core_id, core in enumerate(cores):
+                    while True:
+                        horizon = max_cycles
+                        if deadline is not None:
+                            chunk = core.cycles + self._WATCHDOG_CHUNK
+                            horizon = (chunk if horizon is None
+                                       else min(horizon, chunk))
+                        reason = core.run_step(until_cycle=horizon,
+                                               max_bundles=max_bundles)
+                        if reason == "halted":
+                            break
+                        self._check_watchdog(core.cycles, core_id,
+                                             max_cycles, deadline,
+                                             max_wall_s)
             return {"scheduler": "event", "slices": len(cores), "releases": 0}
         ranks = arbiter.tie_ranks()
         dynamic_ties = ranks is None
@@ -492,6 +627,13 @@ class MulticoreSystem:
                         if entry[2] != core_id:
                             heapq.heappush(heap, entry)
                 slices += 1
+                if max_cycles is not None or deadline is not None:
+                    # Memory-event granularity: an agent pauses at every
+                    # arbitrated transfer, so the watchdog fires at the
+                    # first event past the budget (max_bundles bounds
+                    # transfer-free runaways).
+                    self._check_watchdog(stamp, core_id, max_cycles,
+                                         deadline, max_wall_s)
                 agent = agents[core_id]
                 if agent is None:
                     agent = agents[core_id] = self._event_agent(cores[core_id])
@@ -514,7 +656,11 @@ class MulticoreSystem:
         return {"scheduler": "event", "slices": slices, "releases": releases}
 
     def _schedule_quantum(self, cores: list,
-                          arbiter: MemoryArbiter, max_bundles: int) -> dict:
+                          arbiter: MemoryArbiter, max_bundles: int,
+                          injector: Optional[FaultInjector] = None,
+                          max_cycles: Optional[int] = None,
+                          deadline: Optional[float] = None,
+                          max_wall_s: Optional[float] = None) -> dict:
         """Reference scheduler: quantum-bounded polling of the slowest core.
 
         Always advance the core with the smallest local clock (ties broken
@@ -525,12 +671,21 @@ class MulticoreSystem:
         scan per slice and a reused tie buffer — so scheduler overhead
         measured against the event-driven path reflects the engine
         re-entries, not per-slice garbage.
+
+        With an ``injector``, every slice is additionally clipped to the
+        chosen core's next scheduled memory flip: the core pauses at the
+        first bundle boundary at or after the flip cycle, the flip (or its
+        ECC correction, whose latency is charged eagerly onto the core's
+        clock, like the RTOS overhead charges) is applied, and the scan
+        restarts.  Flips scheduled past a core's halt land on its final
+        memory image without extending execution.
         """
         quantum = self.quantum
         alive = [True] * len(cores)
         n_active = len(cores)
         tied: list[int] = []  # reused tie buffer
         slices = 0
+        watchdog = max_cycles is not None or deadline is not None
         while n_active:
             min1 = min2 = -1  # smallest / second-smallest live clock
             core_id = -1
@@ -557,6 +712,17 @@ class MulticoreSystem:
                 core_id = arbiter.preferred_core(tied)
             sim = cores[core_id]
             slices += 1
+            if watchdog:
+                self._check_watchdog(sim.cycles, core_id, max_cycles,
+                                     deadline, max_wall_s)
+            if injector is not None:
+                charged = injector.apply_due_memory_faults(
+                    core_id, sim.cycles, sim)
+                if charged:
+                    # ECC correction latency moved the clock; re-scan so the
+                    # next slice again goes to the slowest core.
+                    sim.cycles += charged
+                    continue
             if n_active > 1:
                 # min(other cores' clocks) is min1 on a tie (another core
                 # still sits at min1) and min2 otherwise.  The horizon lets
@@ -567,17 +733,40 @@ class MulticoreSystem:
                 # history.  (own + quantum keeps a tied core progressing by
                 # at least one bundle per slice.)
                 others_min = min1 if tie else min2
-                reason = sim.run_step(
-                    until_cycle=max(others_min + quantum - 1,
-                                    sim.cycles + quantum),
-                    stop_on_memory_event=True, max_bundles=max_bundles)
+                horizon = max(others_min + quantum - 1,
+                              sim.cycles + quantum)
             else:
+                horizon = None
+            if injector is not None:
+                flip = injector.next_memory_fault_cycle(core_id)
+                if flip is not None:
+                    clip = max(flip, sim.cycles + 1)
+                    horizon = clip if horizon is None else min(horizon, clip)
+            if max_cycles is not None:
+                horizon = (max_cycles if horizon is None
+                           else min(horizon, max_cycles))
+            elif deadline is not None and horizon is None:
+                horizon = sim.cycles + self._WATCHDOG_CHUNK
+            if horizon is None:
                 reason = sim.run_step(max_bundles=max_bundles)
+            else:
+                reason = sim.run_step(until_cycle=horizon,
+                                      stop_on_memory_event=n_active > 1,
+                                      max_bundles=max_bundles)
             if reason == "halted":
+                if injector is not None:
+                    # Drain flips scheduled past the halt onto the final
+                    # image; post-halt ECC corrections charge nothing (the
+                    # core no longer executes).
+                    injector.apply_due_memory_faults(core_id, _END_OF_TIME,
+                                                     sim)
                 alive[core_id] = False
                 n_active -= 1
-        return {"scheduler": "reference", "quantum": quantum,
-                "slices": slices}
+        stats = {"scheduler": "reference", "quantum": quantum,
+                 "slices": slices}
+        if injector is not None:
+            stats["faults_executed"] = len(injector.log)
+        return stats
 
     # ------------------------------------------------------------------
     # WCET

@@ -2,9 +2,17 @@
 
 All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
 callers can catch library errors with a single ``except`` clause.
+
+The resilience errors (:class:`SimulationTimeout`, :class:`WorkerCrashed`,
+:class:`CacheCorruption`, :class:`FaultInjectionError`) carry machine-readable
+context — which cell, which cycle, which core — so runner stacks can turn
+them into structured :class:`FailedCell` records instead of swallowing a bare
+string.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass, field
 
 
 class ReproError(Exception):
@@ -56,6 +64,49 @@ class MemoryAccessError(SimulationError):
     """An access touched an unmapped or misaligned memory location."""
 
 
+class SimulationTimeout(SimulationError):
+    """A watchdog stopped a simulation that exceeded its cycle or time budget.
+
+    ``kind`` says which budget fired (``"cycles"`` or ``"wall_clock"``),
+    ``limit`` the configured budget, ``cycle`` the global cycle reached and
+    ``core_id`` the core being advanced when the watchdog fired (``None``
+    when the whole system tripped the budget together).
+    """
+
+    def __init__(self, message: str, kind: str = "cycles",
+                 limit: float | int | None = None,
+                 cycle: int | None = None, core_id: int | None = None):
+        super().__init__(message)
+        self.kind = kind
+        self.limit = limit
+        self.cycle = cycle
+        self.core_id = core_id
+
+    def context(self) -> dict:
+        return {"kind": self.kind, "limit": self.limit,
+                "cycle": self.cycle, "core": self.core_id}
+
+
+class FaultInjectionError(SimulationError):
+    """A fault plan was invalid or an injected fault was unrecoverable.
+
+    Raised for malformed plans (events outside the system's cores or memory
+    banks) and for bus transfers that still fail after the bounded retries —
+    the unrecovered outcome a campaign must report rather than hide.
+    """
+
+    def __init__(self, message: str, cycle: int | None = None,
+                 core_id: int | None = None, fault: object = None):
+        super().__init__(message)
+        self.cycle = cycle
+        self.core_id = core_id
+        self.fault = fault
+
+    def context(self) -> dict:
+        return {"cycle": self.cycle, "core": self.core_id,
+                "fault": repr(self.fault) if self.fault is not None else None}
+
+
 class CacheError(ReproError):
     """A cache was configured or used inconsistently."""
 
@@ -79,6 +130,75 @@ class ExplorationError(ReproError):
     functional mismatches discovered while sweeping (a configuration whose
     simulated output differs from the kernel's reference output).
     """
+
+
+class WorkerCrashed(ExplorationError):
+    """A pool worker died (killed, OOM, segfault) while executing a cell.
+
+    Unlike an exception *raised by* a cell, a crashed worker produces no
+    Python traceback of its own; this error reconstructs the context — the
+    cell key and how often the runner retried — so sweeps can record a
+    structured failure instead of aborting.
+    """
+
+    def __init__(self, message: str, cell_key: str | None = None,
+                 attempts: int = 1):
+        super().__init__(message)
+        self.cell_key = cell_key
+        self.attempts = attempts
+
+    def context(self) -> dict:
+        return {"cell_key": self.cell_key, "attempts": self.attempts}
+
+
+class CacheCorruption(ExplorationError):
+    """A result-cache file was unreadable and could not be quarantined.
+
+    Ordinary corruption is *contained*: the cache moves the unreadable file
+    into its ``quarantine/`` directory with a warning and continues empty.
+    This error is raised only when even that containment fails (e.g. the
+    filesystem refuses the move), carrying the offending path.
+    """
+
+    def __init__(self, message: str, path: object = None):
+        super().__init__(message)
+        self.path = path
+
+
+@dataclass
+class FailedCell:
+    """Structured record of one sweep cell that could not be completed.
+
+    ``error`` is the exception class name (``"WorkerCrashed"``,
+    ``"ConfigError"``, ...), ``attempts`` how many executions were tried
+    (> 1 after crash retries) and ``context`` any machine-readable detail
+    the exception carried.  Runners collect these instead of aborting the
+    sweep, and reports serialise them via :meth:`to_dict`.
+    """
+
+    key: str
+    label: str
+    error: str
+    message: str
+    attempts: int = 1
+    context: dict = field(default_factory=dict)
+
+    @classmethod
+    def from_exception(cls, key: str, label: str, exc: BaseException,
+                       attempts: int = 1) -> "FailedCell":
+        context = exc.context() if hasattr(exc, "context") else {}
+        return cls(key=key, label=label, error=type(exc).__name__,
+                   message=str(exc), attempts=attempts, context=context)
+
+    def to_dict(self) -> dict:
+        return {"key": self.key, "label": self.label, "error": self.error,
+                "message": self.message, "attempts": self.attempts,
+                "context": dict(self.context)}
+
+    def summary(self) -> str:
+        retries = f" after {self.attempts} attempts" if self.attempts > 1 \
+            else ""
+        return f"{self.label}: {self.error}{retries} — {self.message}"
 
 
 class RtosError(ReproError):

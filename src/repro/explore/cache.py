@@ -9,6 +9,12 @@ added kernel, a re-run after a crash — only simulates the new points.
 The file format is versioned; a cache written by an incompatible version of
 the tooling is discarded rather than trusted.  Writes are atomic (temp file
 plus ``os.replace``) so a crashed sweep never corrupts previous results.
+
+An *unreadable* cache file (truncated by a power cut, hand-edited, wrong
+encoding) does not abort the sweep either: it is moved aside into the
+cache's ``quarantine/`` directory with a warning, and the sweep proceeds
+from an empty cache.  Only when even the quarantine move fails does the
+cache raise :class:`~repro.errors.CacheCorruption`.
 """
 
 from __future__ import annotations
@@ -17,10 +23,11 @@ import contextlib
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Optional
 
-from ..errors import ExplorationError
+from ..errors import CacheCorruption
 
 try:  # POSIX file locking for the save-time merge; absent e.g. on Windows.
     import fcntl
@@ -88,9 +95,10 @@ class ResultCache:
                 try:
                     data = json.loads(self.path.read_text(encoding="utf-8"))
                 except (OSError, json.JSONDecodeError) as exc:
-                    raise ExplorationError(
-                        f"corrupt result cache {self.path}: {exc}") from exc
-                self._entries = self._valid_entries(data)
+                    self._quarantine(exc)
+                    self._entries = {}
+                else:
+                    self._entries = self._valid_entries(data)
             else:
                 self._entries = {}
         return self._entries
@@ -103,6 +111,36 @@ class ResultCache:
                 and isinstance(data.get("entries"), dict)):
             return data["entries"]
         return {}
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where unreadable cache files are moved for post-mortem."""
+        return self.path.parent / "quarantine"
+
+    def _quarantine(self, exc: Exception) -> None:
+        """Move the unreadable cache file aside and continue empty.
+
+        The corrupt bytes are preserved under ``quarantine/`` for
+        inspection instead of being silently clobbered by the next save.
+        Only a failed *move* escalates to :class:`CacheCorruption` — then
+        neither trusting nor bypassing the file is safe.
+        """
+        target = self.quarantine_dir / self.path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = self.quarantine_dir / f"{self.path.name}.{suffix}"
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(self.path, target)
+        except OSError as move_exc:
+            raise CacheCorruption(
+                f"corrupt result cache {self.path} ({exc}) could not be "
+                f"quarantined: {move_exc}", path=self.path) from exc
+        warnings.warn(
+            f"corrupt result cache {self.path} ({exc}); moved to {target} "
+            f"and starting from an empty cache", RuntimeWarning,
+            stacklevel=3)
 
     def _reread_disk(self) -> dict[str, dict]:
         """Best-effort fresh read of the on-disk entries for the save merge.
@@ -181,10 +219,17 @@ class ResultCache:
         self._dirty = True
 
     def clear(self) -> None:
+        """Drop every entry — and any quarantined file from past corruption."""
         self._entries = {}
         self._dirty_keys.clear()
         self._cleared = True
         self._dirty = True
+        if self.quarantine_dir.is_dir():
+            for stale in self.quarantine_dir.iterdir():
+                try:
+                    stale.unlink()
+                except OSError:  # pragma: no cover - racing cleaner
+                    pass
 
     def __len__(self) -> int:
         return len(self._load())

@@ -144,6 +144,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(outcome.summary())
         if cache is not None:
             print(f"result cache: {cache.path} ({len(cache)} entries)")
+        if not outcome.ok:
+            print()
+            print(outcome.failure_summary(), file=sys.stderr)
+            print(f"error: sweep completed with {len(outcome.failures)} "
+                  f"failed design point(s); see the failure summary above",
+                  file=sys.stderr)
+            return 2
     except (ReproError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)

@@ -10,17 +10,26 @@ so :class:`ExplorationRunner` can ship it to a ``multiprocessing`` pool.
 Everything in the model is deterministic, so a parallel sweep produces
 byte-identical results to a serial one; the runner preserves spec order
 regardless of completion order.
+
+Failures are *contained*: a design point that raises a library error — or
+whose pool worker dies outright — becomes a structured
+:class:`~repro.errors.FailedCell` record instead of aborting the sweep.
+Crashed workers are retried with capped backoff before being declared
+poisoned; every other cell still completes and is cached.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass, field
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable, Optional, Union
 
 from ..cmp.system import MulticoreSystem
 from ..compiler.passes import compile_and_link
-from ..errors import ExplorationError
+from ..errors import (ExplorationError, FailedCell, ReproError,
+                      WorkerCrashed)
 from ..hw.pipeline import estimate_pipeline_timing
 from ..sim.cycle import CycleSimulator
 from ..wcet.analyzer import analyze_wcet
@@ -249,14 +258,37 @@ def _check_output(spec: ExperimentSpec, observed: list[int],
             f"{observed[:4]}... differs from reference {expected[:4]}...")
 
 
+def _spec_worker(spec: ExperimentSpec) -> SpecResult:
+    """Pool entry point: one indirection through the module global.
+
+    Workers call the *current* ``execute_spec`` binding rather than a
+    pickled copy, so a forked child inherits any replacement installed in
+    the parent — which is how the crash-containment tests plant a worker
+    that dies mid-cell.
+    """
+    return execute_spec(spec)
+
+
 @dataclass
 class ExplorationResult:
-    """All results of one sweep, in spec order, plus cache accounting."""
+    """All results of one sweep, in spec order, plus cache accounting.
+
+    ``results`` holds only the completed design points; cells that failed
+    (raised a library error, or crashed their worker past the retry budget)
+    appear as :class:`~repro.errors.FailedCell` records in ``failures``
+    instead.  ``ok`` is False whenever any cell failed — the CLI turns that
+    into a non-zero exit after printing the failure summary.
+    """
 
     results: list[SpecResult] = field(default_factory=list)
+    failures: list[FailedCell] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
     elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
 
     def __len__(self) -> int:
         return len(self.results)
@@ -289,20 +321,47 @@ class ExplorationResult:
     def pareto_summary(self, objectives=DEFAULT_OBJECTIVES) -> str:
         return pareto_table(self.results, objectives)
 
+    def failure_summary(self) -> str:
+        """One line per failed cell (empty string when the sweep is clean)."""
+        if not self.failures:
+            return ""
+        lines = [f"{len(self.failures)} design point(s) FAILED:"]
+        lines.extend(f"  {cell.summary()}" for cell in self.failures)
+        return "\n".join(lines)
+
     def summary(self) -> str:
         executed = self.cache_misses
+        failed = (f", {len(self.failures)} failed" if self.failures else "")
         return (f"{len(self.results)} design points in {self.elapsed_s:.2f}s "
-                f"({self.cache_hits} cache hits, {executed} executed)")
+                f"({self.cache_hits} cache hits, {executed} executed"
+                f"{failed})")
 
 
 class ExplorationRunner:
-    """Execute a parameter space with optional parallelism and caching."""
+    """Execute a parameter space with optional parallelism and caching.
 
-    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None):
+    ``max_retries`` bounds how often one cell is resubmitted after its pool
+    worker dies (a cell that keeps killing workers is declared poisoned and
+    recorded as a :class:`~repro.errors.FailedCell`); ``retry_backoff_s``
+    is the base of the capped exponential pause between crash-recovery
+    rounds, giving a transiently starved machine room to recover.
+    """
+
+    #: Longest pause between crash-recovery rounds, in seconds.
+    MAX_BACKOFF_S = 2.0
+
+    def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
+                 max_retries: int = 2, retry_backoff_s: float = 0.05):
         if jobs < 1:
             raise ExplorationError("jobs must be >= 1")
+        if max_retries < 0:
+            raise ExplorationError("max_retries must be >= 0")
+        if retry_backoff_s < 0:
+            raise ExplorationError("retry_backoff_s must be >= 0")
         self.jobs = jobs
         self.cache = cache
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
 
     def run(self, space: Union[ParameterSpace, Iterable[ExperimentSpec]]
             ) -> ExplorationResult:
@@ -311,10 +370,11 @@ class ExplorationRunner:
                  else list(space))
         started = time.perf_counter()
         results: list[Optional[SpecResult]] = [None] * len(specs)
+        failures: list[FailedCell] = []
         pending: list[tuple[int, ExperimentSpec]] = []
         #: Later indices whose spec resolves to the same content as an
         #: earlier pending one (e.g. single-core points of an arbiter
-        #: sweep): simulated once, result shared.
+        #: sweep): simulated once, result (or failure) shared.
         duplicates: dict[str, list[tuple[int, ExperimentSpec]]] = {}
         pending_keys: set[str] = set()
         hits = 0
@@ -333,25 +393,33 @@ class ExplorationRunner:
                 pending_keys.add(key)
 
         # Cache every completed design point as it arrives and persist even
-        # when a later spec fails, so an interrupted sweep is incremental.
+        # when the sweep is interrupted, so a re-run is incremental.  Failed
+        # cells are never cached — a retry must actually re-execute them.
         try:
-            for (index, spec), result in zip(
+            for (index, spec), outcome in zip(
                     pending, self._execute_iter([s for _, s in pending])):
-                results[index] = result
-                for dup_index, dup_spec in duplicates.get(result.key, ()):
+                if isinstance(outcome, FailedCell):
+                    failures.append(outcome)
+                    failures.extend(
+                        replace(outcome, label=dup_spec.label())
+                        for _, dup_spec in duplicates.get(outcome.key, ()))
+                    continue
+                results[index] = outcome
+                for dup_index, dup_spec in duplicates.get(outcome.key, ()):
                     # Shared with a point executed in this very run, so it
                     # is not a cache recall.
                     results[dup_index] = self._labelled(
-                        SpecResult.from_record(result.to_record(),
+                        SpecResult.from_record(outcome.to_record(),
                                                from_cache=False), dup_spec)
                 if self.cache is not None:
-                    self.cache.put(result.key, result.to_record())
+                    self.cache.put(outcome.key, outcome.to_record())
         finally:
             if self.cache is not None:
                 self.cache.save()
 
         return ExplorationResult(
-            results=list(results),
+            results=[result for result in results if result is not None],
+            failures=failures,
             cache_hits=hits,
             cache_misses=len(pending),
             elapsed_s=time.perf_counter() - started,
@@ -365,22 +433,80 @@ class ExplorationRunner:
         return result
 
     def _execute_iter(self, specs: list[ExperimentSpec]):
-        """Yield results in spec order, parallel when possible.
+        """Yield one outcome per spec, in spec order, parallel when possible.
 
-        Only *pool creation* is guarded: a restricted environment without
-        worker processes falls back to the identical serial path, but an
-        error raised by a design point itself always propagates.
+        Each outcome is either a :class:`SpecResult` or a
+        :class:`~repro.errors.FailedCell` — library errors and worker
+        crashes are contained per cell, never aborting the sweep.  Only
+        *pool creation* is guarded: a restricted environment without worker
+        processes falls back to the identical serial path.
         """
-        pool = None
         if self.jobs > 1 and len(specs) > 1:
             try:
-                import multiprocessing
-                pool = multiprocessing.Pool(min(self.jobs, len(specs)))
+                yield from self._execute_parallel(specs)
+                return
             except (ImportError, OSError):
-                pool = None
-        if pool is not None:
-            with pool:
-                yield from pool.imap(execute_spec, specs)
-        else:
-            for spec in specs:
-                yield execute_spec(spec)
+                pass
+        for spec in specs:
+            yield self._run_contained(spec)
+
+    @staticmethod
+    def _run_contained(spec: ExperimentSpec):
+        """Run one cell in-process, containing library errors."""
+        try:
+            return _spec_worker(spec)
+        except ReproError as exc:
+            return FailedCell.from_exception(spec.key(), spec.label(), exc)
+
+    def _execute_parallel(self, specs: list[ExperimentSpec]):
+        """All outcomes of a process-pool sweep, in spec order.
+
+        A worker killed mid-cell breaks the whole pool, so every cell still
+        in flight surfaces as :class:`BrokenProcessPool`.  Those cells are
+        then re-run one at a time, each in its *own* single-worker pool
+        with capped backoff between attempts — isolation is what separates
+        the one poisoned cell (which keeps dying and is recorded as a
+        :class:`~repro.errors.FailedCell`) from the innocent cells that
+        merely shared the broken pool (which complete on their retry).
+        """
+        outcomes: list = [None] * len(specs)
+        crashed: list[int] = []
+        with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(specs))) as pool:
+            futures = {index: pool.submit(_spec_worker, specs[index])
+                       for index in range(len(specs))}
+            for index, spec in enumerate(specs):
+                try:
+                    outcomes[index] = futures[index].result()
+                except ReproError as exc:
+                    outcomes[index] = FailedCell.from_exception(
+                        spec.key(), spec.label(), exc)
+                except BrokenProcessPool:
+                    crashed.append(index)
+        for index in crashed:
+            outcomes[index] = self._retry_isolated(specs[index])
+        return outcomes
+
+    def _retry_isolated(self, spec: ExperimentSpec):
+        """Re-run one crash-suspected cell in isolated single-worker pools."""
+        attempts = 1  # the broken-pool round already executed it once
+        while attempts <= self.max_retries:
+            if self.retry_backoff_s:
+                time.sleep(min(self.retry_backoff_s * (2 ** (attempts - 1)),
+                               self.MAX_BACKOFF_S))
+            attempts += 1
+            with ProcessPoolExecutor(max_workers=1) as pool:
+                try:
+                    return pool.submit(_spec_worker, spec).result()
+                except ReproError as exc:
+                    return FailedCell.from_exception(
+                        spec.key(), spec.label(), exc, attempts=attempts)
+                except BrokenProcessPool:
+                    continue
+        return FailedCell.from_exception(
+            spec.key(), spec.label(),
+            WorkerCrashed(
+                f"{spec.label()}: worker process died {attempts} times "
+                f"executing this cell", cell_key=spec.key(),
+                attempts=attempts),
+            attempts=attempts)

@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the co-simulation stack.
+
+The paper's claim is that every architectural latency is *bounded*, not just
+typical; this package makes that claim checkable under perturbation.  A
+:class:`FaultPlan` is a seeded, serialisable schedule of fault events —
+single-bit flips in main memory or the scratchpad, bus transfer errors at
+the arbiter, interrupt storms and task WCET overruns in the RTOS layer —
+threaded through :class:`~repro.cmp.system.MulticoreSystem` and
+:class:`~repro.rtos.system.RtosSystem`.  The :class:`FaultInjector` executes
+the plan and keeps a :class:`FaultLog` whose content hash makes two runs of
+the same seed comparably byte-for-byte.
+
+An *empty* plan is guaranteed to leave the engines on their exact existing
+code paths (no wrapper objects, no per-cycle checks), which is what the
+zero-overhead-when-disabled differential suite pins down.
+"""
+
+from .campaign import CampaignReport, run_fault_campaign
+from .injector import FaultInjector, FaultyPort
+from .plan import (
+    BusFault,
+    FaultLog,
+    FaultPlan,
+    FaultRecord,
+    MemoryFault,
+    OverrunFault,
+    StormFault,
+)
+
+__all__ = [
+    "BusFault",
+    "CampaignReport",
+    "FaultInjector",
+    "FaultLog",
+    "FaultPlan",
+    "FaultRecord",
+    "FaultyPort",
+    "MemoryFault",
+    "OverrunFault",
+    "StormFault",
+    "run_fault_campaign",
+]

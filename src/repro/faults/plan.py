@@ -1,0 +1,426 @@
+"""Fault plans: seeded, serialisable schedules of deterministic fault events.
+
+A :class:`FaultPlan` is built either explicitly (tests pin exact events) or
+from a seed via :meth:`FaultPlan.generate`, which draws every event from a
+string-seeded :class:`random.Random` stream — stable across processes and
+``PYTHONHASHSEED`` values, the same idiom as the sporadic interrupt streams.
+The plan is a *value*: :meth:`to_dict`/:meth:`from_dict` round-trip it and
+:meth:`content_hash` keys it for result caches, so a campaign cell is
+re-runnable and cacheable like any other design point.
+
+Four event kinds cover the perturbations a time-predictable deployment must
+bound:
+
+* :class:`MemoryFault` — a single-bit flip in one core's main-memory bank
+  (or scratchpad) applied when that core's clock reaches ``cycle``.  With
+  the plan's SEC-DED ECC model enabled, main-memory flips are *corrected*:
+  the data is untouched and the core is charged ``ecc_latency_cycles``
+  (folded into the WCET bound via ``fault_overhead_cycles``).
+* :class:`BusFault` — the ``index``-th arbitrated transfer of one core
+  fails and is re-arbitrated, up to ``bus_retry_limit`` retries (each failed
+  attempt occupies its granted bus slot, so retries cost genuine bus time).
+* :class:`StormFault` — a burst of extra sporadic releases of one task
+  (interrupt overload of the RTOS layer).
+* :class:`OverrunFault` — one job executes ``extra_cycles`` beyond its
+  normal demand, exercising the per-core watchdog and overrun policies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import asdict, dataclass, field
+from typing import Optional, Sequence
+
+from ..errors import FaultInjectionError
+
+#: Valid targets of a :class:`MemoryFault`.
+MEMORY_TARGETS = ("main", "scratchpad")
+
+
+@dataclass(frozen=True, order=True)
+class MemoryFault:
+    """Flip bit ``bit`` of byte ``addr`` in ``core_id``'s bank at ``cycle``."""
+
+    cycle: int
+    core_id: int
+    addr: int
+    bit: int
+    target: str = "main"
+
+    def __post_init__(self):
+        if self.cycle < 0 or self.core_id < 0 or self.addr < 0:
+            raise FaultInjectionError(
+                f"memory fault fields must be non-negative: {self}")
+        if not 0 <= self.bit < 8:
+            raise FaultInjectionError(
+                f"bit index {self.bit} outside a byte; flips are per-byte")
+        if self.target not in MEMORY_TARGETS:
+            raise FaultInjectionError(
+                f"unknown memory fault target {self.target!r}; "
+                f"use one of {MEMORY_TARGETS}")
+
+
+@dataclass(frozen=True, order=True)
+class BusFault:
+    """Fail ``core_id``'s ``index``-th arbitrated transfer (0-based).
+
+    ``errors`` is how many consecutive attempts fail before the transfer
+    succeeds; a value above the plan's ``bus_retry_limit`` makes the
+    transfer unrecoverable (a campaign's ``unrecovered`` outcome).
+    """
+
+    core_id: int
+    index: int
+    errors: int = 1
+
+    def __post_init__(self):
+        if self.core_id < 0 or self.index < 0 or self.errors < 1:
+            raise FaultInjectionError(f"invalid bus fault: {self}")
+
+
+@dataclass(frozen=True, order=True)
+class StormFault:
+    """Release ``count`` extra jobs of one task starting at ``time``.
+
+    The extra releases are ``spacing`` cycles apart — an interrupt storm
+    denser than the task's declared minimal inter-arrival time, which is
+    precisely the overload the RTOS watchdog and overrun policies exist
+    to contain.
+    """
+
+    core_id: int
+    task_index: int
+    time: int
+    count: int = 1
+    spacing: int = 1
+
+    def __post_init__(self):
+        if self.core_id < 0 or self.task_index < 0 or self.time < 0 \
+                or self.count < 1 or self.spacing < 1:
+            raise FaultInjectionError(f"invalid storm fault: {self}")
+
+
+@dataclass(frozen=True, order=True)
+class OverrunFault:
+    """Job ``job_index`` of one task runs ``extra_cycles`` past its demand."""
+
+    core_id: int
+    task_index: int
+    job_index: int
+    extra_cycles: int
+
+    def __post_init__(self):
+        if self.core_id < 0 or self.task_index < 0 or self.job_index < 0 \
+                or self.extra_cycles < 1:
+            raise FaultInjectionError(f"invalid overrun fault: {self}")
+
+
+_KINDS = {
+    "memory": MemoryFault,
+    "bus": BusFault,
+    "storm": StormFault,
+    "overrun": OverrunFault,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A complete, deterministic fault schedule plus its recovery models.
+
+    ``ecc`` enables the SEC-DED model on main memory: single-bit flips are
+    corrected at ``ecc_latency_cycles`` per correction (scratchpad flips are
+    never protected — the paper's scratchpad is a raw SRAM).
+    ``bus_retry_limit`` bounds the retries of a failed bus transfer; the
+    same limit flows into :class:`~repro.wcet.analyzer.WcetOptions` so the
+    static bound covers the retried transfers.
+    """
+
+    seed: int = 0
+    memory_faults: tuple[MemoryFault, ...] = ()
+    bus_faults: tuple[BusFault, ...] = ()
+    storm_faults: tuple[StormFault, ...] = ()
+    overrun_faults: tuple[OverrunFault, ...] = ()
+    ecc: bool = False
+    ecc_latency_cycles: int = 3
+    bus_retry_limit: int = 2
+
+    def __post_init__(self):
+        if self.ecc_latency_cycles < 0:
+            raise FaultInjectionError("ecc_latency_cycles must be >= 0")
+        if self.bus_retry_limit < 0:
+            raise FaultInjectionError("bus_retry_limit must be >= 0")
+        object.__setattr__(self, "memory_faults",
+                           tuple(sorted(self.memory_faults)))
+        object.__setattr__(self, "bus_faults",
+                           tuple(sorted(self.bus_faults)))
+        object.__setattr__(self, "storm_faults",
+                           tuple(sorted(self.storm_faults)))
+        object.__setattr__(self, "overrun_faults",
+                           tuple(sorted(self.overrun_faults)))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (len(self.memory_faults) + len(self.bus_faults)
+                + len(self.storm_faults) + len(self.overrun_faults))
+
+    @property
+    def empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def has_memory_faults(self) -> bool:
+        return bool(self.memory_faults)
+
+    @property
+    def has_bus_faults(self) -> bool:
+        return bool(self.bus_faults)
+
+    def memory_faults_for_core(self, core_id: int) -> list[MemoryFault]:
+        """This core's memory flips in application (cycle) order."""
+        return [fault for fault in self.memory_faults
+                if fault.core_id == core_id]
+
+    def bus_errors_for_core(self, core_id: int) -> dict[int, int]:
+        """``transfer index -> consecutive error count`` of one core."""
+        errors: dict[int, int] = {}
+        for fault in self.bus_faults:
+            if fault.core_id == core_id:
+                errors[fault.index] = errors.get(fault.index, 0) + fault.errors
+        return errors
+
+    def storms_for_core(self, core_id: int) -> list[StormFault]:
+        return [fault for fault in self.storm_faults
+                if fault.core_id == core_id]
+
+    def overruns_for_core(self, core_id: int
+                          ) -> dict[tuple[int, int], int]:
+        """``(task_index, job_index) -> extra cycles`` of one core."""
+        return {(fault.task_index, fault.job_index): fault.extra_cycles
+                for fault in self.overrun_faults
+                if fault.core_id == core_id}
+
+    def planned_corrections(self, core_id: int) -> int:
+        """Main-memory flips of one core the ECC model will correct."""
+        if not self.ecc:
+            return 0
+        return sum(1 for fault in self.memory_faults
+                   if fault.core_id == core_id and fault.target == "main")
+
+    def fault_overhead_cycles(self, core_id: int) -> int:
+        """Static per-core latency the plan adds outside the bus model.
+
+        ECC corrections are the only such charge: each costs
+        ``ecc_latency_cycles`` on the owning core's clock.  Bus retries are
+        charged through the arbiter and bounded by ``bus_retry_limit`` in
+        :class:`~repro.wcet.analyzer.WcetOptions` instead.
+        """
+        return self.planned_corrections(core_id) * self.ecc_latency_cycles
+
+    def validate(self, num_cores: int, bank_bytes: int,
+                 scratchpad_bytes: Optional[int] = None) -> None:
+        """Reject events outside the system the plan is about to run on."""
+        for fault in self.memory_faults:
+            if fault.core_id >= num_cores:
+                raise FaultInjectionError(
+                    f"memory fault targets core {fault.core_id} of a "
+                    f"{num_cores}-core system", cycle=fault.cycle,
+                    core_id=fault.core_id, fault=fault)
+            limit = (scratchpad_bytes if fault.target == "scratchpad"
+                     else bank_bytes)
+            if limit is not None and fault.addr >= limit:
+                raise FaultInjectionError(
+                    f"memory fault address {fault.addr:#x} outside the "
+                    f"{limit:#x}-byte {fault.target} bank",
+                    cycle=fault.cycle, core_id=fault.core_id, fault=fault)
+        for fault in self.bus_faults + self.storm_faults \
+                + self.overrun_faults:
+            if fault.core_id >= num_cores:
+                raise FaultInjectionError(
+                    f"fault targets core {fault.core_id} of a "
+                    f"{num_cores}-core system", core_id=fault.core_id,
+                    fault=fault)
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def generate(cls, seed: int, num_cores: int, horizon: int,
+                 bank_bytes: int, memory_flips: int = 0,
+                 bus_errors: int = 0, storms: int = 0, overruns: int = 0,
+                 tasks_per_core: int = 1, jobs_per_task: int = 2,
+                 max_overrun_cycles: int = 500,
+                 transfers_per_core: int = 64,
+                 ecc: bool = False, ecc_latency_cycles: int = 3,
+                 bus_retry_limit: int = 2) -> "FaultPlan":
+        """A seeded random plan: same arguments ⇒ identical plan.
+
+        Event coordinates are drawn from ``Random(f"faults:{seed}:...")`` —
+        a string seed hashes via sha512 in CPython, so the stream is stable
+        across processes and interpreter restarts.
+        """
+        if num_cores < 1 or horizon < 1 or bank_bytes < 4:
+            raise FaultInjectionError(
+                "fault plan generation needs >= 1 core, a positive horizon "
+                "and a bank of at least one word")
+        rng = random.Random(
+            f"faults:{seed}:{num_cores}:{horizon}:{bank_bytes}:"
+            f"{memory_flips}:{bus_errors}:{storms}:{overruns}")
+        memory = tuple(MemoryFault(
+            cycle=rng.randrange(horizon),
+            core_id=rng.randrange(num_cores),
+            addr=rng.randrange(bank_bytes),
+            bit=rng.randrange(8)) for _ in range(memory_flips))
+        bus = tuple(BusFault(
+            core_id=rng.randrange(num_cores),
+            index=rng.randrange(max(1, transfers_per_core)),
+            errors=rng.randint(1, max(1, bus_retry_limit)))
+            for _ in range(bus_errors))
+        storm = tuple(StormFault(
+            core_id=rng.randrange(num_cores),
+            task_index=rng.randrange(max(1, tasks_per_core)),
+            time=rng.randrange(horizon),
+            count=rng.randint(1, 3),
+            spacing=rng.randint(1, 16)) for _ in range(storms))
+        overrun = tuple(OverrunFault(
+            core_id=rng.randrange(num_cores),
+            task_index=rng.randrange(max(1, tasks_per_core)),
+            job_index=rng.randrange(max(1, jobs_per_task)),
+            extra_cycles=rng.randint(1, max_overrun_cycles))
+            for _ in range(overruns))
+        return cls(seed=seed, memory_faults=memory, bus_faults=bus,
+                   storm_faults=storm, overrun_faults=overrun, ecc=ecc,
+                   ecc_latency_cycles=ecc_latency_cycles,
+                   bus_retry_limit=bus_retry_limit)
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "memory_faults": [dataclass_row(f) for f in self.memory_faults],
+            "bus_faults": [dataclass_row(f) for f in self.bus_faults],
+            "storm_faults": [dataclass_row(f) for f in self.storm_faults],
+            "overrun_faults": [dataclass_row(f)
+                               for f in self.overrun_faults],
+            "ecc": self.ecc,
+            "ecc_latency_cycles": self.ecc_latency_cycles,
+            "bus_retry_limit": self.bus_retry_limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(
+            seed=data.get("seed", 0),
+            memory_faults=tuple(MemoryFault(**row)
+                                for row in data.get("memory_faults", [])),
+            bus_faults=tuple(BusFault(**row)
+                             for row in data.get("bus_faults", [])),
+            storm_faults=tuple(StormFault(**row)
+                               for row in data.get("storm_faults", [])),
+            overrun_faults=tuple(OverrunFault(**row)
+                                 for row in data.get("overrun_faults", [])),
+            ecc=data.get("ecc", False),
+            ecc_latency_cycles=data.get("ecc_latency_cycles", 3),
+            bus_retry_limit=data.get("bus_retry_limit", 2))
+
+    def content_hash(self) -> str:
+        """Stable digest of the plan (explore-cache key material)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def dataclass_row(fault) -> dict:
+    """One fault event as a plain JSON row (field order = declaration)."""
+    return asdict(fault)
+
+
+#: Outcomes a fault record may carry.
+OUTCOMES = ("flipped", "corrected", "retried", "unrecovered", "released",
+            "overrun", "killed", "shed", "degraded")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One executed fault event and what became of it."""
+
+    kind: str
+    outcome: str
+    cycle: int
+    core_id: int
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "outcome": self.outcome,
+                "cycle": self.cycle, "core": self.core_id,
+                "detail": dict(self.detail)}
+
+
+class FaultLog:
+    """Append-only record of every executed fault, content-hashable.
+
+    Two runs of the same plan must produce byte-identical logs — the
+    reproducibility gate hashes the canonical JSON of all records.
+    """
+
+    def __init__(self):
+        self.records: list[FaultRecord] = []
+
+    def append(self, kind: str, outcome: str, cycle: int, core_id: int,
+               **detail) -> FaultRecord:
+        record = FaultRecord(kind=kind, outcome=outcome, cycle=cycle,
+                             core_id=core_id, detail=detail)
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def counts(self) -> dict[str, int]:
+        """``outcome -> occurrences`` over the whole log."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.outcome] = counts.get(record.outcome, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {"records": [record.to_dict() for record in self.records],
+                "counts": self.counts()}
+
+    def determinism_hash(self) -> str:
+        """Content hash over a canonical ordering of the records.
+
+        Records are sorted by their serialised form first: cores interleave
+        differently under the event-driven and reference co-simulation
+        schedulers, so the *append order* across cores is
+        scheduler-dependent while the executed events are not.  Sorting
+        makes the hash comparable across schedulers and processes.
+        """
+        rows = sorted(json.dumps(record.to_dict(), sort_keys=True,
+                                 separators=(",", ":"))
+                      for record in self.records)
+        payload = "[" + ",".join(rows) + "]"
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def table(self) -> str:
+        """Aligned per-record text table (the example script's output)."""
+        from ..explore.tables import format_table
+        headers = ["#", "kind", "outcome", "cycle", "core", "detail"]
+        rows = []
+        for index, record in enumerate(self.records):
+            detail = ", ".join(f"{key}={value}"
+                               for key, value in record.detail.items())
+            rows.append([index, record.kind, record.outcome, record.cycle,
+                         record.core_id, detail])
+        return format_table(headers, rows)

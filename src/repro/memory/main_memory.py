@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+
 from ..config import WORD_SIZE
 from ..errors import MemoryAccessError
 
@@ -93,6 +95,30 @@ class MainMemory:
         clone = MainMemory(self.size_bytes)
         clone._data[:] = self._data
         return clone
+
+    def image_digest(self) -> str:
+        """Content hash of the whole memory image (bit-identity checks)."""
+        return hashlib.sha256(bytes(self._data)).hexdigest()[:16]
+
+    # -- fault injection ----------------------------------------------------------
+
+    def inject_bit_flip(self, addr: int, bit: int) -> int:
+        """Flip one bit of the byte at ``addr``; returns the new byte value.
+
+        This is the :mod:`repro.faults` single-event-upset primitive.  It
+        works identically on a private memory and on a zero-copy bank view
+        (``_data`` is then a ``memoryview`` of the shared storage, and the
+        flip is visible through the backing memory like any write).
+        """
+        if not 0 <= addr < self.size_bytes:
+            raise MemoryAccessError(
+                f"bit flip at {addr:#x} is outside memory of "
+                f"{self.size_bytes:#x} bytes")
+        if not 0 <= bit < 8:
+            raise MemoryAccessError(
+                f"bit index {bit} outside a byte; flips are per-byte")
+        self._data[addr] ^= 1 << bit
+        return self._data[addr]
 
     @classmethod
     def view(cls, backing: "MainMemory", base: int,

@@ -57,6 +57,11 @@ class Scratchpad:
         """Extra stall cycles per access (normally zero)."""
         return self.config.access_cycles
 
+    def inject_bit_flip(self, addr: int, bit: int) -> int:
+        """Flip one stored bit (fault injection; the scratchpad is a raw
+        SRAM without ECC, so the flip always lands)."""
+        return self._memory.inject_bit_flip(addr, bit)
+
     def _check(self, addr: int, width: int) -> None:
         if addr + width > self.config.size_bytes:
             raise MemoryAccessError(

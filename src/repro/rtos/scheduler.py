@@ -42,21 +42,27 @@ from typing import Optional
 from ..caches.hierarchy import HierarchyOptions
 from ..config import PatmosConfig
 from ..errors import RtosError
+from ..faults.injector import FaultInjector
 from ..sim.cycle import CycleSimulator
 from ..sim.engine import EngineContext
 from ..sim.results import SimResult, StallBreakdown
-from .interrupt import build_timeline
+from .interrupt import ReleaseEvent, build_timeline
 from .task import RtosOptions, TaskSet
 
 #: Task scheduling policies understood by :class:`CoreTaskRuntime`.
 POLICIES = ("fixed_priority", "tdma_slot")
+
+#: Runtime priority of a task degraded by the "degrade" overrun policy:
+#: below every configurable priority, so the task only runs when nothing
+#: else is ready (ties among degraded tasks break by task index as usual).
+BACKGROUND_PRIORITY = 1 << 30
 
 
 class _Job:
     """One task activation: release bookkeeping plus its private simulator."""
 
     __slots__ = ("task", "task_index", "job_index", "release", "start",
-                 "finish", "sim", "context", "started", "result")
+                 "finish", "sim", "context", "started", "result", "killed")
 
     def __init__(self, task, task_index: int, job_index: int, release: int):
         self.task = task
@@ -69,6 +75,36 @@ class _Job:
         self.context: Optional[EngineContext] = None
         self.started = False
         self.result: Optional[SimResult] = None
+        self.killed = False
+
+
+def _merge_storm_releases(timeline: list[ReleaseEvent], storms
+                          ) -> tuple[list[ReleaseEvent], frozenset]:
+    """Merge injected storm releases into a pre-built release timeline.
+
+    Job indices are reassigned per task in time order, so an overrun fault
+    keyed on ``(task_index, job_index)`` addresses the merged timeline.
+    Returns the merged timeline and the set of injected events (logged as
+    ``"released"`` when delivered).  Natural releases sort before injected
+    ones at the same instant, keeping delivery order deterministic.
+    """
+    entries = [(event.time, event.task_index, False) for event in timeline]
+    for storm in storms:
+        for k in range(storm.count):
+            entries.append((storm.time + k * storm.spacing,
+                            storm.task_index, True))
+    entries.sort()
+    counters: dict[int, int] = {}
+    merged: list[ReleaseEvent] = []
+    injected = set()
+    for time, task_index, is_storm in entries:
+        job_index = counters.get(task_index, 0)
+        counters[task_index] = job_index + 1
+        event = ReleaseEvent(time, task_index, job_index)
+        merged.append(event)
+        if is_storm:
+            injected.add(event)
+    return merged, frozenset(injected)
 
 
 def _merge_stats(into: dict, extra: dict) -> None:
@@ -96,7 +132,8 @@ class CoreTaskRuntime:
                  banks: list, arbiter_port, options: RtosOptions,
                  policy: str = "fixed_priority", horizon: int = 10_000,
                  seed: int = 0, engine: str = "fast", strict: bool = False,
-                 hierarchy_options: Optional[HierarchyOptions] = None):
+                 hierarchy_options: Optional[HierarchyOptions] = None,
+                 injector: Optional[FaultInjector] = None):
         if policy not in POLICIES:
             raise RtosError(f"unknown task scheduling policy {policy!r}; "
                             f"use one of {POLICIES}")
@@ -117,6 +154,22 @@ class CoreTaskRuntime:
 
         #: The pre-computed release timeline (interrupt model).
         self.timeline = build_timeline(taskset, horizon, core_id, seed)
+        #: Fault-injection state (all inert without an injector): injected
+        #: overruns by (task, job), storm-injected timeline events, tasks
+        #: whose next release is shed, tasks demoted to background priority.
+        self.injector = injector
+        self._overruns = (injector.plan.overruns_for_core(core_id)
+                          if injector is not None else {})
+        self._storm_events: frozenset = frozenset()
+        self._skip_next: set[int] = set()
+        self._degraded: set[int] = set()
+        self._killed: list[_Job] = []
+        self._shed: dict[int, int] = {}
+        if injector is not None:
+            storms = injector.plan.storms_for_core(core_id)
+            if storms:
+                self.timeline, self._storm_events = \
+                    _merge_storm_releases(self.timeline, storms)
         self._pos = 0
         self.ready: list[_Job] = []
         self.running: Optional[_Job] = None
@@ -269,23 +322,44 @@ class CoreTaskRuntime:
             event = timeline[self._pos]
             self._pos += 1
             task = self.taskset.tasks[event.task_index]
-            self.ready.append(_Job(task, event.task_index, event.job_index,
-                                   event.time))
             self.interrupts += 1
             if cost:
+                # The interrupt fires (and costs) even for a release the
+                # overrun policy sheds — the handler runs to decide.
                 self.cycles += cost
                 self.overhead_cycles += cost
             delivered = True
+            if self._skip_next and event.task_index in self._skip_next:
+                self._skip_next.discard(event.task_index)
+                self._shed[event.task_index] = \
+                    self._shed.get(event.task_index, 0) + 1
+                self.injector.log.append(
+                    "overrun", "shed", event.time, self.core_id,
+                    task=task.name, job=event.job_index)
+                continue
+            if self._storm_events and event in self._storm_events:
+                self.injector.log.append(
+                    "storm", "released", event.time, self.core_id,
+                    task=task.name, job=event.job_index)
+            self.ready.append(_Job(task, event.task_index, event.job_index,
+                                   event.time))
         return delivered
+
+    def _job_priority(self, job: _Job) -> int:
+        """Runtime priority: the task's own, unless degraded to background."""
+        if self._degraded and job.task_index in self._degraded:
+            return BACKGROUND_PRIORITY
+        return job.task.priority
 
     def _pick(self) -> Optional[_Job]:
         """The job that should own the core right now (None = idle)."""
         if self.policy == "fixed_priority":
             best = self.running
             best_key = None if best is None else \
-                (best.task.priority, best.task_index, best.job_index)
+                (self._job_priority(best), best.task_index, best.job_index)
             for job in self.ready:
-                key = (job.task.priority, job.task_index, job.job_index)
+                key = (self._job_priority(job), job.task_index,
+                       job.job_index)
                 if best_key is None or key < best_key:
                     best, best_key = job, key
             return best
@@ -379,10 +453,20 @@ class CoreTaskRuntime:
         if job.context is not None:
             job.context.export()
             job.context = None
-        job.finish = self.cycles
         result = job.sim.result()
         job.result = result
         job.sim = None
+        if self._overruns:
+            extra = self._overruns.pop((job.task_index, job.job_index), None)
+            if extra is not None and self._apply_overrun(job, extra):
+                # Watchdog killed the job: its output is discarded and it
+                # is accounted separately from completed jobs.
+                job.finish = self.cycles
+                job.killed = True
+                self._killed.append(job)
+                self.running = None
+                return
+        job.finish = self.cycles
         expected = job.task.expected_output
         if expected and tuple(result.output) != expected:
             raise RtosError(
@@ -392,6 +476,46 @@ class CoreTaskRuntime:
         self._outputs.extend(result.output)
         self.completed.append(job)
         self.running = None
+
+    def _apply_overrun(self, job: _Job, extra: int) -> bool:
+        """Charge an injected WCET overrun; True = the watchdog killed it.
+
+        The job's real work is done (its simulator halted) — the overrun
+        models ``extra`` further cycles of runaway execution.  The per-core
+        watchdog budget is ``watchdog_factor * deadline`` from release; an
+        overrun staying inside it is absorbed (outcome ``"overrun"``), one
+        exceeding it trips the watchdog, which applies ``overrun_policy``.
+        All charges are eager and local to this core's clock, preserving
+        the bit-identity of the two co-simulation schedulers.
+        """
+        options = self.options
+        log = self.injector.log
+        budget = int(options.watchdog_factor * job.task.deadline)
+        natural = self.cycles - job.release
+        tripped = natural + extra > budget
+        if tripped and options.overrun_policy == "kill_and_log":
+            executed = max(0, budget - natural)
+            self.cycles += executed
+            log.append("overrun", "killed", self.cycles, self.core_id,
+                       task=job.task.name, job=job.job_index, extra=extra,
+                       executed=executed, budget=budget)
+            return True
+        self.cycles += extra
+        if not tripped:
+            log.append("overrun", "overrun", self.cycles, self.core_id,
+                       task=job.task.name, job=job.job_index, extra=extra)
+            return False
+        if options.overrun_policy == "skip_next_release":
+            self._skip_next.add(job.task_index)
+            log.append("overrun", "overrun", self.cycles, self.core_id,
+                       task=job.task.name, job=job.job_index, extra=extra,
+                       policy="skip_next_release", budget=budget)
+        else:  # degrade
+            self._degraded.add(job.task_index)
+            log.append("overrun", "degraded", self.cycles, self.core_id,
+                       task=job.task.name, job=job.job_index, extra=extra,
+                       budget=budget)
+        return False
 
     # ------------------------------------------------------------------
     # Results
@@ -433,6 +557,8 @@ class CoreTaskRuntime:
             "policy": self.policy,
             "jobs_released": self._pos,
             "jobs_completed": len(self.completed),
+            "jobs_killed": len(self._killed),
+            "jobs_shed": sum(self._shed.values()),
             "interrupts": self.interrupts,
             "context_switches": self.context_switches,
             "preemptions": self.preemptions,
@@ -456,6 +582,9 @@ class CoreTaskRuntime:
                 "priority": task.priority,
                 "jobs": released,
                 "completed": len(jobs),
+                "killed": sum(1 for job in self._killed
+                              if job.task_index == index),
+                "shed": self._shed.get(index, 0),
                 "max_response": max(responses) if responses else None,
                 "avg_response": (round(sum(responses) / len(responses), 1)
                                  if responses else None),

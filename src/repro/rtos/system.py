@@ -52,6 +52,10 @@ class TaskReport:
     deadline_misses: int
     wcet_cycles: Optional[int]
     rta_bound: Optional[int]
+    #: Jobs terminated by the overrun watchdog / releases shed by the
+    #: "skip_next_release" policy (fault injection; zero without faults).
+    killed: int = 0
+    shed: int = 0
 
     @property
     def sound(self) -> Optional[bool]:
@@ -84,6 +88,8 @@ class RtosResult:
     scheduler_stats: Optional[dict] = None
     #: Per-core non-preemptive blocking bound fed into the analysis.
     blocking: list = field(default_factory=list)
+    #: Executed fault events (``None`` when the system had no fault plan).
+    fault_log: Optional[object] = None
 
     @property
     def makespan(self) -> int:
@@ -115,6 +121,11 @@ class RtosResult:
             "scheduler_stats": self.scheduler_stats,
             "blocking": list(self.blocking),
             "violations": len(self.violations()),
+            # Outcome counts only: record *order* may differ between the
+            # two co-simulation schedulers (cores interleave differently),
+            # the executed events themselves do not.
+            "fault_counts": (self.fault_log.counts()
+                             if self.fault_log is not None else None),
         }
 
     def timing_dict(self) -> dict:
@@ -174,7 +185,14 @@ class RtosSystem(MulticoreSystem):
     keywords pass through unchanged; ``policy`` picks the per-core task
     scheduler, ``options`` the RTOS cost model, ``horizon`` the release
     timeline length and ``seed`` the sporadic release streams.
+
+    ``faults`` accepts bus, interrupt-storm and WCET-overrun events (memory
+    flips make no sense against the per-task full-size banks and are
+    rejected); storms merge into the release timelines and overruns
+    exercise the per-core watchdog and the configured ``overrun_policy``.
     """
+
+    _fault_kinds = ("bus", "storm", "overrun")
 
     def __init__(self, tasksets: Sequence[Union[TaskSet, Sequence]],
                  config: PatmosConfig = DEFAULT_CONFIG,
@@ -188,7 +206,8 @@ class RtosSystem(MulticoreSystem):
                  horizon: Optional[int] = None, seed: int = 0,
                  engine: str = "fast", scheduler: str = "event",
                  quantum: int = 1,
-                 hierarchy_options: Optional[HierarchyOptions] = None):
+                 hierarchy_options: Optional[HierarchyOptions] = None,
+                 faults=None):
         if not tasksets:
             raise RtosError("an RTOS system needs at least one core task set")
         coerced = [taskset if isinstance(taskset, TaskSet)
@@ -203,7 +222,7 @@ class RtosSystem(MulticoreSystem):
                          schedule=schedule, slot_weights=slot_weights,
                          priorities=priorities, mode="cosim", engine=engine,
                          scheduler=scheduler, quantum=quantum,
-                         hierarchy_options=hierarchy_options)
+                         hierarchy_options=hierarchy_options, faults=faults)
         self.tasksets = coerced
         self.policy = policy
         self.options = options if options is not None \
@@ -237,10 +256,12 @@ class RtosSystem(MulticoreSystem):
             cores.append(CoreTaskRuntime(
                 core_id=core_id, taskset=taskset,
                 config=self.configs[core_id], banks=banks,
-                arbiter_port=arbiter.port(core_id), options=self.options,
+                arbiter_port=self._core_port(arbiter, core_id),
+                options=self.options,
                 policy=self.policy, horizon=self.horizon, seed=self.seed,
                 engine=self.engine, strict=strict,
-                hierarchy_options=self.hierarchy_options))
+                hierarchy_options=self.hierarchy_options,
+                injector=self._injector))
         self._runtimes = cores
         return cores
 
@@ -249,9 +270,12 @@ class RtosSystem(MulticoreSystem):
     # ------------------------------------------------------------------
 
     def run(self, analyse: bool = True, strict: bool = False,
-            max_bundles: int = 2_000_000) -> RtosResult:
+            max_bundles: int = 2_000_000, max_cycles: Optional[int] = None,
+            max_wall_s: Optional[float] = None) -> RtosResult:
         """Co-simulate the task sets; optionally attach response bounds."""
-        cores, arbiter, scheduler_stats = self._run_cosim(strict, max_bundles)
+        cores, arbiter, scheduler_stats = self._run_cosim(
+            strict, max_bundles, max_cycles=max_cycles,
+            max_wall_s=max_wall_s)
         analysis = self.analyse() if analyse else None
         result = RtosResult(
             num_cores=self.num_cores, policy=self.policy,
@@ -260,6 +284,7 @@ class RtosSystem(MulticoreSystem):
             horizon=self.horizon, options=self.options,
             arbiter_stats=arbiter.stats_summary(),
             scheduler_stats=scheduler_stats,
+            fault_log=self.fault_log,
             blocking=[analysis[core_id]["blocking"] if analysis else None
                       for core_id in range(self.num_cores)])
         for core_id, runtime in enumerate(cores):
@@ -288,7 +313,8 @@ class RtosSystem(MulticoreSystem):
                     wcet_cycles=(core_analysis["wcets"][index]
                                  if core_analysis else None),
                     rta_bound=(core_analysis["bounds"][index]
-                               if core_analysis else None)))
+                               if core_analysis else None),
+                    killed=outcome["killed"], shed=outcome["shed"]))
         return result
 
     # ------------------------------------------------------------------

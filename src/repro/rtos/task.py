@@ -132,6 +132,10 @@ class TaskSet:
             for index, task in enumerate(self.tasks)))
 
 
+#: Watchdog responses to a job overrunning its execution budget.
+OVERRUN_POLICIES = ("kill_and_log", "skip_next_release", "degrade")
+
+
 @dataclass(frozen=True)
 class RtosOptions:
     """Architectural costs of the RTOS machinery, in cycles.
@@ -152,6 +156,16 @@ class RtosOptions:
     ``task_slot_cycles`` is the uniform per-task slot of the TDMA-slot
     (cyclic-executive) task scheduler; it must fit at least the scheduler
     overheads or no response-time bound exists.
+
+    ``overrun_policy`` and ``watchdog_factor`` configure the per-core
+    execution watchdog exercised by the fault-injection layer
+    (:mod:`repro.faults`): a job still executing
+    ``watchdog_factor * deadline`` cycles after its release trips the
+    watchdog, which applies the policy — ``"kill_and_log"`` terminates the
+    job at the budget (its output is discarded), ``"skip_next_release"``
+    lets the job finish but sheds the task's next pending release, and
+    ``"degrade"`` lets it finish but demotes the task to background
+    priority for the rest of the run.
     """
 
     interrupt_entry_cycles: int = 4
@@ -159,6 +173,8 @@ class RtosOptions:
     context_switch_cycles: int = 10
     preemption_reload_cycles: int = 0
     task_slot_cycles: int = 400
+    overrun_policy: str = "kill_and_log"
+    watchdog_factor: float = 2.0
 
     @classmethod
     def for_config(cls, config: PatmosConfig, **overrides) -> "RtosOptions":
@@ -186,6 +202,13 @@ class RtosOptions:
                 raise RtosError(f"{name} must be >= 0")
         if self.task_slot_cycles <= 0:
             raise RtosError("task_slot_cycles must be positive")
+        if self.overrun_policy not in OVERRUN_POLICIES:
+            raise RtosError(
+                f"unknown overrun policy {self.overrun_policy!r}; use one "
+                f"of {OVERRUN_POLICIES}")
+        if self.watchdog_factor < 1:
+            raise RtosError("watchdog_factor must be >= 1 (the watchdog "
+                            "budget is watchdog_factor * deadline)")
 
 
 #: Priority-assignment policies of :func:`synthesize_tasksets`.

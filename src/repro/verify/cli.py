@@ -8,10 +8,17 @@ static bound fails to cover its observed execution::
     python -m repro.verify --json report.json       # machine-readable report
     python -m repro.verify --arbiters single,tdma2  # arbiter subset
     python -m repro.verify --jobs 4                 # parallel matrix
+    python -m repro.verify --faults                 # seeded fault campaign
 
 ``--kernels`` accepts kernel and suite names (``performance``, ``branchy``,
 ``all``); ``--variants``/``--arbiters`` filter the cache-model and arbiter
 columns of the matrix by name.
+
+``--faults`` switches to the fault-injection campaign
+(:func:`repro.faults.run_fault_campaign`): every cell runs fault-free, then
+under a seeded fault plan with ECC and bounded bus retries, and must stay
+within its fault-aware WCET bound with outputs intact.  ``--json`` then
+writes the campaign report (the CI ``BENCH_faults.json`` artifact).
 """
 
 from __future__ import annotations
@@ -74,7 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the full per-core conformance table")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-scenario progress lines")
+    parser.add_argument("--faults", action="store_true",
+                        help="run the seeded fault-injection campaign "
+                             "instead of the conformance matrix (--kernels "
+                             "selects the campaign kernels)")
+    parser.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                        help="campaign seed (default: 0); the same seed "
+                             "reproduces the same faults and outcomes")
     return parser
+
+
+def _run_faults(args, kernels) -> int:
+    """The ``--faults`` mode: seeded campaign, zero-violation gate."""
+    from ..faults import run_fault_campaign
+    from ..faults.campaign import DEFAULT_KERNELS
+
+    # An explicit --kernels selects the campaign kernels; the default
+    # ("all") means the campaign's own small, quick kernel set, not the
+    # entire workload suite.
+    if args.kernels.strip() == "all":
+        kernels = DEFAULT_KERNELS
+    report = run_fault_campaign(
+        seed=args.fault_seed, kernels=kernels,
+        progress=None if args.quiet else (
+            lambda cell: print(f"faulting {cell}")))
+    if args.table:
+        print()
+        print(report.table())
+    print()
+    print(report.summary())
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -99,6 +139,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 2
+    if args.faults:
+        try:
+            return _run_faults(args, kernels)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     try:
         report = run_conformance(
             kernels=kernels, variants=variants, arbiters=arbiters,
@@ -117,4 +163,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         Path(args.json).write_text(
             json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8")
         print(f"wrote {args.json}")
-    return 1 if report.violations() else 0
+    # Failed cells mean the matrix is incomplete: that must fail the gate
+    # even with zero violations among the scenarios that did run.
+    return 1 if report.violations() or report.failures else 0

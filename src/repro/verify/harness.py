@@ -19,24 +19,34 @@ analysis-only variants (``always_miss``, ``naive``) reuse the simulation of
 the default variant and the full matrix stays CI-sized.
 
 The matrix is embarrassingly parallel: ``run_conformance(jobs=N)`` fans the
-scenario cells out over a ``multiprocessing`` pool (the explore runner's
-worker pattern).  Cells are shipped in groups that share a simulation key,
-so per-worker harnesses keep the memoisation win, and the report is
-assembled in the deterministic scenario order regardless of completion
-order — a parallel run produces the same report as a sequential one (only
-the measured ``elapsed_s`` differs).
+scenario cells out over a process pool (the explore runner's worker
+pattern).  Cells are shipped in groups that share a simulation key, so
+per-worker harnesses keep the memoisation win, and the report is assembled
+in the deterministic scenario order regardless of completion order — a
+parallel run produces the same report as a sequential one (only the
+measured ``elapsed_s`` differs).
+
+A worker that *dies* (killed, OOM, segfault) does not abort the run: its
+scenario group is resubmitted to a fresh pool with capped backoff, and a
+group that keeps killing workers is recorded as a structured
+:class:`~repro.errors.FailedCell` in the report while every other group
+still completes.  Errors *raised by* a scenario (functional mismatches)
+propagate exactly as in the sequential path — a broken execution must fail
+the verification loudly.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..cmp.system import MulticoreSystem
 from ..compiler.passes import compile_and_link
 from ..config import DEFAULT_CONFIG, PatmosConfig
-from ..errors import VerificationError
+from ..errors import FailedCell, VerificationError, WorkerCrashed
 from ..explore.tables import format_table
 from ..sim.cycle import CycleSimulator
 from ..wcet.analyzer import WcetOptions, analyze_wcet
@@ -96,9 +106,15 @@ class ScenarioOutcome:
 
 @dataclass
 class ConformanceReport:
-    """All outcomes of one conformance run plus aggregate statistics."""
+    """All outcomes of one conformance run plus aggregate statistics.
+
+    ``failures`` lists scenario groups whose pool worker died past the
+    retry budget (parallel runs only); a report with failures is incomplete
+    and must not pass a verification gate even with zero violations.
+    """
 
     outcomes: list[ScenarioOutcome] = field(default_factory=list)
+    failures: list[FailedCell] = field(default_factory=list)
     elapsed_s: float = 0.0
 
     def violations(self) -> list[ScenarioOutcome]:
@@ -131,11 +147,13 @@ class ConformanceReport:
         return {
             "schema": "repro.verify/v1",
             "scenarios": [outcome.to_dict() for outcome in self.outcomes],
+            "failures": [cell.to_dict() for cell in self.failures],
             "summary": {
                 "checked": len(self.outcomes),
                 "bounded": len(self.bounded()),
                 "unbounded": len(self.unbounded()),
                 "violations": len(self.violations()),
+                "failed_cells": len(self.failures),
                 "mean_tightness": (None if self.mean_tightness() is None
                                    else round(self.mean_tightness(), 4)),
                 "max_tightness": (None if worst is None
@@ -183,6 +201,10 @@ class ConformanceReport:
                 f"  VIOLATION {outcome.kernel}/{outcome.variant}/"
                 f"{outcome.arbiter} core {outcome.core_id}: observed "
                 f"{outcome.cycles} > bound {outcome.wcet_cycles}")
+        if self.failures:
+            lines.append(f"{len(self.failures)} scenario group(s) FAILED "
+                         f"(report incomplete):")
+            lines.extend(f"  {cell.summary()}" for cell in self.failures)
         return "\n".join(lines)
 
 
@@ -345,6 +367,16 @@ def _run_scenario_group(group: list[Scenario]
     return [_worker_harness.run_scenario(scenario) for scenario in group]
 
 
+def _group_worker(group: list[Scenario]) -> list[list[ScenarioOutcome]]:
+    """Pool entry point: one indirection through the module global.
+
+    Workers call the *current* ``_run_scenario_group`` binding, so a forked
+    child inherits any replacement installed in the parent — which is how
+    the crash-containment tests plant a worker that dies mid-group.
+    """
+    return _run_scenario_group(group)
+
+
 def _emit_progress(progress: Callable[[str], None], scenario: Scenario,
                    outcomes: list[ScenarioOutcome]) -> None:
     worst = min((outcome.tightness for outcome in outcomes
@@ -355,19 +387,44 @@ def _emit_progress(progress: Callable[[str], None], scenario: Scenario,
     progress(f"{scenario.label():60s} min bound/obs {ratio:>6s}  {status}")
 
 
+#: Resubmissions of a scenario group whose worker died before the group is
+#: declared poisoned and recorded as a failed cell.
+_MAX_GROUP_RETRIES = 2
+#: Base (and cap) of the exponential pause between crash-recovery rounds.
+_RETRY_BACKOFF_S = 0.05
+_MAX_BACKOFF_S = 2.0
+
+
+def _crashed_group(group: list[Scenario], attempts: int) -> FailedCell:
+    """The structured failure record of a group that kept killing workers."""
+    labels = [scenario.label() for scenario in group]
+    extra = f" (+{len(labels) - 1} more)" if len(labels) > 1 else ""
+    exc = WorkerCrashed(
+        f"worker process died {attempts} times executing scenario group "
+        f"{labels[0]}{extra}", cell_key=labels[0], attempts=attempts)
+    cell = FailedCell.from_exception(labels[0], labels[0], exc,
+                                     attempts=attempts)
+    cell.context["scenarios"] = labels
+    return cell
+
+
 def _run_parallel(scenarios: list[Scenario],
                   config: Optional[PatmosConfig], strict: bool, jobs: int,
                   progress: Optional[Callable[[str], None]]
-                  ) -> Optional[list[list[ScenarioOutcome]]]:
+                  ) -> Optional[tuple[list[Optional[list[ScenarioOutcome]]],
+                                      list[FailedCell]]]:
     """Fan scenario groups out over a worker pool; ``None`` = fall back.
 
     Scenarios sharing a (kernel, hardware, arbiter) simulation stay in one
-    group so the per-worker memoisation is preserved; groups are collected
-    with ``imap`` (submission order), so the assembled outcome list is the
-    deterministic scenario order however the workers interleave.  Only pool
-    creation is guarded — a restricted environment without worker processes
-    falls back to the sequential path, but an error raised by a scenario
-    itself always propagates.
+    group so the per-worker memoisation is preserved; outcomes are placed
+    by scenario index, so the assembled outcome list is the deterministic
+    scenario order however the workers interleave.  A worker killed
+    mid-group breaks the pool; its group (and any group still in flight)
+    is resubmitted to a fresh pool after a capped backoff, and a group
+    exhausting the retry budget becomes a :class:`FailedCell` (its slots
+    stay ``None``).  An error *raised by* a scenario always propagates.
+    ``None`` is returned only when the environment cannot run worker
+    processes at all — the caller falls back to the sequential path.
     """
     groups: dict[tuple, list[int]] = {}
     for index, scenario in enumerate(scenarios):
@@ -377,23 +434,62 @@ def _run_parallel(scenarios: list[Scenario],
     payloads = [[scenarios[i] for i in indices] for indices in group_indices]
     try:
         import multiprocessing
-        pool = multiprocessing.Pool(
-            min(jobs, len(payloads)),
-            initializer=_init_worker,
-            initargs=(config.to_dict() if config is not None else None,
-                      strict))
-    except (ImportError, OSError):
+        try:
+            # Forked workers share the parent's loaded modules — cheaper
+            # startup, and the behaviour the containment tests rely on.
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platform-dependent
+            context = multiprocessing.get_context()
+    except ImportError:  # pragma: no cover - platform-dependent
         return None
+    initargs = (config.to_dict() if config is not None else None, strict)
     outcome_lists: list[Optional[list[ScenarioOutcome]]] = \
         [None] * len(scenarios)
-    with pool:
-        for indices, results in zip(
-                group_indices, pool.imap(_run_scenario_group, payloads)):
-            for index, outcomes in zip(indices, results):
-                outcome_lists[index] = outcomes
-                if progress is not None:
-                    _emit_progress(progress, scenarios[index], outcomes)
-    return outcome_lists
+    failures: list[FailedCell] = []
+
+    def place(g: int, results: list[list[ScenarioOutcome]]) -> None:
+        for index, outcomes in zip(group_indices[g], results):
+            outcome_lists[index] = outcomes
+            if progress is not None:
+                _emit_progress(progress, scenarios[index], outcomes)
+
+    crashed: list[int] = []
+    try:
+        with ProcessPoolExecutor(
+                max_workers=min(jobs, len(payloads)), mp_context=context,
+                initializer=_init_worker, initargs=initargs) as pool:
+            futures = {g: pool.submit(_group_worker, payloads[g])
+                       for g in range(len(payloads))}
+            for g in range(len(payloads)):
+                try:
+                    place(g, futures[g].result())
+                except BrokenProcessPool:
+                    crashed.append(g)
+        # Crash-suspected groups re-run one at a time, each in its own
+        # single-worker pool: isolation separates the poisoned group (it
+        # keeps dying → FailedCell) from innocent groups that merely
+        # shared the broken pool (they complete on their retry).
+        for g in crashed:
+            attempts = 1  # the broken-pool round already executed it once
+            while attempts <= _MAX_GROUP_RETRIES:
+                time.sleep(min(_RETRY_BACKOFF_S * (2 ** (attempts - 1)),
+                               _MAX_BACKOFF_S))
+                attempts += 1
+                with ProcessPoolExecutor(
+                        max_workers=1, mp_context=context,
+                        initializer=_init_worker,
+                        initargs=initargs) as pool:
+                    try:
+                        place(g, pool.submit(_group_worker,
+                                             payloads[g]).result())
+                        break
+                    except BrokenProcessPool:
+                        continue
+            else:
+                failures.append(_crashed_group(payloads[g], attempts))
+    except OSError:  # pragma: no cover - restricted environment
+        return None
+    return outcome_lists, failures
 
 
 def run_conformance(kernels=("all",),
@@ -425,8 +521,10 @@ def run_conformance(kernels=("all",),
     started = time.perf_counter()
     outcome_lists = None
     if jobs > 1 and len(scenarios) > 1:
-        outcome_lists = _run_parallel(scenarios, config, strict, jobs,
-                                      progress)
+        parallel = _run_parallel(scenarios, config, strict, jobs, progress)
+        if parallel is not None:
+            outcome_lists, failures = parallel
+            report.failures.extend(failures)
     harness = None
     if outcome_lists is None:
         harness = ConformanceHarness(config=config, strict=strict)
@@ -444,6 +542,8 @@ def run_conformance(kernels=("all",),
         if progress is not None:
             _emit_progress(progress, rtos_scenario, outcomes)
     for outcomes in outcome_lists:
-        report.outcomes.extend(outcomes)
+        # ``None`` slots belong to a crash-failed group recorded above.
+        if outcomes is not None:
+            report.outcomes.extend(outcomes)
     report.elapsed_s = time.perf_counter() - started
     return report

@@ -82,6 +82,13 @@ class WcetOptions:
     #: Extra loop bounds: ``(function, header label) -> bound`` (overrides
     #: block annotations).
     loop_bounds: dict = field(default_factory=dict)
+    #: Bounded bus-transfer retries (fault model): every arbitrated transfer
+    #: may fail and be re-arbitrated up to this many times, each attempt
+    #: occupying a full slot plus worst-case wait.  0 = fault-free bus.
+    bus_retry_limit: int = 0
+    #: Flat per-run latency of the fault-recovery hardware outside the bus
+    #: model (ECC correction charges); added once to the total bound.
+    fault_overhead_cycles: int = 0
 
     @classmethod
     def for_arbiter(cls, kind: str, num_cores: int,
@@ -138,6 +145,8 @@ class WcetOptions:
             "priority_rank": self.priority_rank,
             "loop_bounds": sorted(
                 [list(key), bound] for key, bound in self.loop_bounds.items()),
+            "bus_retry_limit": self.bus_retry_limit,
+            "fault_overhead_cycles": self.fault_overhead_cycles,
         }
 
 
@@ -209,6 +218,9 @@ class WcetAnalyzer:
         # the top priority) instead of deep inside the per-block costing,
         # and on a core id outside the TDMA schedule.
         self._interference_wait()
+        if options.bus_retry_limit < 0 or options.fault_overhead_cycles < 0:
+            raise WcetError(
+                "bus_retry_limit and fault_overhead_cycles must be >= 0")
         if (options.arbiter == "tdma" and options.tdma is not None
                 and options.tdma_core_id is not None):
             options.tdma.slot_length(options.tdma_core_id)  # range check
@@ -262,8 +274,16 @@ class WcetAnalyzer:
             interference = self._transfer_wait(self.config.memory.burst_words)
             if interference:
                 one_off += one_off_transfers * interference
+            if options.bus_retry_limit:
+                # Each retried attempt re-occupies a full burst slot and may
+                # wait for the bus again (the same per-attempt bound the
+                # per-block costs charge via transfer_event).
+                one_off += (one_off_transfers * options.bus_retry_limit
+                            * (self.config.memory.burst_cycles()
+                               + interference))
 
-        total = function_wcet[entry] + one_off
+        total = (function_wcet[entry] + one_off
+                 + options.fault_overhead_cycles)
         return WcetResult(
             entry=entry, wcet_cycles=total, one_off_cycles=one_off,
             per_function=per_function, options=options,
@@ -427,15 +447,20 @@ class WcetAnalyzer:
         object_line_words = max(static_line_words,
                                 config.data_cache.line_bytes // 4)
 
-        if icache is not None:
-            cost += summary.bundles * icache.per_fetch_cost
-            if icache.per_fetch_cost:
-                cost += summary.bundles * wait(icache.line_words)
+        # Under the bounded-retry bus-fault model every arbitrated transfer
+        # may fail and be re-arbitrated up to bus_retry_limit times; each
+        # attempt occupies its slot in full and waits for the bus again, so
+        # every transfer event is charged (1 + retries) attempts.
+        attempts = 1 + self.options.bus_retry_limit
 
         def transfer_event(base_cycles: int, words: int) -> int:
             if base_cycles <= 0:
                 return 0
-            return base_cycles + wait(words)
+            return (base_cycles + wait(words)) * attempts
+
+        if icache is not None:
+            cost += summary.bundles * transfer_event(icache.per_fetch_cost,
+                                                     icache.line_words)
 
         # Calls: method-cache fill of the callee, the callee's own WCET and
         # the method-cache fill of this function on return.

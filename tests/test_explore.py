@@ -257,13 +257,46 @@ class TestRunner:
         assert len(survivor) == 1
         assert survivor.get(specs[0].key()) is not None
 
-    def test_worker_errors_propagate_in_parallel_mode(self, tmp_path):
+    def test_worker_errors_become_failed_cells(self, tmp_path):
+        # A design point raising a library error no longer aborts the
+        # sweep: it becomes a structured FailedCell — and so does every
+        # duplicate spec sharing its key.
         space = (ParameterSpace(["vector_sum"])
                  .axis("cores", [2, 2])  # duplicate values, both invalid slot
                  .axis("slot_cycles", [1]))
-        from repro.errors import ConfigError
-        with pytest.raises(ConfigError):
-            ExplorationRunner(jobs=2).run(space)
+        outcome = ExplorationRunner(jobs=2).run(space)
+        assert not outcome.ok
+        assert outcome.results == []
+        assert len(outcome.failures) == 2
+        assert all(cell.error == "ConfigError" for cell in outcome.failures)
+        assert "failed" in outcome.summary()
+        assert "ConfigError" in outcome.failure_summary()
+
+    def test_failed_cells_do_not_abort_or_cache(self, tmp_path,
+                                                monkeypatch):
+        # One bad point in a sweep: the good points complete and are
+        # cached, the bad one is reported, nothing of it enters the cache.
+        from repro.errors import ExplorationError as ExploreError
+        specs = (ParameterSpace(["vector_sum", "fir_filter"])).specs()
+        real = execute_spec
+
+        def fail_on_fir(spec):
+            if spec.kernel == "fir_filter":
+                raise ExploreError("bad design point")
+            return real(spec)
+        monkeypatch.setattr(runner_module, "execute_spec", fail_on_fir)
+
+        path = tmp_path / "cache.json"
+        outcome = ExplorationRunner(cache=ResultCache(path)).run(specs)
+        assert len(outcome.results) == 1
+        assert outcome.results[0].kernel == "vector_sum"
+        assert len(outcome.failures) == 1
+        assert outcome.failures[0].error == "ExplorationError"
+        assert "bad design point" in outcome.failures[0].message
+        survivor = ResultCache(path)
+        assert len(survivor) == 1
+        assert survivor.get(outcome.results[0].key) is not None
+        assert survivor.get(outcome.failures[0].key) is None
 
     def test_no_wcet_mode(self):
         space = ParameterSpace(["vector_sum"], analyse_wcet=False)
@@ -276,6 +309,81 @@ class TestRunner:
         table = outcome.table()
         assert "vector_sum" in table
         assert "WCET" in table
+
+
+class TestCrashContainment:
+    """A worker killed mid-cell must not abort the sweep (PR 7)."""
+
+    def test_killed_worker_becomes_failed_cell(self, monkeypatch):
+        import os
+        import signal
+
+        specs = ParameterSpace(["vector_sum", "fir_filter"]).specs()
+        real = execute_spec
+
+        def die_on_fir(spec):
+            if spec.kernel == "fir_filter":
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(spec)
+        # Forked pool workers call through runner_module._spec_worker and
+        # inherit this replacement.
+        monkeypatch.setattr(runner_module, "execute_spec", die_on_fir)
+
+        runner = ExplorationRunner(jobs=2, max_retries=1,
+                                   retry_backoff_s=0.0)
+        outcome = runner.run(specs)
+        # The innocent cell completed (round 0 or its isolated retry);
+        # the poisoned cell became a structured failure record.
+        assert [r.kernel for r in outcome.results] == ["vector_sum"]
+        assert len(outcome.failures) == 1
+        cell = outcome.failures[0]
+        assert cell.error == "WorkerCrashed"
+        assert cell.attempts == 2       # initial run + one retry
+        assert cell.context["attempts"] == 2
+        assert "worker process died" in cell.message
+        assert not outcome.ok
+
+    def test_killed_worker_failure_is_deterministic(self, monkeypatch):
+        import os
+        import signal
+
+        specs = ParameterSpace(["vector_sum", "fir_filter"]).specs()
+        real = execute_spec
+
+        def die_on_fir(spec):
+            if spec.kernel == "fir_filter":
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(spec)
+        monkeypatch.setattr(runner_module, "execute_spec", die_on_fir)
+
+        # max_retries >= 1 so an innocent cell whose future merely shared
+        # the broken pool always recovers on its isolated retry.
+        records = []
+        for _ in range(2):
+            outcome = ExplorationRunner(
+                jobs=2, max_retries=1, retry_backoff_s=0.0).run(specs)
+            assert [r.kernel for r in outcome.results] == ["vector_sum"]
+            assert len(outcome.failures) == 1
+            records.append(outcome.failures[0].to_dict())
+        assert records[0] == records[1]
+
+    def test_cli_reports_failures_and_exits_nonzero(self, monkeypatch,
+                                                    tmp_path, capsys):
+        from repro.errors import ExplorationError as ExploreError
+        real = execute_spec
+
+        def fail_on_fir(spec):
+            if spec.kernel == "fir_filter":
+                raise ExploreError("bad design point")
+            return real(spec)
+        monkeypatch.setattr(runner_module, "execute_spec", fail_on_fir)
+
+        code = main(["--kernels", "vector_sum,fir_filter", "--no-cache",
+                     "--no-pareto"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "FAILED" in err
+        assert "bad design point" in err
 
 
 class TestResultCache:
@@ -311,12 +419,39 @@ class TestResultCache:
         assert outcome.cache_hits == 4
         assert outcome.cache_misses == 2
 
-    def test_corrupt_cache_rejected(self, tmp_path):
+    def test_corrupt_cache_quarantined(self, tmp_path):
+        # An unreadable cache file no longer aborts the sweep: it is moved
+        # into quarantine/ with a warning and the cache continues empty.
         path = tmp_path / "cache.json"
         path.write_text("{not json", encoding="utf-8")
         cache = ResultCache(path)
-        with pytest.raises(ExplorationError, match="corrupt"):
-            cache.get("anything")
+        with pytest.warns(RuntimeWarning, match="corrupt result cache"):
+            assert cache.get("anything") is None
+        assert not path.exists()
+        quarantined = list(cache.quarantine_dir.iterdir())
+        assert len(quarantined) == 1
+        assert quarantined[0].read_text(encoding="utf-8") == "{not json"
+        # The quarantined file survives saves of fresh results ...
+        cache.put("k1", {"cycles": 1})
+        cache.save()
+        assert ResultCache(path).get("k1") == {"cycles": 1}
+        assert quarantined[0].exists()
+        # ... and clear() empties the quarantine along with the entries.
+        cache.clear()
+        cache.save()
+        assert list(cache.quarantine_dir.iterdir()) == []
+        assert len(ResultCache(path)) == 0
+
+    def test_second_corruption_keeps_both_quarantined_files(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        for content in ("{first", "{second"):
+            path.write_text(content, encoding="utf-8")
+            cache._entries = None  # force a reload
+            with pytest.warns(RuntimeWarning):
+                cache.get("anything")
+        names = sorted(f.name for f in cache.quarantine_dir.iterdir())
+        assert names == ["cache.json", "cache.json.1"]
 
     def test_incompatible_version_discarded(self, tmp_path):
         path = tmp_path / "cache.json"

@@ -204,6 +204,50 @@ class TestParallelMatrix:
         with pytest.raises(VerificationError):
             run_conformance(kernels=["vector_sum"], jobs=0)
 
+    def test_killed_worker_contained_as_failed_cell(self, monkeypatch):
+        """A worker dying mid-group must not abort the parallel matrix.
+
+        The poisoned group (icache × tdma4w) kills every worker that
+        touches it; it must end up as a structured FailedCell while every
+        other group's outcomes still arrive, and the incomplete report
+        must fail the gate even though no *checked* bound was violated.
+        """
+        import os
+        import signal
+
+        from repro.verify import harness as harness_module
+
+        real = harness_module._run_scenario_group
+
+        def die_on_target(group):
+            if any(s.variant.hardware == "icache"
+                   and s.arbiter.name == "tdma4w" for s in group):
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(group)
+        # Forked pool workers call through _group_worker and inherit this.
+        monkeypatch.setattr(harness_module, "_run_scenario_group",
+                            die_on_target)
+        monkeypatch.setattr(harness_module, "_RETRY_BACKOFF_S", 0.0)
+
+        report = run_conformance(kernels=["vector_sum"], jobs=2,
+                                 rtos_scenarios=())
+        assert len(report.failures) == 1
+        cell = report.failures[0]
+        assert cell.error == "WorkerCrashed"
+        assert cell.attempts == 1 + harness_module._MAX_GROUP_RETRIES
+        assert cell.context["scenarios"]  # which scenarios went missing
+        # Every other group completed; only the poisoned one is absent.
+        assert not any(o.variant == "conventional_icache"
+                       and o.arbiter == "tdma4w" for o in report.outcomes)
+        others = run_conformance(kernels=["vector_sum"], rtos_scenarios=())
+        missing = sum(1 for o in others.outcomes
+                      if o.variant == "conventional_icache"
+                      and o.arbiter == "tdma4w")
+        assert missing > 0
+        assert len(report.outcomes) == len(others.outcomes) - missing
+        assert report.to_dict()["summary"]["failed_cells"] == 1
+        assert not report.violations()
+
 
 #: WCET option variants of the property test (the cache-mode axis).
 PROPERTY_VARIANTS = [
