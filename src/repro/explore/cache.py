@@ -68,7 +68,9 @@ def _save_lock(path: Path):
 #: arbiter's preference order (a core catching up from behind yields the
 #: bus tie instead of keeping a scheduling-slice privilege), which can
 #: shift round-robin/priority interference timings by a few cycles.
-CACHE_VERSION = 4
+#: v5: the execution engine ("reference" | "fast" | "jit") joined the spec
+#: content hash, so pre-v5 keys no longer address the same design point.
+CACHE_VERSION = 5
 
 
 class ResultCache:

@@ -105,11 +105,12 @@ def execute_spec(spec: ExperimentSpec) -> SpecResult:
     wcet_options = spec.wcet_options()
 
     if spec.cores == 1:
-        # Sweeps are throughput-bound: always use the pre-decoded engine
-        # (repro.sim.engine); its equivalence to the reference interpreter is
-        # guaranteed by the golden suite in tests/test_engine_equivalence.py.
+        # Sweeps are throughput-bound: the spec's engine defaults to the
+        # pre-decoded micro-op engine ("fast"; "jit" for generated code);
+        # equivalence to the reference interpreter is guaranteed by the
+        # golden suite in tests/test_engine_equivalence.py.
         sim = CycleSimulator(image, config=spec.config, strict=True,
-                             engine="fast").run()
+                             engine=spec.engine).run()
         _check_output(spec, sim.output, kernel.expected_output)
         metrics = sim.metrics()
         interference = {key: metrics[key] for key in (
@@ -122,7 +123,8 @@ def execute_spec(spec: ExperimentSpec) -> SpecResult:
         # than assumed.
         system = MulticoreSystem.homogeneous(
             image, spec.cores, spec.config, arbiter=spec.arbiter,
-            schedule=spec.tdma_schedule(), mode="cosim")
+            schedule=spec.tdma_schedule(), mode="cosim",
+            engine=spec.engine)
         cmp_result = system.run(analyse=False, strict=True)
         for core in cmp_result.cores:
             _check_output(spec, core.sim.output, kernel.expected_output)
@@ -192,7 +194,7 @@ def _execute_rtos_spec(spec: ExperimentSpec) -> SpecResult:
         seed=seed, config=spec.config, bodies=bodies)
     system = RtosSystem(
         tasksets, config=spec.config, arbiter=spec.arbiter,
-        schedule=spec.tdma_schedule(),
+        schedule=spec.tdma_schedule(), engine=spec.engine,
         policy=str(params.get("policy", "fixed_priority")), seed=seed)
     rtos_result = system.run(analyse=spec.analyse_wcet, strict=True)
     violations = rtos_result.violations()

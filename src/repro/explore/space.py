@@ -20,6 +20,9 @@ Axes come in five kinds:
   (co-simulated against one shared memory);
 * the ``arbiter`` axis sweeps the memory arbitration policy
   (``tdma``, ``round_robin``, ``priority``);
+* the ``engine`` axis picks the execution engine (``reference``, ``fast``,
+  ``jit``); engines are bit-identical by the golden equivalence suite, but
+  the engine is still part of the cache key so sweeps never mix results;
 * the ``slot_cycles`` axis sweeps the TDMA slot length;
 * the ``slot_weights`` axis sweeps per-core TDMA slot weights, written as
   colon-separated integers (``1:2:1:1``); the pattern is cycled over the
@@ -69,6 +72,7 @@ AXIS_ALIASES: dict[str, tuple[str, Optional[str]]] = {
     "stack_cache_analysis": ("wcet", "stack_cache"),
     "cores": ("cores", None),
     "arbiter": ("arbiter", None),
+    "engine": ("engine", None),
     "slot_cycles": ("slot_cycles", None),
     "slot_weights": ("slot_weights", None),
     "taskset_utilisation": ("rtos", "utilisation"),
@@ -107,7 +111,7 @@ class Axis:
     """One swept dimension: every value spawns a family of experiments."""
 
     name: str            # the name the user wrote (display)
-    kind: str            # "config" | "compile" | "wcet" | "cores" | "slot_cycles"
+    kind: str            # "config" | "compile" | "wcet" | "cores" | "engine" | ...
     target: Optional[str]  # dotted config path / options field, None otherwise
     values: tuple
 
@@ -132,6 +136,10 @@ class ExperimentSpec:
     wcet_overrides: tuple[tuple[str, Any], ...] = ()
     cores: int = 1
     arbiter: str = "tdma"
+    #: Execution engine for the simulated side ("reference" | "fast" |
+    #: "jit"); part of the content hash — results from different engines
+    #: must never alias in the cache even though they are required to agree.
+    engine: str = "fast"
     slot_cycles: Optional[int] = None
     slot_weights: Optional[tuple[int, ...]] = None
     #: RTOS task-set parameters (sorted name/value pairs); non-empty turns
@@ -192,6 +200,7 @@ class ExperimentSpec:
             "options": asdict(self.options),
             "cores": self.cores,
             "arbiter": self.arbiter,
+            "engine": self.engine,
             "slot_cycles": self.slot_cycles,
             "slot_weights": (list(self.slot_weights)
                              if self.slot_weights else None),
@@ -265,6 +274,7 @@ class ParameterSpace:
         wcet_overrides: dict[str, Any] = {}
         cores = 1
         arbiter = "tdma"
+        engine = "fast"
         slot_cycles: Optional[int] = None
         slot_weights: Optional[tuple[int, ...]] = None
         rtos_overrides: dict[str, Any] = {}
@@ -284,6 +294,8 @@ class ParameterSpace:
                 cores = int(value)
             elif axis.kind == "arbiter":
                 arbiter = _parse_arbiter(value)
+            elif axis.kind == "engine":
+                engine = _parse_engine(value)
             elif axis.kind == "slot_cycles":
                 slot_cycles = int(value)
             elif axis.kind == "slot_weights":
@@ -317,12 +329,24 @@ class ParameterSpace:
             wcet_overrides=tuple(sorted(wcet_overrides.items())),
             cores=cores,
             arbiter=arbiter,
+            engine=engine,
             slot_cycles=slot_cycles,
             slot_weights=slot_weights,
             rtos=tuple(sorted(rtos_overrides.items())),
             analyse_wcet=self.analyse_wcet,
             parameters=tuple(parameters),
         )
+
+
+_ENGINES = ("reference", "fast", "jit")
+
+
+def _parse_engine(value) -> str:
+    name = str(value).strip().lower()
+    if name not in _ENGINES:
+        raise ExplorationError(
+            f"unknown engine {name!r}; available: {list(_ENGINES)}")
+    return name
 
 
 def _parse_arbiter(value) -> str:

@@ -16,6 +16,8 @@ Address-space layout (see :class:`repro.config.MemoryMap`):
 
 from __future__ import annotations
 
+import hashlib
+import json
 from bisect import bisect_right
 from dataclasses import dataclass, field, replace
 from typing import Optional
@@ -76,10 +78,43 @@ class Image:
     def __getstate__(self) -> dict:
         # The pre-decoded micro-op cache (repro.sim.engine) holds pre-bound
         # evaluation functions that cannot be pickled; it is a pure cache, so
-        # drop it and let the engine re-decode after unpickling.
+        # drop it and let the engine re-decode after unpickling.  The content
+        # hash is a pure cache too (cheap to recompute, guaranteed fresh).
         state = dict(self.__dict__)
         state.pop("_predecoded", None)
+        state.pop("_content_hash", None)
         return state
+
+    def content_hash(self) -> str:
+        """Stable hex digest of the linked image's content.
+
+        Covers everything that determines execution: the placed bundles
+        (address and rendered text, which spells out opcodes, operands,
+        guards and immediates), function and block placement, symbols, the
+        entry point and the initial memory/scratchpad contents.  Two images
+        hash equally iff a simulator cannot tell them apart, so the digest
+        keys caches that persist across processes (the generated-code cache
+        of :mod:`repro.sim.codegen`).  Memoised per image.
+        """
+        cached = self.__dict__.get("_content_hash")
+        if cached is None:
+            payload = {
+                "entry": self.entry_addr,
+                "bundles": [(addr, str(self.bundles[addr]))
+                            for addr in sorted(self.bundles)],
+                "functions": [(f.name, f.entry_addr, f.size_bytes,
+                               f.is_subfunction, f.parent)
+                              for f in self.functions],
+                "blocks": [(b.function, b.label, b.addr, b.size_bytes,
+                            b.num_bundles) for b in self.blocks],
+                "symbols": sorted(self.symbols.items()),
+                "memory": sorted(self.initial_memory.items()),
+                "scratchpad": sorted(self.initial_scratchpad.items()),
+            }
+            blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+            self.__dict__["_content_hash"] = cached
+        return cached
 
     def _index(self) -> None:
         self._func_by_addr = {f.entry_addr: f for f in self.functions}

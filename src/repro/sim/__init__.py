@@ -1,4 +1,4 @@
-"""Patmos simulators: functional and cycle-accurate, on two engines.
+"""Patmos simulators: functional and cycle-accurate, on three engines.
 
 Module map
 ----------
@@ -32,6 +32,19 @@ Module map
     may register an arbitrated memory transfer; the event-driven co-sim
     scheduler holds one context per core and releases them in global time
     order (``tests/test_cosim_scheduler.py`` pins the equivalence).
+``codegen``
+    The generated-code *jit engine* (``engine="jit"``): a compiler pass
+    lowers each decoded program into straight-line Python superblocks —
+    operands inlined, configuration constant-folded, branch targets
+    pre-resolved — exec'd once and cached on disk keyed by image content,
+    decode variant, hook/sync signature and
+    :data:`~repro.sim.codegen.generator.CODEGEN_VERSION`.
+    :class:`~repro.sim.codegen.JitContext` subclasses
+    :class:`~repro.sim.engine.EngineContext`, so pause-before-memory-event
+    stepping, arbiter interleaving and the fault injector work unchanged;
+    ``REPRO_NO_JIT=1`` falls back to the micro-op engine.  Equivalence is
+    pinned by the same golden suite plus ``tests/test_codegen.py`` (cache
+    lifecycle) — see the README's "Execution engines" section.
 ``executor``
     Pure evaluation of ALU/compare/predicate/multiply semantics shared by
     the reference interpreter (the fast engine pre-binds its own inlined
@@ -45,6 +58,7 @@ Module map
 """
 
 from .base import BaseSimulator
+from .codegen import JitContext, run_jit
 from .cycle import CycleSimulator
 from .engine import DecodedProgram, EngineContext, decode_image
 from .functional import FunctionalSimulator
@@ -58,10 +72,12 @@ __all__ = [
     "DecodedProgram",
     "EngineContext",
     "FunctionalSimulator",
+    "JitContext",
     "SimResult",
     "StallBreakdown",
     "TraceEntry",
     "decode_image",
+    "run_jit",
     "to_signed",
     "to_unsigned",
 ]

@@ -1,0 +1,50 @@
+"""Per-program Python code generation — the *jit* execution engine.
+
+Module map
+----------
+
+``generator``
+    Lowers one :class:`~repro.sim.engine.DecodedProgram` into a specialised
+    Python module: superblock discovery (:func:`compute_leaders`), the
+    eager-commit analysis, and straight-line source emission
+    (:func:`generate_source`).  :func:`cache_key` addresses one generated
+    specialisation (image content + pipeline + strict/trace + hook/sync
+    signature + :data:`CODEGEN_VERSION`).
+``context``
+    :class:`JitContext` — an :class:`~repro.sim.engine.EngineContext` whose
+    :meth:`~JitContext.advance` dispatches generated superblocks, bridging
+    through the micro-op interpreter at non-leader entry points; and
+    :func:`run_jit`, the single-shot driver behind ``engine="jit"``.
+``cache``
+    The on-disk source cache (``~/.cache/repro/jit`` or
+    ``REPRO_JIT_CACHE_DIR``): locked atomic writes, quarantine of corrupt
+    entries — the durability idiom of :mod:`repro.explore.cache`.
+``runtime``
+    Out-of-line helpers the generated code calls (due-issue ring drain).
+``__main__``
+    ``python -m repro.sim.codegen --dump <kernel>`` prints the generated
+    source of a workload kernel for inspection.
+
+Set ``REPRO_NO_JIT=1`` to make :class:`JitContext` fall back to the
+inherited micro-op interpreter (results are identical either way; the
+golden equivalence suite pins this).
+"""
+
+from .context import JitContext, run_jit
+from .generator import (
+    CODEGEN_VERSION,
+    cache_key,
+    compute_leaders,
+    generate_source,
+)
+from .cache import cache_dir
+
+__all__ = [
+    "CODEGEN_VERSION",
+    "JitContext",
+    "cache_dir",
+    "cache_key",
+    "compute_leaders",
+    "generate_source",
+    "run_jit",
+]

@@ -1,0 +1,59 @@
+"""``python -m repro.sim.codegen --dump <kernel>``: print generated source.
+
+Builds a workload kernel, compiles and links it, decodes the image for the
+requested strict/trace variant and prints the Python module the jit engine
+would execute — the first stop when debugging a suspected codegen
+divergence (the header records the codegen key and superblock count, and
+every bundle is annotated with its address).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..engine import decode_image
+from ...compiler import CompileOptions, compile_and_link
+from ...config import PatmosConfig
+from ...workloads import build_kernel
+from ...workloads.suite import KERNEL_BUILDERS
+from .generator import compute_leaders, generate_source
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim.codegen",
+        description="Print the generated superblock module for a kernel.")
+    parser.add_argument("--dump", metavar="KERNEL", required=True,
+                        choices=sorted(KERNEL_BUILDERS),
+                        help="workload kernel to generate code for")
+    parser.add_argument("--strict", action="store_true",
+                        help="generate the strict-checking variant")
+    parser.add_argument("--trace", action="store_true",
+                        help="generate the tracing variant")
+    parser.add_argument("--single-issue", action="store_true",
+                        help="compile the kernel without dual issue")
+    parser.add_argument("--timed", action="store_true",
+                        help="assume all timing hooks present (the cycle "
+                             "simulator's specialisation) instead of none "
+                             "(the functional simulator's)")
+    args = parser.parse_args(argv)
+
+    kernel = build_kernel(args.dump)
+    config = PatmosConfig()
+    options = CompileOptions(dual_issue=not args.single_issue)
+    image, _ = compile_and_link(kernel.program, config=config,
+                                options=options)
+    program = decode_image(image, config.pipeline, args.strict, args.trace)
+    hook_sig = (args.timed,) * 7
+    sync_flags = [False] * len(program.table)
+    leaders = compute_leaders(program, sync_flags)
+    source = generate_source(program, hook_sig, None, sync_flags, leaders)
+    sys.stdout.write(source)
+    if not source.endswith("\n"):
+        sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

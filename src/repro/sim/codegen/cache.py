@@ -1,0 +1,112 @@
+"""On-disk cache of generated superblock modules.
+
+Mirrors the durability idiom of :mod:`repro.explore.cache` (the sweep result
+cache): atomic writes via ``tempfile.mkstemp`` + ``os.replace`` under an
+``fcntl`` file lock, and corrupt entries *quarantined* — moved aside with a
+warning so the offending bytes stay available for diagnosis — rather than
+ever crashing a run.  Unlike the result cache the stored artefact is Python
+source, so validation happens in :mod:`repro.sim.codegen.context` (compile,
+exec, check the embedded ``GENERATED_KEY``); this module only moves bytes.
+
+The cache key (:func:`repro.sim.codegen.generator.cache_key`) covers the
+image content hash, the pipeline/strict/trace decode variant, the timing-hook
+signature, the sync-flag signature and ``CODEGEN_VERSION``, so a version bump
+simply makes old entries unreachable — no invalidation pass is needed.
+
+Every operation degrades gracefully: a read-only or missing cache directory
+disables persistence (each process regenerates in memory) but never fails a
+simulation.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import warnings
+from contextlib import contextmanager
+from pathlib import Path
+
+try:  # POSIX only; the cache degrades to last-writer-wins without locking.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
+
+
+def cache_dir() -> Path:
+    """Directory holding generated modules (``REPRO_JIT_CACHE_DIR`` wins)."""
+    override = os.environ.get("REPRO_JIT_CACHE_DIR")
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro" / "jit"
+
+
+def _entry_path(full_key: str) -> Path:
+    return cache_dir() / f"{full_key}.py"
+
+
+@contextmanager
+def _write_lock(directory: Path):
+    """Serialise concurrent writers (same idiom as the explore cache)."""
+    if fcntl is None:  # pragma: no cover - non-POSIX platform
+        yield
+        return
+    lock_path = directory / ".lock"
+    with open(lock_path, "w") as lock_file:
+        fcntl.flock(lock_file, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(lock_file, fcntl.LOCK_UN)
+
+
+def load_source(full_key: str):
+    """The cached source for ``full_key``, or ``None`` on any miss/failure."""
+    try:
+        return _entry_path(full_key).read_text(encoding="utf-8")
+    except OSError:
+        return None
+
+
+def store_source(full_key: str, source: str) -> None:
+    """Atomically persist ``source``; persistence failures are non-fatal."""
+    path = _entry_path(full_key)
+    directory = path.parent
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        with _write_lock(directory):
+            fd, tmp_name = tempfile.mkstemp(dir=directory,
+                                            prefix=path.name + ".")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(source)
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+    except OSError as exc:
+        warnings.warn(f"repro.sim.codegen: could not persist generated "
+                      f"module {path.name}: {exc}", RuntimeWarning,
+                      stacklevel=3)
+
+
+def quarantine(full_key: str) -> None:
+    """Move a corrupt entry aside (never delete evidence, never raise)."""
+    path = _entry_path(full_key)
+    quarantine_dir = path.parent / "quarantine"
+    try:
+        quarantine_dir.mkdir(parents=True, exist_ok=True)
+        target = quarantine_dir / path.name
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = quarantine_dir / f"{path.name}.{suffix}"
+        os.replace(path, target)
+        warnings.warn(f"repro.sim.codegen: quarantined corrupt generated "
+                      f"module to {target}", RuntimeWarning, stacklevel=3)
+    except OSError as exc:
+        warnings.warn(f"repro.sim.codegen: could not quarantine corrupt "
+                      f"generated module {path.name}: {exc}", RuntimeWarning,
+                      stacklevel=3)

@@ -1,0 +1,201 @@
+"""`JitContext`: an `EngineContext` that executes generated superblocks.
+
+The context compiles (or loads from the on-disk cache) one specialised module
+per ``(program, timing-hook signature, sync signature)`` and drives it
+segment by segment:
+
+* whenever the current bundle index is a superblock *leader* the generated
+  ``run`` function executes — straight-line Python until it halts, reaches a
+  scheduling point (``"sync"``/``"memory_event"``/``"cycle_limit"``) or
+  transfers control to an index it has no superblock for (pseudo-status
+  ``"__bridge__"``);
+* at a non-leader index (a quantum scheduler resuming mid-superblock, a
+  fault-injector-corrupted return address) the inherited micro-op
+  interpreter *bridges* to the next leader.  The bridge reuses the engine's
+  own sync-pause machinery with a substitute flag list that marks every
+  leader, so it stops exactly at re-entry points without any new interpreter
+  mode.  Real sync-flagged bundles are all leaders, so a bridge pause at a
+  flagged bundle is reported to the scheduler unchanged.
+
+Anything that prevents compilation — ``REPRO_NO_JIT=1``, an empty decode
+table, an unexpected generator failure — degrades to the inherited micro-op
+interpreter with a warning, never an error.  All observable state lives in
+the base class, so :meth:`EngineContext.export`, resumption by other engines
+and the fault injector work unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from ..engine import EngineContext
+from . import cache as _disk
+from .generator import cache_key, compute_leaders, generate_source
+
+#: ``program.__dict__`` slot memoising compiled runners per specialisation.
+_MEMO_ATTR = "_jit_cache"
+#: Sentinel marking a specialisation that failed to compile (don't retry).
+_FAILED = False
+
+
+def _exec_module(source: str, full_key: str):
+    """Exec one generated module; its namespace, or ``None`` if invalid."""
+    namespace: dict = {}
+    try:
+        code = compile(source, f"<repro-jit {full_key[:16]}>", "exec")
+        exec(code, namespace)
+    except Exception:
+        return None
+    if namespace.get("GENERATED_KEY") != full_key:
+        return None
+    return namespace
+
+
+def _compile(program, hook_sig, sync_key, sync_flags):
+    """(run, leaders) for one specialisation, or ``None`` (use interpreter).
+
+    Memoised on the program (shared by every context of the same decode);
+    the generated source is persisted in the on-disk cache, and a corrupt
+    cached entry is quarantined and regenerated in memory.
+    """
+    memo = program.__dict__.setdefault(_MEMO_ATTR, {})
+    memo_key = (hook_sig, sync_key)
+    cached = memo.get(memo_key)
+    if cached is not None:
+        return None if cached is _FAILED else cached
+    try:
+        leaders = compute_leaders(program, sync_flags)
+        if not program.table or not leaders:
+            memo[memo_key] = _FAILED
+            return None
+        full_key = cache_key(program, hook_sig, sync_key)
+        source = _disk.load_source(full_key)
+        namespace = None
+        if source is not None:
+            namespace = _exec_module(source, full_key)
+            if namespace is None:
+                _disk.quarantine(full_key)
+        if namespace is None:
+            source = generate_source(program, hook_sig, sync_key, sync_flags,
+                                     leaders)
+            namespace = _exec_module(source, full_key)
+            if namespace is None:
+                raise RuntimeError("freshly generated module failed to "
+                                   "compile or carries the wrong key")
+            _disk.store_source(full_key, source)
+        run = namespace["make"](program.table)
+        compiled = (run, frozenset(namespace["LEADERS"]))
+    except Exception as exc:
+        warnings.warn(f"repro.sim.codegen: falling back to the micro-op "
+                      f"interpreter ({type(exc).__name__}: {exc})",
+                      RuntimeWarning, stacklevel=3)
+        memo[memo_key] = _FAILED
+        return None
+    memo[memo_key] = compiled
+    return compiled
+
+
+class JitContext(EngineContext):
+    """Drop-in `EngineContext` backed by generated superblock code."""
+
+    def __init__(self, sim):
+        super().__init__(sim)
+        self._jit_run = None
+        self._jit_leaders = frozenset()
+        self._compiled_flags = None
+        self._bridge_flags = None
+        if os.environ.get("REPRO_NO_JIT"):
+            return
+        hook_sig = (self.fetch_hook is not None,
+                    self.mc_hook is not None,
+                    self.read_hook is not None,
+                    self.write_hook is not None,
+                    self.stack_hook is not None,
+                    self.store_hook is not None,
+                    self.split_hook is not None)
+        sync_key = self._sync_key()
+        sync_flags = self._sync_flags_for(sync_key)
+        compiled = _compile(self.program, hook_sig, sync_key, sync_flags)
+        if compiled is None:
+            return
+        self._jit_run, self._jit_leaders = compiled
+        self._compiled_flags = sync_flags
+        # Bridge flag list: pause the interpreter at every leader (memoised
+        # per program alongside the real sync flags).
+        bridge_key = ("__jit_leaders__", sync_key)
+        flags = self.program.sync_flags_cache.get(bridge_key)
+        if flags is None:
+            flags = [False] * self.tlen
+            for idx in self._jit_leaders:
+                flags[idx] = True
+            self.program.sync_flags_cache[bridge_key] = flags
+        self._bridge_flags = flags
+
+    def _bridge(self, max_bundles, release, until_cycle, event_source):
+        """Interpret until the next leader (or a genuine stop condition)."""
+        saved = self.sync_flags
+        self.sync_flags = self._bridge_flags
+        try:
+            return super().advance(max_bundles, release=release, sync=True,
+                                   until_cycle=until_cycle,
+                                   event_source=event_source)
+        finally:
+            self.sync_flags = saved
+
+    def advance(self, max_bundles, release=False, sync=True,
+                until_cycle=None, event_source=None) -> str:
+        run = self._jit_run
+        if run is None or (sync and self.sync_flags is not None
+                           and self.sync_flags is not self._compiled_flags):
+            # No compiled code, or the context was re-synced against a flag
+            # set the module was not generated for: stay on the interpreter.
+            return super().advance(max_bundles, release=release, sync=sync,
+                                   until_cycle=until_cycle,
+                                   event_source=event_source)
+        leaders = self._jit_leaders
+        syncing = sync and self.sync_flags is not None
+        compiled_flags = self._compiled_flags
+        events_before = (event_source.events if event_source is not None
+                         else 0)
+        while True:
+            # The per-segment stop conditions the generated code checks
+            # per bundle, re-checked here so no segment boundary can hide
+            # an already-pending event or an expired horizon.
+            if self.halted:
+                return "halted"
+            if until_cycle is not None and self.cycles >= until_cycle:
+                return "cycle_limit"
+            if event_source is not None and \
+                    event_source.events != events_before:
+                return "memory_event"
+            if self.idx in leaders:
+                status = run(self, max_bundles, release=release, sync=sync,
+                             until_cycle=until_cycle,
+                             event_source=event_source)
+                if status != "__bridge__":
+                    return status
+            else:
+                status = self._bridge(max_bundles, release, until_cycle,
+                                      event_source)
+                if status != "sync":
+                    return status  # halted / memory_event / cycle_limit
+                if syncing and compiled_flags[self.idx]:
+                    return "sync"  # a real pause point, not just a leader
+            release = False
+
+
+def run_jit(sim, max_bundles: int, until_cycle=None,
+            event_source=None) -> None:
+    """Run ``sim`` to completion on the jit engine (cf. ``run_predecoded``).
+
+    Builds a throw-away :class:`JitContext`, advances it and exports the
+    in-flight state back to the simulator — also on exceptions — so results
+    and post-mortem state match the reference interpreter bit for bit.
+    """
+    context = JitContext(sim)
+    try:
+        context.advance(max_bundles, sync=False, until_cycle=until_cycle,
+                        event_source=event_source)
+    finally:
+        context.export()

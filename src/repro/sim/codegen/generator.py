@@ -1,0 +1,1520 @@
+"""Superblock source generator: one `DecodedProgram` -> straight-line Python.
+
+The micro-op engine (:mod:`repro.sim.engine`) still dispatches one micro-op
+tuple at a time through pre-bound closures.  This module removes the last
+layer of interpretation: it partitions the decoded table into *superblocks*
+(maximal fall-through chains between control-flow join points) and emits one
+specialised Python function per program in which
+
+* every bundle is straight-line code — operand indices, immediates, branch
+  targets, delay-slot counts, block/call keys and the strict/trace variant
+  are all literals;
+* ALU/compare/predicate evaluation is inlined as expressions (no function
+  call per micro-op);
+* writes whose commit no later micro-op in the same bundle can observe are
+  applied *eagerly* to the register file, bypassing the due-issue ring (the
+  dominant cost of the micro-op engine); every other write keeps the exact
+  ring protocol, so resumption, export and strict checking are unchanged;
+* the event-scheduler protocol of :class:`~repro.sim.engine.EngineContext`
+  is preserved bundle-for-bundle: the per-bundle ``until_cycle`` /
+  ``event_source`` checks, and pause-before-arbitration ``"sync"`` stops at
+  exactly the bundles :func:`~repro.sim.engine._uop_may_arbitrate` flags.
+
+Superblock *leaders* (entry points of generated blocks) are every static
+branch/call target, call return point, function entry and sync-flagged
+bundle, so control transfers and scheduler pauses always land on a block
+head.  Execution that reaches an index with no generated block (computed
+branches into code the analysis did not anticipate, dead addresses) returns
+the pseudo-status ``"__bridge__"`` and the caller
+(:class:`~repro.sim.codegen.context.JitContext`) falls back to the micro-op
+interpreter until the next leader — never wrong, at worst slower.
+
+Eager-commit soundness
+----------------------
+A delay-0 write (due at ``issued + 1``) may commit immediately iff
+
+* no later micro-op in the same bundle reads the target (including guard
+  predicates and, in strict mode, the staleness-check micro-ops — a check
+  must still see the pending-write counter and raise);
+* no earlier delay-0 write to the same target already went to the ring in
+  this bundle (ring order would make the later write win);
+* for registers: the bundle contains no ``wmem`` (which commits a split
+  load's register at the same due slot) and the register is never the
+  target of a *delayed* load anywhere in the program (a delayed write due
+  at the same slot would lose to the eager write; the reference commits in
+  ring-append order, where the later-issued write wins).
+
+Everything the golden equivalence suite observes — cycles, outputs, traces,
+memory images, strict violations, arbiter interleavings — is bit-identical
+to the reference interpreter by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from ..engine import (
+    K_ALU_RI,
+    K_ALU_RR,
+    K_BRANCH,
+    K_BRCF,
+    K_CALL,
+    K_CALLR,
+    K_CHECK,
+    K_CHECK1,
+    K_CHECK2,
+    K_CMP_RI,
+    K_CMP_RR,
+    K_HALT,
+    K_LI,
+    K_LIH,
+    K_LOAD,
+    K_LOAD_L,
+    K_LOAD_LW,
+    K_LOAD_M,
+    K_LOAD_W,
+    K_MFS,
+    K_MTS,
+    K_MUL,
+    K_OUT,
+    K_PRED,
+    K_RET,
+    K_STACK,
+    K_STORE,
+    K_STORE_L,
+    K_STORE_LW,
+    K_STORE_M,
+    K_STORE_W,
+    K_UNRESOLVED,
+    K_WMEM,
+    R_ADDR,
+    R_BLOCK,
+    R_FALL_ADDR,
+    R_FALL_IDX,
+    R_FUNC,
+    R_NINSTR,
+    R_NNOPS,
+    R_TRACE,
+    R_UOPS,
+    _ADD,
+    _ALU_FN,
+    _AND,
+    _CMP_EQ,
+    _CMP_FN,
+    _CMP_LE,
+    _CMP_LT,
+    _CMP_NEQ,
+    _CMP_ULE,
+    _CMP_ULT,
+    _NOR,
+    _OR,
+    _PRED_FN,
+    _s32,
+    _SHL,
+    _SHR,
+    _sra,
+    _SUB,
+    _XOR,
+    _mul_signed,
+    _mul_unsigned,
+)
+from ...isa.opcodes import Opcode
+
+#: Bump whenever the shape of the generated source changes; part of the
+#: on-disk cache key, so stale entries are simply never looked up again.
+CODEGEN_VERSION = 1
+
+#: Longest fall-through chain compiled into one superblock; longer chains
+#: are split (the cut point becomes a leader), bounding generated function
+#: size without limiting which programs can be compiled.
+MAX_SUPERBLOCK = 256
+
+_MASK = 4294967295  # 0xFFFF_FFFF, spelled as the literal the source uses
+
+_SHADD = _ALU_FN[Opcode.SHADD]
+_SHADD2 = _ALU_FN[Opcode.SHADD2]
+_BTEST = _CMP_FN[Opcode.BTEST]
+_PAND = _PRED_FN[Opcode.PAND]
+_POR = _PRED_FN[Opcode.POR]
+_PXOR = _PRED_FN[Opcode.PXOR]
+_PNOT = _PRED_FN[Opcode.PNOT]
+
+_CTRL_RAISE = ('raise SimulationError("control-transfer issued inside '
+               'the delay slots of another control transfer")')
+_STACK_LOAD_RAISE = (
+    'raise StackCacheError(f"stack access at {_a:#x} outside the cached '
+    'window [{stack_cache.st:#x}, {stack_cache.ss:#x})")')
+_STACK_STORE_RAISE = (
+    'raise StackCacheError(f"stack store at {_a:#x} outside the cached '
+    'window [{stack_cache.st:#x}, {stack_cache.ss:#x})")')
+_MAXB_RAISE = ('raise SimulationError(f"program did not halt within '
+               '{max_bundles} bundles")')
+_SPLIT_RAISE = ('raise SimulationError("split load issued while another '
+                'main-memory load is pending")')
+
+_SR_NAMES = ("ST", "SS", "SL", "SH", "SRB", "SRO")
+
+
+def cache_key(program, hook_sig, sync_key) -> str:
+    """On-disk cache key of one generated module.
+
+    Covers the decode identity (image content, pipeline, strict/trace), the
+    timing-hook presence signature (absent hooks are compiled out), the
+    sync-flag signature (pause points are compiled in) and the generator
+    version.
+    """
+    hooks = "".join("1" if h else "0" for h in hook_sig)
+    payload = (f"{program.codegen_key}|hooks={hooks}|sync={sync_key!r}"
+               f"|v{CODEGEN_VERSION}")
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Superblock discovery
+# ---------------------------------------------------------------------------
+
+def compute_leaders(program, sync_flags) -> set:
+    """Indices where generated execution may (re-)enter a superblock."""
+    table = program.table
+    tlen = len(table)
+    leaders: set = set()
+    for idx, rec in enumerate(table):
+        if rec is None:
+            continue
+        func = rec[R_FUNC]
+        if func is not None and rec[R_ADDR] == func.entry_addr:
+            leaders.add(idx)  # covers entry points, callr and ret targets
+        for u in rec[R_UOPS]:
+            k = u[0]
+            if k in (K_BRANCH, K_BRCF, K_CALL):
+                if 0 <= u[3] < tlen:
+                    leaders.add(u[3])
+            if k == K_CALL or k == K_CALLR:
+                # The return target: the call fires after `delay` further
+                # fall-through bundles; the firing bundle's fall-through
+                # successor is where the matching ret resumes.
+                delay = u[5] if k == K_CALL else u[4]
+                j = idx
+                ok = True
+                for _ in range(delay):
+                    r = table[j] if 0 <= j < tlen else None
+                    if r is None:
+                        ok = False
+                        break
+                    j = r[R_FALL_IDX]
+                if ok:
+                    r = table[j] if 0 <= j < tlen else None
+                    if r is not None:
+                        leaders.add(r[R_FALL_IDX])
+    if sync_flags:
+        for idx, flagged in enumerate(sync_flags):
+            if flagged:
+                leaders.add(idx)
+    return {idx for idx in leaders
+            if 0 <= idx < tlen and table[idx] is not None}
+
+
+def _superblocks(table, leaders: set) -> dict:
+    """Leader -> fall-through chain of bundle indices (splits long chains)."""
+    tlen = len(table)
+    blocks: dict = {}
+    pending = sorted(leaders)
+    pos = 0
+    while pos < len(pending):
+        head = pending[pos]
+        pos += 1
+        if head in blocks:
+            continue
+        chain = [head]
+        j = head
+        while True:
+            nxt = table[j][R_FALL_IDX]
+            if (not 0 <= nxt < tlen or table[nxt] is None
+                    or nxt in leaders):
+                break
+            if len(chain) >= MAX_SUPERBLOCK:
+                leaders.add(nxt)
+                pending.append(nxt)
+                break
+            chain.append(nxt)
+            j = nxt
+        blocks[head] = chain
+    return blocks
+
+
+# ---------------------------------------------------------------------------
+# Eager-commit analysis
+# ---------------------------------------------------------------------------
+
+def _uop_reads(u) -> tuple:
+    """(gpr indices, pred indices) this micro-op reads, incl. its guard.
+
+    Strict check micro-ops count as readers of everything they check: an
+    eager commit must never hide a pending-write counter from them.
+    """
+    k = u[0]
+    gprs: set = set()
+    preds: set = set()
+    if u[1] >= 0:
+        preds.add(u[1])
+    if k in (K_ALU_RR, K_CMP_RR, K_MUL):
+        gprs.add(u[4])
+        gprs.add(u[5])
+    elif k in (K_ALU_RI, K_CMP_RI, K_LIH):
+        gprs.add(u[4])
+    elif k == K_PRED:
+        preds.add(u[4])
+        if u[5] >= 0:
+            preds.add(u[5])
+    elif k in (K_LOAD_W, K_LOAD, K_LOAD_LW, K_LOAD_L, K_LOAD_M):
+        gprs.add(u[3])
+    elif k in (K_STORE_W, K_STORE, K_STORE_LW, K_STORE_L, K_STORE_M):
+        gprs.add(u[3])
+        gprs.add(u[5])
+    elif k in (K_CALLR, K_OUT):
+        gprs.add(u[3])
+    elif k == K_MTS:
+        gprs.add(u[4])
+    elif k == K_CHECK1:
+        if u[3] >= 0:
+            preds.add(u[3])
+        gprs.add(u[5])
+    elif k == K_CHECK2:
+        if u[3] >= 0:
+            preds.add(u[3])
+        gprs.add(u[5])
+        gprs.add(u[6])
+    elif k == K_CHECK:
+        if u[3] >= 0:
+            preds.add(u[3])
+        gprs.update(u[5])
+        preds.update(u[6])
+    return gprs, preds
+
+
+def _delay0_write(u):
+    """('g'|'p', index) of this micro-op's due-``issued+1`` write, or None."""
+    k = u[0]
+    if k in (K_ALU_RR, K_ALU_RI):
+        return ("g", u[6])
+    if k in (K_LI, K_LIH, K_MFS):
+        return ("g", u[4])
+    if k in (K_CMP_RR, K_CMP_RI, K_PRED):
+        return ("p", u[6])
+    if k in (K_LOAD_W, K_LOAD, K_LOAD_LW, K_LOAD_L) and u[6] == 0 and u[5]:
+        return ("g", u[5])
+    return None
+
+
+def _delayed_gprs(table) -> set:
+    """Registers written by any *delayed* load anywhere in the program.
+
+    An eager delay-0 commit to such a register could race a delayed write
+    due at the same slot (the reference resolves the race in ring-append
+    order, where the later-issued instruction wins), so these registers
+    always take the ring.
+    """
+    regs: set = set()
+    for rec in table:
+        if rec is None:
+            continue
+        for u in rec[R_UOPS]:
+            if (u[0] in (K_LOAD_W, K_LOAD, K_LOAD_LW, K_LOAD_L)
+                    and u[6] > 0 and u[5]):
+                regs.add(u[5])
+    return regs
+
+
+def _ctrl_cd(u):
+    """Fire countdown a control-transfer micro-op arms, or ``None``."""
+    k = u[0]
+    if k in (K_BRANCH, K_BRCF, K_CALL):
+        return u[5] + 1
+    if k == K_CALLR:
+        return u[4] + 1
+    if k == K_RET:
+        return u[3] + 1
+    return None
+
+
+def _max_ctrl_cd(table) -> int:
+    """Largest countdown any control transfer in the program can arm."""
+    mx = 0
+    for rec in table:
+        if rec is None:
+            continue
+        for u in rec[R_UOPS]:
+            cd = _ctrl_cd(u)
+            if cd is not None and cd > mx:
+                mx = cd
+    return mx
+
+
+def _eager_flags(uops, delayed_gprs: set) -> list:
+    """Per-micro-op: may its delay-0 write commit eagerly?"""
+    n = len(uops)
+    suffix_g: list = [set() for _ in range(n + 1)]
+    suffix_p: list = [set() for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        rg, rp = _uop_reads(uops[i])
+        suffix_g[i] = suffix_g[i + 1] | rg
+        suffix_p[i] = suffix_p[i + 1] | rp
+    has_wmem = any(u[0] == K_WMEM for u in uops)
+    flags = [False] * n
+    ring_g: set = set()
+    ring_p: set = set()
+    for i, u in enumerate(uops):
+        write = _delay0_write(u)
+        if write is None:
+            continue
+        kind, target = write
+        if kind == "g":
+            ok = (not has_wmem and target not in delayed_gprs
+                  and target not in suffix_g[i + 1]
+                  and target not in ring_g)
+        else:
+            ok = target not in suffix_p[i + 1] and target not in ring_p
+        flags[i] = ok
+        if not ok:
+            (ring_g if kind == "g" else ring_p).add(target)
+    return flags
+
+
+# ---------------------------------------------------------------------------
+# Expression lowering
+# ---------------------------------------------------------------------------
+
+def _alu_expr(fn, a, b, b_const):
+    if fn is _ADD:
+        return f"({a} + {b}) & {_MASK}"
+    if fn is _SUB:
+        return f"({a} - {b}) & {_MASK}"
+    if fn is _AND:
+        return f"{a} & {b}"
+    if fn is _OR:
+        return f"{a} | {b}"
+    if fn is _XOR:
+        return f"{a} ^ {b}"
+    if fn is _NOR:
+        return f"~({a} | {b}) & {_MASK}"
+    if fn is _SHL:
+        shift = str(b_const & 31) if b_const is not None else f"({b} & 31)"
+        return f"({a} << {shift}) & {_MASK}"
+    if fn is _SHR:
+        shift = str(b_const & 31) if b_const is not None else f"({b} & 31)"
+        return f"{a} >> {shift}"
+    if fn is _sra:
+        return f"_sra({a}, {b})"
+    if fn is _SHADD:
+        return f"(({a} << 1) + {b}) & {_MASK}"
+    if fn is _SHADD2:
+        return f"(({a} << 2) + {b}) & {_MASK}"
+    return None
+
+
+def _cmp_expr(fn, a, b, b_const):
+    if fn is _CMP_EQ:
+        return f"{a} == {b}"
+    if fn is _CMP_NEQ:
+        return f"{a} != {b}"
+    if fn is _CMP_LT:
+        rhs = str(_s32(b_const)) if b_const is not None else f"_s32({b})"
+        return f"_s32({a}) < {rhs}"
+    if fn is _CMP_LE:
+        rhs = str(_s32(b_const)) if b_const is not None else f"_s32({b})"
+        return f"_s32({a}) <= {rhs}"
+    if fn is _CMP_ULT:
+        return f"{a} < {b}"
+    if fn is _CMP_ULE:
+        return f"{a} <= {b}"
+    if fn is _BTEST:
+        shift = str(b_const & 31) if b_const is not None else f"({b} & 31)"
+        return f"bool(({a} >> {shift}) & 1)"
+    return None
+
+
+def _pred_expr(fn, a, b):
+    if fn is _PAND:
+        return f"({a} and {b})"
+    if fn is _POR:
+        return f"({a} or {b})"
+    if fn is _PXOR:
+        return f"({a} != {b})"
+    if fn is _PNOT:
+        return f"(not {a})"
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Emitter
+# ---------------------------------------------------------------------------
+
+class _Emitter:
+    """Builds the generated module for one (program, hooks, sync) variant."""
+
+    def __init__(self, program, hook_sig, sync_flags, leaders):
+        self.program = program
+        self.table = program.table
+        self.tlen = len(program.table)
+        self.base = program.base
+        self.rm = program.ring_size - 1
+        self.strict = program.strict
+        self.trace = program.trace
+        (self.has_fetch, self.has_mc, self.has_read, self.has_write,
+         self.has_stack, self.has_store, self.has_split) = hook_sig
+        #: With every timing hook absent no bundle can ever stall (a pending
+        #: split load's ready cycle is never in the future without a split
+        #: hook), so ``cycles - issued`` is invariant across the whole run
+        #: and the generated code drops per-bundle cycle bookkeeping
+        #: entirely, deriving the clock as ``issued + _cdelta``.
+        self.no_timing = not any(hook_sig)
+        #: How the current cycle is spelled in generated code: a live local
+        #: in timing mode, derived from ``issued`` when no hook exists.
+        self.cycles_expr = "(issued + _cdelta)" if self.no_timing else "cycles"
+        self.sync_flags = sync_flags
+        self.leaders = leaders
+        self.delayed_gprs = _delayed_gprs(self.table)
+        self.max_cd = _max_ctrl_cd(self.table)
+        self.block_locals: dict = {}  # block key -> accumulator local name
+        self.fw_counter = 0  # forwarded-load local name allocator
+        self.consts: dict = {}   # name -> make()-level binding expression
+        self.lines: list = []
+
+    # -- small helpers -----------------------------------------------------
+
+    def emit(self, ind, text):
+        self.lines.append(ind + text)
+
+    def const(self, name, expr):
+        self.consts[name] = expr
+        return name
+
+    def mem_type_const(self, mem_type):
+        return self.const(f"_mt{mem_type.name}", f"MemType.{mem_type.name}")
+
+    def record_const(self, idx, pos):
+        return self.const(f"_f{idx}_{pos}", f"table[{idx}][0][{pos}][6]")
+
+    def fn_const(self, idx, pos):
+        return self.const(f"_fn{idx}_{pos}", f"table[{idx}][0][{pos}][3]")
+
+    def ring_slot(self, due_offset):
+        return f"ring[(issued + {due_offset}) & {self.rm}]"
+
+    # -- write paths -------------------------------------------------------
+
+    def write_gpr(self, ind, rd, expr, eager, due_offset=1):
+        if eager:
+            self.emit(ind, f"regs[{rd}] = {expr}")
+            return
+        self.emit(ind, f"{self.ring_slot(due_offset)}.append((0, {rd}, "
+                       f"{expr}))")
+        if self.strict:
+            self.emit(ind, f"pg[{rd}] += 1")
+
+    def write_pred(self, ind, pd, expr, eager):
+        if eager:
+            self.emit(ind, f"preds[{pd}] = {expr}")
+            return
+        self.emit(ind, f"{self.ring_slot(1)}.append((1, {pd}, {expr}))")
+        if self.strict:
+            self.emit(ind, f"pp[{pd}] += 1")
+
+    def data_stall(self, ind, hook, mem_type, counter):
+        self.emit(ind, f"st_ = {hook}({self.mem_type_const(mem_type)}, _a)")
+        self.emit(ind, "if st_:")
+        self.emit(ind, f"    {counter} += st_")
+        self.emit(ind, "    stall += st_")
+
+    def cached_addr(self, ind, rs1, imm, srel, schk, width, store):
+        if srel:
+            self.emit(ind, f"_a = (regs[{rs1}] + {imm} + specials[ST]) "
+                           f"& {_MASK}")
+        else:
+            self.emit(ind, f"_a = (regs[{rs1}] + {imm}) & {_MASK}")
+        if schk:
+            self.emit(ind, f"if not contains(_a, {width}):")
+            self.emit(ind, "    " + (_STACK_STORE_RAISE if store
+                                     else _STACK_LOAD_RAISE))
+
+    def ctrl_guard(self, ind):
+        self.emit(ind, "if ctrl_cd:")
+        self.emit(ind, "    " + _CTRL_RAISE)
+
+    def set_ctrl(self, ind, tidx, target, countdown, is_call, name_expr):
+        self.emit(ind, f"ctrl_tidx = {tidx}")
+        self.emit(ind, f"ctrl_target = {target}")
+        self.emit(ind, f"ctrl_cd = {countdown}")
+        self.emit(ind, f"ctrl_is_call = {is_call}")
+        self.emit(ind, f"ctrl_name = {name_expr}")
+
+    def mc_stall(self, ind, record_expr):
+        if not self.has_mc:
+            return
+        self.emit(ind, f"st_ = mc_hook({record_expr})")
+        self.emit(ind, "if st_:")
+        self.emit(ind, "    s_method += st_")
+        self.emit(ind, "    stall += st_")
+
+    # -- per-micro-op lowering ---------------------------------------------
+
+    def emit_uop(self, ind, idx, pos, u, eager, fw_local=None):
+        k = u[0]
+        g = u[1]
+        if g >= 0:
+            cond = f"not preds[{g}]" if u[2] else f"preds[{g}]"
+            self.emit(ind, f"if {cond}:")
+            ind += "    "
+
+        if k == K_ALU_RR:
+            expr = _alu_expr(u[3], f"regs[{u[4]}]", f"regs[{u[5]}]", None)
+            if expr is None:
+                expr = (f"{self.fn_const(idx, pos)}(regs[{u[4]}], "
+                        f"regs[{u[5]}])")
+            self.write_gpr(ind, u[6], expr, eager)
+        elif k == K_ALU_RI:
+            expr = _alu_expr(u[3], f"regs[{u[4]}]", str(u[5]), u[5])
+            if expr is None:
+                expr = f"{self.fn_const(idx, pos)}(regs[{u[4]}], {u[5]})"
+            self.write_gpr(ind, u[6], expr, eager)
+        elif k == K_LI:
+            self.write_gpr(ind, u[4], str(u[3]), eager)
+        elif k == K_LIH:
+            self.write_gpr(ind, u[4], f"(regs[{u[4]}] & 65535) | {u[3]}",
+                           eager)
+        elif k == K_CMP_RR:
+            expr = _cmp_expr(u[3], f"regs[{u[4]}]", f"regs[{u[5]}]", None)
+            if expr is None:
+                expr = (f"{self.fn_const(idx, pos)}(regs[{u[4]}], "
+                        f"regs[{u[5]}])")
+            self.write_pred(ind, u[6], expr, eager)
+        elif k == K_CMP_RI:
+            expr = _cmp_expr(u[3], f"regs[{u[4]}]", str(u[5]), u[5])
+            if expr is None:
+                expr = f"{self.fn_const(idx, pos)}(regs[{u[4]}], {u[5]})"
+            self.write_pred(ind, u[6], expr, eager)
+        elif k == K_PRED:
+            b = f"preds[{u[5]}]" if u[5] >= 0 else "False"
+            expr = _pred_expr(u[3], f"preds[{u[4]}]", b)
+            if expr is None:
+                expr = f"{self.fn_const(idx, pos)}(preds[{u[4]}], {b})"
+            self.write_pred(ind, u[6], expr, eager)
+        elif k == K_MUL:
+            if u[3] is _mul_signed:
+                self.emit(ind, f"_p = (_s32(regs[{u[4]}]) * "
+                               f"_s32(regs[{u[5]}])) & 18446744073709551615")
+            elif u[3] is _mul_unsigned:
+                self.emit(ind, f"_p = (regs[{u[4]}] * regs[{u[5]}]) "
+                               f"& 18446744073709551615")
+            else:
+                self.emit(ind, f"_lo, _hi = {self.fn_const(idx, pos)}"
+                               f"(regs[{u[4]}], regs[{u[5]}])")
+            self.emit(ind, f"_ms = {self.ring_slot(1 + u[6])}")
+            if u[3] is _mul_signed or u[3] is _mul_unsigned:
+                self.emit(ind, f"_ms.append((2, SL, _p & {_MASK}))")
+                self.emit(ind, "_ms.append((2, SH, _p >> 32))")
+            else:
+                self.emit(ind, "_ms.append((2, SL, _lo))")
+                self.emit(ind, "_ms.append((2, SH, _hi))")
+            if self.strict:
+                self.emit(ind, "ps[SL] = ps.get(SL, 0) + 1")
+                self.emit(ind, "ps[SH] = ps.get(SH, 0) + 1")
+        elif k == K_LOAD_W or k == K_LOAD:
+            width = 4 if k == K_LOAD_W else u[10]
+            self.cached_addr(ind, u[3], u[4], u[9], u[8], width, False)
+            value = ("mem_read_u32(_a)" if k == K_LOAD_W
+                     else f"mem_read(_a, {u[10]}, {u[11]}) & {_MASK}")
+            if fw_local is not None:
+                self.emit(ind, f"{fw_local} = {value}")
+            elif u[5]:
+                self.write_gpr(ind, u[5], value, eager and u[6] == 0,
+                               1 + u[6])
+            if self.has_read:
+                self.data_stall(ind, "read_hook", u[7], "s_data")
+        elif k == K_LOAD_LW or k == K_LOAD_L:
+            self.emit(ind, f"_a = (regs[{u[3]}] + {u[4]}) & {_MASK}")
+            value = ("spad_read_u32(_a)" if k == K_LOAD_LW
+                     else f"spad_read(_a, {u[8]}, {u[9]}) & {_MASK}")
+            if fw_local is not None:
+                self.emit(ind, f"{fw_local} = {value}")
+            elif u[5]:
+                self.write_gpr(ind, u[5], value, eager and u[6] == 0,
+                               1 + u[6])
+            if self.has_read:
+                self.data_stall(ind, "read_hook", u[7], "s_data")
+        elif k == K_LOAD_M:
+            self.emit(ind, "if has_pml:")
+            self.emit(ind, "    " + _SPLIT_RAISE)
+            self.emit(ind, f"_a = (regs[{u[3]}] + {u[4]}) & {_MASK}")
+            if u[6] == 4:
+                self.emit(ind, "pml_val = mem_read_u32(_a)")
+            else:
+                self.emit(ind, f"pml_val = mem_read(_a, {u[6]}, {u[7]}) "
+                               f"& {_MASK}")
+            self.emit(ind, f"pml_rd = {u[5]}")
+            if self.has_split:
+                self.emit(ind, "pml_ready = cycles + split_hook()")
+            else:
+                self.emit(ind, f"pml_ready = {self.cycles_expr}")
+            self.emit(ind, "has_pml = True")
+        elif k == K_STORE_W or k == K_STORE:
+            width = 4 if k == K_STORE_W else u[9]
+            self.cached_addr(ind, u[3], u[4], u[8], u[7], width, True)
+            if k == K_STORE_W:
+                self.emit(ind, f"mem_write_u32(_a, regs[{u[5]}])")
+            else:
+                self.emit(ind, f"mem_write(_a, regs[{u[5]}], {u[9]})")
+            if self.has_write:
+                self.data_stall(ind, "write_hook", u[6], "s_data")
+        elif k == K_STORE_LW or k == K_STORE_L:
+            self.emit(ind, f"_a = (regs[{u[3]}] + {u[4]}) & {_MASK}")
+            if k == K_STORE_LW:
+                self.emit(ind, f"spad_write_u32(_a, regs[{u[5]}])")
+            else:
+                self.emit(ind, f"spad_write(_a, regs[{u[5]}], {u[7]})")
+            if self.has_write:
+                self.data_stall(ind, "write_hook", u[6], "s_data")
+        elif k == K_STORE_M:
+            self.emit(ind, f"_a = (regs[{u[3]}] + {u[4]}) & {_MASK}")
+            self.emit(ind, f"_v = regs[{u[5]}]")
+            if self.has_store:
+                self.emit(ind, f"st_ = store_hook(_a, _v, {u[6]})")
+            if u[6] == 4:
+                self.emit(ind, "mem_write_u32(_a, _v)")
+            else:
+                self.emit(ind, f"mem_write(_a, _v, {u[6]})")
+            if self.has_store:
+                self.emit(ind, "if st_:")
+                self.emit(ind, "    s_store += st_")
+                self.emit(ind, "    stall += st_")
+        elif k == K_WMEM:
+            self.emit(ind, "if has_pml:")
+            sub = ind + "    "
+            self.emit(sub, "has_pml = False")
+            if self.has_split:
+                self.emit(sub, "st_ = pml_ready - cycles")
+                self.emit(sub, "if st_ < 0:")
+                self.emit(sub, "    st_ = 0")
+            self.emit(sub, "if pml_rd:")
+            self.emit(sub, f"    {self.ring_slot(1)}.append((0, pml_rd, "
+                           "pml_val))")
+            if self.strict:
+                self.emit(sub, "    pg[pml_rd] += 1")
+            if self.has_split:
+                # Without a split hook `pml_ready` never exceeds the current
+                # cycle, so the wait always clamps to zero — compiled out.
+                self.emit(sub, "s_split += st_")
+                self.emit(sub, "stall += st_")
+        elif k == K_STACK:
+            op = {0: "reserve", 1: "ensure", 2: "free"}[u[4]]
+            if self.has_stack:
+                opc = self.const(f"_op{u[3].name}", f"Opcode.{u[3].name}")
+                self.emit(ind, f"st_ = stack_hook({opc}, {u[5]})")
+            self.emit(ind, f"stack_cache.{op}({u[5]})")
+            self.emit(ind, f"specials[ST] = stack_cache.st & {_MASK}")
+            self.emit(ind, f"specials[SS] = stack_cache.ss & {_MASK}")
+            if self.has_stack:
+                self.emit(ind, "s_stack += st_")
+                self.emit(ind, "stall += st_")
+        elif k == K_BRANCH:
+            self.ctrl_guard(ind)
+            self.set_ctrl(ind, u[3], u[4], u[5] + 1, "False", "None")
+        elif k == K_BRCF:
+            if u[6] is None:
+                self.emit(ind, f"record = func_containing({u[4]})")
+                self.mc_stall(ind, "record")
+            else:
+                self.mc_stall(ind, self.record_const(idx, pos))
+            self.ctrl_guard(ind)
+            self.set_ctrl(ind, u[3], u[4], u[5] + 1, "False", "None")
+        elif k == K_CALL:
+            if u[6] is None:
+                self.emit(ind, f"record = func_at({u[4]})")
+                self.mc_stall(ind, "record")
+                self.emit(ind, "_nm = record.name")
+                self.emit(ind, "call_counts[_nm] = cc_get(_nm, 0) + 1")
+                name_expr = "_nm"
+            else:
+                self.mc_stall(ind, self.record_const(idx, pos))
+                name = repr(u[6].name)
+                self.emit(ind, f"call_counts[{name}] = cc_get({name}, 0) + 1")
+                name_expr = name
+            self.emit(ind, "specials[SRB] = cur_entry")
+            self.ctrl_guard(ind)
+            self.set_ctrl(ind, u[3], u[4], u[5] + 1, "True", name_expr)
+        elif k == K_CALLR:
+            self.emit(ind, f"_tgt = regs[{u[3]}]")
+            self.emit(ind, "record = func_at(_tgt)")
+            self.mc_stall(ind, "record")
+            self.emit(ind, "_nm = record.name")
+            self.emit(ind, "call_counts[_nm] = cc_get(_nm, 0) + 1")
+            self.emit(ind, "specials[SRB] = cur_entry")
+            self.ctrl_guard(ind)
+            self.set_ctrl(ind, f"(_tgt - {self.base}) >> 2", "_tgt",
+                          u[4] + 1, "True", "_nm")
+        elif k == K_RET:
+            self.emit(ind, "_tgt = specials[SRB]")
+            self.emit(ind, "record = func_containing(_tgt)")
+            self.mc_stall(ind, "record")
+            self.emit(ind, f"_tgt = (_tgt + specials[SRO]) & {_MASK}")
+            self.ctrl_guard(ind)
+            self.set_ctrl(ind, f"(_tgt - {self.base}) >> 2", "_tgt",
+                          u[3] + 1, "False", "None")
+        elif k == K_MTS:
+            name = u[3].name  # one of the six bound SpecialReg locals
+            self.emit(ind, f"_v = regs[{u[4]}]")
+            self.emit(ind, f"specials[{name}] = _v")
+            if name == "ST":
+                self.emit(ind, "stack_cache.st = _v")
+                self.emit(ind, "if stack_cache.ss < _v:")
+                self.emit(ind, "    stack_cache.ss = _v")
+            elif name == "SS":
+                self.emit(ind, "stack_cache.ss = _v")
+        elif k == K_MFS:
+            self.write_gpr(ind, u[4], f"specials[{u[3].name}]", eager)
+        elif k == K_HALT:
+            self.emit(ind, "state.halted = True")
+            self.emit(ind, "halted = True")
+        elif k == K_OUT:
+            self.emit(ind, f"_v = regs[{u[3]}]")
+            self.emit(ind, "output.append(_v - 4294967296 "
+                           "if _v & 2147483648 else _v)")
+        elif k == K_UNRESOLVED:
+            msg = (f"unresolved control-flow target {u[3]!r}; "
+                   "simulate a linked image")
+            self.emit(ind, f"raise SimulationError({msg!r})")
+        elif k == K_CHECK1 or k == K_CHECK2 or k == K_CHECK:
+            self.emit_check(ind, u)
+        else:  # pragma: no cover - decode emits only the kinds above
+            raise ValueError(f"codegen: unknown micro-op kind {k}")
+
+    def emit_check(self, ind, u):
+        k = u[0]
+        gg = u[3]
+        if gg >= 0:
+            self.emit(ind, f"if pp[{gg}]:")
+            self.emit(ind, f"    _raise_stale(1, {gg}, issued, ring, "
+                           f"{self.rm})")
+        body: list = []
+        if k == K_CHECK1 or k == K_CHECK2:
+            indices = [u[5]] if k == K_CHECK1 else [u[5], u[6]]
+            for i in indices:
+                body.append(f"if pg[{i}]:")
+                body.append(f"    _raise_stale(0, {i}, issued, ring, "
+                            f"{self.rm})")
+        else:
+            for i in u[5]:
+                body.append(f"if pg[{i}]:")
+                body.append(f"    _raise_stale(0, {i}, issued, ring, "
+                            f"{self.rm})")
+            for i in u[6]:
+                body.append(f"if pp[{i}]:")
+                body.append(f"    _raise_stale(1, {i}, issued, ring, "
+                            f"{self.rm})")
+            for r in u[7]:
+                body.append(f"if ps.get({r.name}):")
+                body.append(f"    _raise_stale(2, {r.name}, issued, "
+                            f"ring, {self.rm})")
+        if not body:
+            return
+        if gg >= 0:
+            cond = f"not preds[{gg}]" if u[4] else f"preds[{gg}]"
+            self.emit(ind, f"if {cond}:")
+            ind += "    "
+        for line in body:
+            self.emit(ind, line)
+
+    # -- per-bundle lowering -----------------------------------------------
+
+    def bundle_can_stall(self, uops) -> bool:
+        if self.has_fetch:
+            return True
+        for u in uops:
+            k = u[0]
+            if k == K_WMEM and self.has_split:
+                return True
+            if self.has_read and k in (K_LOAD_W, K_LOAD, K_LOAD_LW,
+                                       K_LOAD_L):
+                return True
+            if self.has_write and k in (K_STORE_W, K_STORE, K_STORE_LW,
+                                        K_STORE_L):
+                return True
+            if self.has_store and k == K_STORE_M:
+                return True
+            if self.has_stack and k == K_STACK:
+                return True
+            if self.has_mc and k in (K_BRCF, K_CALL, K_CALLR, K_RET):
+                return True
+        return False
+
+    def bundle_calls_hook(self, uops) -> bool:
+        """Does this bundle invoke any timing hook?
+
+        Hooks read ``sim.cycles`` (that is why the interpreter publishes it
+        every bundle); the generated code publishes it only in bundles that
+        actually call one.
+        """
+        if self.has_fetch:
+            return True
+        for u in uops:
+            k = u[0]
+            if self.has_split and k == K_LOAD_M:
+                return True
+            if self.has_read and k in (K_LOAD_W, K_LOAD, K_LOAD_LW,
+                                       K_LOAD_L):
+                return True
+            if self.has_write and k in (K_STORE_W, K_STORE, K_STORE_LW,
+                                        K_STORE_L):
+                return True
+            if self.has_store and k == K_STORE_M:
+                return True
+            if self.has_stack and k == K_STACK:
+                return True
+            if self.has_mc and k in (K_BRCF, K_CALL, K_CALLR, K_RET):
+                return True
+        return False
+
+    def bundle_ring_writes(self, uops, eager, forwarded=()) -> bool:
+        """May this bundle append anything to the due-issue ring?
+
+        ``forwarded`` holds the positions of delayed loads that commit via a
+        forwarding local instead of the ring (see ``_plan_forwards``); they
+        only touch the ring on cold exit paths, which re-enter via code that
+        always drains.
+        """
+        for pos, u in enumerate(uops):
+            k = u[0]
+            if k == K_WMEM or k == K_MUL:
+                return True
+            if (k in (K_LOAD_W, K_LOAD, K_LOAD_LW, K_LOAD_L)
+                    and u[6] > 0 and u[5] and pos not in forwarded):
+                return True
+            if _delay0_write(u) is not None and not eager[pos]:
+                return True
+        return False
+
+    #: Micro-op kinds whose generated code cannot raise: with none of these
+    #: in a bundle, ``idx`` is only stored on the (rare) exit paths rather
+    #: than unconditionally, keeping post-mortem state exact where raising
+    #: *is* possible.
+    _SAFE_KINDS = frozenset((K_ALU_RR, K_ALU_RI, K_LI, K_LIH, K_CMP_RR,
+                             K_CMP_RI, K_PRED, K_MUL, K_MTS, K_MFS, K_HALT,
+                             K_OUT, K_WMEM))
+
+    def bundle_may_raise(self, uops) -> bool:
+        return any(u[0] not in self._SAFE_KINDS for u in uops)
+
+    def block_local(self, block_key) -> str:
+        name = self.block_locals.get(block_key)
+        if name is None:
+            name = f"_bc{len(self.block_locals)}"
+            self.block_locals[block_key] = name
+        return name
+
+    _LOAD_KINDS = (K_LOAD_W, K_LOAD, K_LOAD_LW, K_LOAD_L)
+
+    def _plan_forwards(self, chain) -> dict:
+        """Delayed loads whose ring round trip collapses to a plain local.
+
+        A delayed load normally appends ``(0, rd, value)`` to the due-issue
+        ring and pays a drain at its landing bundle.  When the landing
+        bundle ``p = q + 1 + delay`` lies inside the same chain, the value
+        instead lives in a generated local assigned at issue and committed
+        with ``regs[rd] = local`` right after bundle ``p``'s drain — the
+        exact point the reference drain would have written it.  Cold exit
+        paths between issue and landing spill the local back into the ring
+        (``_materialize_fw``) so resumed execution stays bit-identical.
+
+        Sound only when (strict mode always takes the ring — it audits
+        pending-write counters):
+
+        * the load is unguarded — the commit at ``p`` is unconditional;
+        * nothing after the load in its own bundle can raise, so a raise in
+          bundle ``q`` always precedes the assignment (bundles ``q+1 ..
+          p-1`` *may* raise: the chain's ``except ReproError`` handler
+          spills the in-flight value by raise position — see
+          ``_emit_chain``);
+        * no later-issued ring write can land on the same register at the
+          same slot — the reference resolves that race in append order, and
+          the commit-after-drain would invert it.  Later writers are a
+          split-load commit (dynamic register) issued at ``p - 1``, another
+          delayed load of the register landing at ``p``, or a delay-0
+          ring write of the register issued at ``p - 1``.
+
+        Returns ``{(q, pos): (rd, p)}``.
+        """
+        forwards: dict = {}
+        if self.strict:
+            return forwards
+        L = len(chain)
+        chain_uops = [self.table[idx][R_UOPS] for idx in chain]
+        for q, uops in enumerate(chain_uops):
+            for pos, u in enumerate(uops):
+                if u[0] not in self._LOAD_KINDS:
+                    continue
+                if u[1] >= 0 or not u[5] or u[6] < 1:
+                    continue
+                p = q + 1 + u[6]
+                if p >= L:
+                    continue
+                r = u[5]
+                if any(v[0] not in self._SAFE_KINDS
+                       for v in uops[pos + 1:]):
+                    continue
+                ok = True
+                for m in range(q, p):
+                    for j, v in enumerate(chain_uops[m]):
+                        if m == q and j <= pos:
+                            continue
+                        vk = v[0]
+                        if vk == K_WMEM and m == p - 1:
+                            ok = False
+                        elif (vk in self._LOAD_KINDS and v[5] == r
+                                and m + 1 + v[6] == p):
+                            ok = False
+                        elif (m == p - 1
+                                and _delay0_write(v) == ("g", r)):
+                            ok = False
+                if ok:
+                    forwards[(q, pos)] = (r, p)
+        return forwards
+
+    def _materialize_fw(self, ind, live, n, post_issue):
+        """Spill live forwarded loads back into the due-issue ring.
+
+        Emitted on every exit that leaves the planned straight-line window
+        before the landing bundle — a raise, a stepping break, a halt or a
+        control-transfer ``continue`` — so the pending value re-enters the
+        ring at exactly the reference slot.  ``post_issue`` marks exits
+        after the bundle's ``issued += 1``.
+        """
+        delta = -1 if post_issue else 0
+        for name, reg, p in live:
+            off = p - n + delta
+            slot = (f"ring[issued & {self.rm}]" if off == 0
+                    else f"ring[(issued + {off}) & {self.rm}]")
+            self.emit(ind, f"{slot}.append((0, {reg}, {name}))")
+
+    def emit_bundle(self, ind, idx, n, is_head, is_last, may_drain=True,
+                    static_fire=None, no_fire=False, checked=True,
+                    fw_starts=None, fw_commits=(), fw_live_start=(),
+                    fw_live_end=(), fw_handled=False):
+        rec = self.table[idx]
+        uops = rec[R_UOPS]
+        flagged = bool(self.sync_flags) and self.sync_flags[idx]
+        has_halt = any(u[0] == K_HALT for u in uops)
+        can_stall = self.bundle_can_stall(uops)
+        eager = _eager_flags(uops, self.delayed_gprs)
+        # Dispatch and control fires land on heads with `idx` already
+        # correct; mid-chain, `idx` is stored up front only when a micro-op
+        # could raise (exact post-mortem state), else only on exit paths.
+        need_idx = not is_head and self.bundle_may_raise(uops)
+
+        self.emit(ind, f"# bundle {idx} @ {rec[R_ADDR]:#x}")
+        if need_idx:
+            self.emit(ind, f"idx = {idx}")
+        if checked:
+            self.emit(ind, "if issued >= max_bundles:")
+            if not need_idx and not is_head:
+                self.emit(ind, f"    idx = {idx}")
+            if fw_handled:
+                # The chain's exception handler spills every forward whose
+                # window spans this bundle; only the ones landing *here*
+                # (committed after this check, so invisible to it) need an
+                # explicit spill before the raise.
+                for reg, name in fw_commits:
+                    self.emit(ind, f"    ring[issued & {self.rm}]"
+                                   f".append((0, {reg}, {name}))")
+            else:
+                self._materialize_fw(ind + "    ", fw_live_start, n, False)
+            self.emit(ind, "    " + _MAXB_RAISE)
+            self.emit(ind, "if stepping:")
+            sub = ind + "    "
+            self.emit(sub, "if until_cycle is not None and "
+                           f"{self.cycles_expr} >= until_cycle:")
+            if not need_idx and not is_head:
+                self.emit(sub, f"    idx = {idx}")
+            self._materialize_fw(sub + "    ", fw_live_start, n, False)
+            self.emit(sub, "    break")
+            self.emit(sub, "if event_source is not None and "
+                           "event_source.events != events_before:")
+            if not need_idx and not is_head:
+                self.emit(sub, f"    idx = {idx}")
+            self._materialize_fw(sub + "    ", fw_live_start, n, False)
+            self.emit(sub, '    status = "memory_event"')
+            self.emit(sub, "    break")
+            if is_head:
+                if flagged:
+                    self.emit(sub, "if syncing:")
+                    self.emit(sub, "    if skip_sync:")
+                    self.emit(sub, "        skip_sync = False")
+                    self.emit(sub, "    else:")
+                    self.emit(sub, '        status = "sync"')
+                    self.emit(sub, "        break")
+                else:
+                    self.emit(sub, "if syncing and skip_sync:")
+                    self.emit(sub, "    skip_sync = False")
+        if may_drain:
+            self.emit(ind, f"slot = ring[issued & {self.rm}]")
+            self.emit(ind, "if slot:")
+            if self.strict:
+                self.emit(ind, "    _drain_strict(slot, regs, preds, "
+                               "specials, pg, pp, ps)")
+            else:
+                self.emit(ind, "    _drain(slot, regs, preds, specials)")
+        # Forwarded loads land here: the reference drain would have written
+        # the register at this exact point (any earlier-appended entry for
+        # it just drained and correctly loses).
+        for reg, name in fw_commits:
+            self.emit(ind, f"regs[{reg}] = {name}")
+        if self.bundle_calls_hook(uops):
+            self.emit(ind, "sim.cycles = cycles")
+        block_key = rec[R_BLOCK]
+        if block_key is not None:
+            self.emit(ind, f"{self.block_local(block_key)} += 1")
+        if self.has_fetch:
+            self.emit(ind, f"stall = fetch_hook({rec[R_ADDR]}, _b{idx})")
+            self.const(f"_b{idx}", f"table[{idx}][5]")
+            self.emit(ind, "s_icache += stall")
+        elif can_stall:
+            self.emit(ind, "stall = 0")
+
+        fw_starts = fw_starts or {}
+        for pos, u in enumerate(uops):
+            self.emit_uop(ind, idx, pos, u, eager[pos], fw_starts.get(pos))
+
+        if self.trace and rec[R_TRACE] is not None:
+            self.emit(ind, f"trace_append(TraceEntry(cycle={self.cycles_expr}"
+                           f", addr={rec[R_ADDR]}, text={rec[R_TRACE]!r}))")
+        self.emit(ind, "issued += 1")
+        if not self.no_timing:
+            self.emit(ind, "cycles += 1 + stall" if can_stall
+                           else "cycles += 1")
+        if rec[R_NINSTR]:
+            self.emit(ind, f"instructions += {rec[R_NINSTR]}")
+        if rec[R_NNOPS]:
+            self.emit(ind, f"nops += {rec[R_NNOPS]}")
+
+        # Control-transfer epilogue: one integer truthiness test per bundle
+        # when no transfer is pending, the full reference sequence when one
+        # fires.  `continue` re-enters the dispatch tree at the target.
+        # When chain analysis proves the only transfer that can fire here is
+        # one specific static branch (`static_fire`), the fire body
+        # collapses to constants: the target index, function and entry
+        # address are generation-time literals, and a branch leaves
+        # `ctrl_is_call`/`ctrl_name` already cleared.
+        if no_fire:
+            self.emit(ind, "if ctrl_cd:")
+            self.emit(ind, "    ctrl_cd -= 1")
+            if has_halt:
+                self.emit(ind, "if halted:")
+                self.emit(ind, f"    idx = {rec[R_FALL_IDX]}")
+                self._materialize_fw(ind + "    ", fw_live_end, n, True)
+                self.emit(ind, "    break")
+            if is_last:
+                self.emit(ind, f"idx = {rec[R_FALL_IDX]}")
+                self.emit(ind, "continue")
+            return
+        if static_fire is not None and not has_halt:
+            tgt_idx = static_fire[3]
+            tgt_rec = self.table[tgt_idx]
+            self.emit(ind, "if ctrl_cd:")
+            sub = ind + "    "
+            self.emit(sub, "ctrl_cd -= 1")
+            self.emit(sub, "if not ctrl_cd:")
+            fire = sub + "    "
+            self._materialize_fw(fire, fw_live_end, n, True)
+            fn = tgt_rec[R_FUNC]
+            if fn is not None:
+                cf = self.const(f"_cf{tgt_idx}", f"table[{tgt_idx}][6]")
+                self.emit(fire, f"cur_func = {cf}")
+                self.emit(fire, f"cur_entry = {fn.entry_addr}")
+            else:
+                self.emit(fire, f"cur_func = func_containing("
+                                f"{static_fire[4]})")
+                self.emit(fire, "cur_entry = cur_func.entry_addr")
+            self.emit(fire, f"idx = {tgt_idx}")
+            self.emit(fire, "continue")
+            if is_last:
+                self.emit(ind, f"idx = {rec[R_FALL_IDX]}")
+                self.emit(ind, "continue")
+            return
+        self.emit(ind, "if ctrl_cd:")
+        sub = ind + "    "
+        self.emit(sub, "ctrl_cd -= 1")
+        self.emit(sub, "if not ctrl_cd:")
+        fire = sub + "    "
+        self._materialize_fw(fire, fw_live_end, n, True)
+        self.emit(fire, "if ctrl_is_call:")
+        self.emit(fire, f"    specials[SRO] = ({rec[R_FALL_ADDR]} - "
+                        f"cur_entry) & {_MASK}")
+        body = fire
+        if has_halt:
+            self.emit(fire, "if not halted:")
+            body = fire + "    "
+        self.emit(body, f"rec2 = tbl[ctrl_tidx] if 0 <= ctrl_tidx < "
+                        f"{self.tlen} else None")
+        self.emit(body, "cur_func = rec2[6] if rec2 is not None and "
+                        "rec2[6] is not None else "
+                        "func_containing(ctrl_target)")
+        self.emit(body, "cur_entry = cur_func.entry_addr")
+        self.emit(fire, "ctrl_is_call = False")
+        self.emit(fire, "ctrl_name = None")
+        self.emit(fire, "idx = ctrl_tidx")
+        if has_halt:
+            self.emit(fire, "if halted:")
+            self.emit(fire, "    break")
+        self.emit(fire, "continue")
+        if has_halt:
+            self.emit(ind, "if halted:")
+            self.emit(ind, f"    idx = {rec[R_FALL_IDX]}")
+            self._materialize_fw(ind + "    ", fw_live_end, n, True)
+            self.emit(ind, "    break")
+        if is_last:
+            self.emit(ind, f"idx = {rec[R_FALL_IDX]}")
+            self.emit(ind, "continue")
+
+    def _plan_chain(self, chain):
+        """Whole-chain static analysis shared by both emitted copies.
+
+        * Drain elimination: a bundle's ring slot can only be non-empty
+          within ring distance of the chain head (in-flight writes from
+          before entry — generated execution always enters at the head) or
+          of an earlier in-chain bundle that appends to the ring; every
+          ring write lands at most ``ring_mask`` bundles ahead of its
+          issue.  Forwarded loads don't count — their cold-path spills land
+          within ring distance of whatever code resumes, which always
+          drains (chain heads within ``ring_mask``, or the interpreter
+          bridge, which drains every bundle).
+        * Fire specialisation: a fire epilogue specialises when chain
+          position rules out any transfer pending at entry (``n >=``
+          program-wide max countdown) and exactly one in-chain source — a
+          static branch — can fire.
+        * Load forwarding: see ``_plan_forwards``.
+        """
+        L = len(chain)
+        starts: list = [{} for _ in range(L)]  # n -> {pos: local}
+        commits: list = [[] for _ in range(L)]  # n -> [(reg, local)]
+        live_start: list = [[] for _ in range(L)]
+        live_end: list = [[] for _ in range(L)]
+        handlers: list = [[] for _ in range(L)]
+        forwards = self._plan_forwards(chain)
+        for (q, pos) in sorted(forwards):
+            r, p = forwards[(q, pos)]
+            name = f"_fw{self.fw_counter}"
+            self.fw_counter += 1
+            starts[q][pos] = name
+            commits[p].append((r, name))
+            for m in range(q + 1, p + 1):
+                live_start[m].append((name, r, p))
+            for m in range(q, p):
+                live_end[m].append((name, r, p))
+            # Exception-handler liveness: a micro-op raise at bundle m is
+            # always after bundle q's assignment (q < m — a raise at q
+            # precedes the load by plan) and, at m == p, after the commit
+            # (which precedes every micro-op), so exactly q < m < p.
+            for m in range(q + 1, p):
+                handlers[m].append((name, r, p))
+        rings = []
+        fire_sources: list = [[] for _ in chain]
+        for n, idx in enumerate(chain):
+            uops = self.table[idx][R_UOPS]
+            eager = _eager_flags(uops, self.delayed_gprs)
+            rings.append(self.bundle_ring_writes(uops, eager, starts[n]))
+            for u in uops:
+                cd = _ctrl_cd(u)
+                # Armed during bundle `n`, the countdown is decremented by
+                # `n`'s own epilogue, so it reaches zero — fires — at the
+                # epilogue of position `n + cd - 1`.
+                if cd is not None and n + cd - 1 < L:
+                    fire_sources[n + cd - 1].append(u)
+        may_drain = []
+        static_fires = []
+        no_fires = []
+        for n in range(L):
+            may_drain.append(n <= self.rm
+                            or any(rings[max(0, n - self.rm):n]))
+            # `n >= max_cd` rules out any transfer pending at chain entry
+            # (those fire at positions <= max_cd - 1), so the in-chain
+            # sources are exhaustive: none -> the epilogue is a bare
+            # countdown decrement; exactly one static branch -> the fire
+            # body collapses to constants.
+            sf = None
+            if n >= self.max_cd and len(fire_sources[n]) == 1:
+                src = fire_sources[n][0]
+                if (src[0] in (K_BRANCH, K_BRCF)
+                        and 0 <= src[3] < self.tlen
+                        and self.table[src[3]] is not None):
+                    sf = src
+            static_fires.append(sf)
+            no_fires.append(n >= self.max_cd and not fire_sources[n])
+        return (may_drain, static_fires, no_fires, starts, commits,
+                live_start, live_end, handlers)
+
+    def emit_superblock(self, ind, chain):
+        plan = self._plan_chain(chain)
+        if len(chain) == 1:
+            self._emit_chain(ind, chain, plan, checked=True)
+            return
+        # Two copies of the chain body.  The guard proves, once per entry,
+        # everything the per-bundle checks re-prove: `not stepping` implies
+        # no until_cycle/event/sync pause can trigger (`syncing` implies
+        # `stepping`), and `issued + len <= max_bundles` means no bundle in
+        # the chain can hit the limit.  The unchecked copy drops both
+        # per-bundle tests — on a chain of n bundles that is 2(n-1) fewer
+        # branch tests per traversal.
+        self.emit(ind, f"if stepping or issued + {len(chain)} > "
+                       "max_bundles:")
+        self._emit_chain(ind + "    ", chain, plan, checked=True)
+        self.emit(ind, "else:")
+        self._emit_chain(ind + "    ", chain, plan, checked=False)
+
+    def _emit_chain(self, ind, chain, plan, checked):
+        (may_drain, static_fires, no_fires, starts, commits, live_start,
+         live_end, handlers) = plan
+        last = len(chain) - 1
+        # Forwarding windows that span a bundle which can raise get a
+        # chain-level exception handler: it spills the in-flight values back
+        # into the ring by raise position (`idx` is always current where a
+        # raise is possible) and re-raises, so post-mortem pending-write
+        # state stays bit-identical to the reference.  Zero cost until an
+        # exception actually propagates.
+        wrapped = any(handlers)
+        body = ind + "    " if wrapped else ind
+        if wrapped:
+            self.emit(ind, "try:")
+        for n, idx in enumerate(chain):
+            self.emit_bundle(body, idx, n, is_head=(n == 0),
+                             is_last=(n == last),
+                             may_drain=may_drain[n],
+                             static_fire=static_fires[n],
+                             no_fire=no_fires[n],
+                             checked=checked,
+                             fw_starts=starts[n],
+                             fw_commits=commits[n],
+                             fw_live_start=live_start[n],
+                             fw_live_end=live_end[n],
+                             fw_handled=wrapped)
+        if wrapped:
+            self.emit(ind, "except ReproError:")
+            sub = ind + "    "
+            kw = "if"
+            for n, idx in enumerate(chain):
+                if not handlers[n]:
+                    continue
+                self.emit(sub, f"{kw} idx == {idx}:")
+                self._materialize_fw(sub + "    ", handlers[n], n, False)
+                kw = "elif"
+            self.emit(sub, "raise")
+
+    def emit_dispatch(self, ind, heads, blocks):
+        """Binary search over sorted superblock heads (log-depth if-tree)."""
+        if len(heads) == 1:
+            head = heads[0]
+            self.emit(ind, f"if idx == {head}:")
+            self.emit_superblock(ind + "    ", blocks[head])
+            self.emit(ind, "else:")
+            self.emit(ind, '    status = "__bridge__"')
+            self.emit(ind, "    break")
+            return
+        mid = len(heads) // 2
+        self.emit(ind, f"if idx < {heads[mid]}:")
+        self.emit_dispatch(ind + "    ", heads[:mid], blocks)
+        self.emit(ind, "else:")
+        self.emit_dispatch(ind + "    ", heads[mid:], blocks)
+
+    # -- module assembly ---------------------------------------------------
+
+    def module(self, full_key) -> str:
+        blocks = _superblocks(self.table, set(self.leaders))
+        heads = sorted(blocks)
+        body_ind = " " * 20
+        self.lines = []
+        if heads:
+            self.emit_dispatch(body_ind, heads, blocks)
+        else:
+            self.emit(body_ind, 'status = "__bridge__"')
+            self.emit(body_ind, "break")
+
+        header = [
+            '"""Generated by repro.sim.codegen — do not edit or commit.',
+            "",
+            f"codegen_key: {self.program.codegen_key}",
+            f"cache_key:   {full_key}",
+            f"strict={self.strict} trace={self.trace} "
+            f"base={self.base:#x} bundles={sum(1 for r in self.table if r is not None)} "
+            f"superblocks={len(heads)}",
+            '"""',
+            "",
+            "from repro.errors import (ReproError, SimulationError,",
+            "                          StackCacheError)",
+            "from repro.isa.opcodes import MemType, Opcode",
+            "from repro.isa.registers import SpecialReg",
+            "from repro.sim.codegen.runtime import _drain, _drain_strict",
+            "from repro.sim.engine import (_mul_signed, _mul_unsigned,",
+            "                              _raise_stale, _s32, _sra)",
+            "from repro.sim.results import TraceEntry",
+            "",
+            f"CODEGEN_VERSION = {CODEGEN_VERSION}",
+            f"GENERATED_KEY = {full_key!r}",
+            f"LEADERS = {tuple(heads)!r}",
+            "",
+            "",
+            "def make(table):",
+            "    _ST = SpecialReg.ST",
+            "    _SS = SpecialReg.SS",
+            "    _SL = SpecialReg.SL",
+            "    _SH = SpecialReg.SH",
+            "    _SRB = SpecialReg.SRB",
+            "    _SRO = SpecialReg.SRO",
+        ]
+        for name in sorted(self.consts):
+            header.append(f"    {name} = {self.consts[name]}")
+        header.extend([
+            "",
+            "    def run(ctx, max_bundles, release=False, sync=True,",
+            "            until_cycle=None, event_source=None):",
+        ])
+        prologue = [
+            "sim = ctx.sim",
+            "state = ctx.state",
+            "regs = ctx.regs",
+            "preds = ctx.preds",
+            "specials = ctx.specials",
+            "output = ctx.output",
+            "block_counts = ctx.block_counts",
+            "bc_get = block_counts.get",
+            "call_counts = ctx.call_counts",
+            "cc_get = call_counts.get",
+            "stack_cache = ctx.stack_cache",
+            "contains = stack_cache.contains",
+            "func_at = ctx.func_at",
+            "func_containing = ctx.func_containing",
+            "memory = ctx.memory",
+            "mem_read = memory.read",
+            "mem_read_u32 = memory.read_u32",
+            "mem_write = memory.write",
+            "mem_write_u32 = memory.write_u32",
+            "spad = ctx.scratchpad",
+            "spad_read = spad.read",
+            "spad_read_u32 = spad.read_u32",
+            "spad_write = spad.write",
+            "spad_write_u32 = spad.write_u32",
+            "trace_append = ctx.trace_append",
+            "tbl = table",
+            "ST = _ST",
+            "SS = _SS",
+            "SL = _SL",
+            "SH = _SH",
+            "SRB = _SRB",
+            "SRO = _SRO",
+        ]
+        hook_names = (("fetch_hook", self.has_fetch),
+                      ("mc_hook", self.has_mc),
+                      ("read_hook", self.has_read),
+                      ("write_hook", self.has_write),
+                      ("stack_hook", self.has_stack),
+                      ("store_hook", self.has_store),
+                      ("split_hook", self.has_split))
+        for name, present in hook_names:
+            if present:
+                prologue.append(f"{name} = ctx.{name}")
+        prologue.extend([
+            "ring = ctx.ring",
+            "pg = ctx.pg",
+            "pp = ctx.pp",
+            "ps = ctx.ps",
+            "issued = ctx.issued",
+            ("_cdelta = ctx.cycles - issued" if self.no_timing
+             else "cycles = ctx.cycles"),
+            "instructions = ctx.instructions",
+            "nops = ctx.nops",
+            "halted = ctx.halted",
+            "cur_func = ctx.cur_func",
+            "cur_entry = cur_func.entry_addr",
+            "idx = ctx.idx",
+            "ctrl_cd = ctx.ctrl_cd",
+            "ctrl_tidx = ctx.ctrl_tidx",
+            "ctrl_target = ctx.ctrl_target",
+            "ctrl_is_call = ctx.ctrl_is_call",
+            "ctrl_name = ctx.ctrl_name",
+            "has_pml = ctx.has_pml",
+            "pml_rd = ctx.pml_rd",
+            "pml_val = ctx.pml_val",
+            "pml_ready = ctx.pml_ready",
+            "s_icache = ctx.s_icache",
+            "s_data = ctx.s_data",
+            "s_method = ctx.s_method",
+            "s_stack = ctx.s_stack",
+            "s_split = ctx.s_split",
+            "s_store = ctx.s_store",
+            "syncing = sync and ctx.sync_flags is not None",
+            "skip_sync = release",
+            'status = "cycle_limit"',
+            "stepping = (until_cycle is not None or "
+            "event_source is not None or syncing)",
+            "events_before = (event_source.events "
+            "if event_source is not None else 0)",
+        ])
+        # Per-block execution counters accumulate in integer locals and
+        # flush once on every exit (the `finally` below), replacing a
+        # tuple-keyed dict update per block entry with `+= 1`.
+        for key in self.block_locals:
+            prologue.append(f"{self.block_locals[key]} = 0")
+        epilogue = [
+            "ctx.issued = issued",
+            ("ctx.cycles = issued + _cdelta" if self.no_timing
+             else "ctx.cycles = cycles"),
+            "ctx.instructions = instructions",
+            "ctx.nops = nops",
+            "ctx.halted = halted",
+            "ctx.cur_func = cur_func",
+            "ctx.idx = idx",
+            "ctx.ctrl_cd = ctrl_cd",
+            "ctx.ctrl_tidx = ctrl_tidx",
+            "ctx.ctrl_target = ctrl_target",
+            "ctx.ctrl_is_call = ctrl_is_call",
+            "ctx.ctrl_name = ctrl_name",
+            "ctx.has_pml = has_pml",
+            "ctx.pml_rd = pml_rd",
+            "ctx.pml_val = pml_val",
+            "ctx.pml_ready = pml_ready",
+            "ctx.s_icache = s_icache",
+            "ctx.s_data = s_data",
+            "ctx.s_method = s_method",
+            "ctx.s_stack = s_stack",
+            "ctx.s_split = s_split",
+            "ctx.s_store = s_store",
+        ]
+        for key, name in self.block_locals.items():
+            epilogue.append(f"if {name}:")
+            epilogue.append(f"    block_counts[{key!r}] = "
+                            f"bc_get({key!r}, 0) + {name}")
+        out = list(header)
+        out.extend("        " + line for line in prologue)
+        out.append("        try:")
+        out.append("            if not halted:")
+        out.append("                while True:")
+        out.extend(self.lines)
+        out.append("        finally:")
+        out.extend("            " + line for line in epilogue)
+        out.append('        return "halted" if halted else status')
+        out.append("")
+        out.append("    return run")
+        out.append("")
+        return "\n".join(out)
+
+
+def generate_source(program, hook_sig, sync_key, sync_flags,
+                    leaders=None) -> str:
+    """The generated module source for one specialisation of ``program``.
+
+    ``hook_sig`` is the 7-bool presence tuple of the timing hooks
+    (fetch, method-cache, read, write, stack, store, split) — absent hooks
+    are compiled out entirely.  ``sync_flags`` must be the per-bundle
+    may-arbitrate flags for ``sync_key`` (all-False for ``None``).
+    """
+    if leaders is None:
+        leaders = compute_leaders(program, sync_flags)
+    emitter = _Emitter(program, hook_sig, sync_flags, leaders)
+    return emitter.module(cache_key(program, hook_sig, sync_key))

@@ -1,0 +1,44 @@
+"""Tiny runtime support called from generated superblock modules.
+
+Generated code keeps the interpreter's due-issue ring for every write whose
+commit the surrounding bundle can still observe (see the eager-commit
+analysis in :mod:`repro.sim.codegen.generator`); draining a non-empty slot
+is the one operation worth a shared out-of-line helper, because after the
+eager-commit optimisation most slots are empty and the call never happens.
+
+Both helpers mirror the commit loop of
+:meth:`repro.sim.engine.EngineContext.advance` exactly: writes apply in
+append order (so the last write to a register in one due-slot wins) and the
+slot list is cleared in place so the ring reuses it.
+"""
+
+from __future__ import annotations
+
+
+def _drain(slot, regs, preds, specials):
+    """Commit one due-slot of (kind, index, value) writes (non-strict)."""
+    for write in slot:
+        kind = write[0]
+        if kind == 0:
+            regs[write[1]] = write[2]
+        elif kind == 1:
+            preds[write[1]] = write[2]
+        else:
+            specials[write[1]] = write[2]
+    del slot[:]
+
+
+def _drain_strict(slot, regs, preds, specials, pg, pp, ps):
+    """Commit one due-slot, maintaining the strict staleness counters."""
+    for write in slot:
+        kind = write[0]
+        if kind == 0:
+            regs[write[1]] = write[2]
+            pg[write[1]] -= 1
+        elif kind == 1:
+            preds[write[1]] = write[2]
+            pp[write[1]] -= 1
+        else:
+            specials[write[1]] = write[2]
+            ps[write[1]] -= 1
+    del slot[:]

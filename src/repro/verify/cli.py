@@ -72,6 +72,11 @@ def build_parser() -> argparse.ArgumentParser:
                              f"{[a.name for a in DEFAULT_ARBITERS]})")
     parser.add_argument("--no-rtos", action="store_true",
                         help="skip the RTOS response-time soundness cells")
+    parser.add_argument("--engine", default="fast",
+                        choices=("reference", "fast", "jit"),
+                        help="execution engine for the simulated side of "
+                             "the matrix (default: fast); the report must "
+                             "be identical across engines")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the matrix (default: 1); "
                              "the report is identical to a sequential run")
@@ -149,7 +154,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         report = run_conformance(
             kernels=kernels, variants=variants, arbiters=arbiters,
             rtos_scenarios=() if args.no_rtos else DEFAULT_RTOS_SCENARIOS,
-            jobs=args.jobs, progress=None if args.quiet else print)
+            jobs=args.jobs, engine=args.engine,
+            progress=None if args.quiet else print)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

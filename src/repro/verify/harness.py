@@ -212,9 +212,10 @@ class ConformanceHarness:
     """Execute conformance scenarios with per-hardware simulation reuse."""
 
     def __init__(self, config: Optional[PatmosConfig] = None,
-                 strict: bool = True):
+                 strict: bool = True, engine: str = "fast"):
         self.config = config or DEFAULT_CONFIG
         self.strict = strict
+        self.engine = engine
         self._images: dict[str, object] = {}
         self._expected: dict[str, list[int]] = {}
         #: (kernel, hardware, arbiter config) -> (per-core cycles,
@@ -246,7 +247,7 @@ class ConformanceHarness:
         if arbiter.cores == 1:
             result = CycleSimulator(
                 image, config=self.config, strict=self.strict,
-                hierarchy_options=hierarchy).run()
+                engine=self.engine, hierarchy_options=hierarchy).run()
             self._check_output(kernel, variant, arbiter, 0, result.output)
             value = ([result.cycles], None)
         else:
@@ -254,7 +255,8 @@ class ConformanceHarness:
                 [image] * arbiter.cores, self.config,
                 arbiter=arbiter.kind,
                 schedule=arbiter.schedule(self.config),
-                mode="cosim", hierarchy_options=hierarchy)
+                mode="cosim", engine=self.engine,
+                hierarchy_options=hierarchy)
             cmp_result = system.run(analyse=False, strict=self.strict)
             for core in cmp_result.cores:
                 self._check_output(kernel, variant, arbiter, core.core_id,
@@ -333,7 +335,8 @@ class ConformanceHarness:
                 options, task_slot_cycles=scenario.task_slot_cycles)
         system = RtosSystem(tasksets, config=self.config,
                             arbiter=scenario.arbiter, policy=scenario.policy,
-                            options=options, seed=scenario.seed)
+                            engine=self.engine, options=options,
+                            seed=scenario.seed)
         result = system.run(strict=self.strict)
         outcomes = []
         for task in result.tasks:
@@ -354,11 +357,13 @@ class ConformanceHarness:
 _worker_harness: Optional[ConformanceHarness] = None
 
 
-def _init_worker(config_dict: Optional[dict], strict: bool) -> None:
+def _init_worker(config_dict: Optional[dict], strict: bool,
+                 engine: str = "fast") -> None:
     global _worker_harness
     config = (PatmosConfig.from_dict(config_dict)
               if config_dict is not None else None)
-    _worker_harness = ConformanceHarness(config=config, strict=strict)
+    _worker_harness = ConformanceHarness(config=config, strict=strict,
+                                         engine=engine)
 
 
 def _run_scenario_group(group: list[Scenario]
@@ -410,7 +415,8 @@ def _crashed_group(group: list[Scenario], attempts: int) -> FailedCell:
 
 def _run_parallel(scenarios: list[Scenario],
                   config: Optional[PatmosConfig], strict: bool, jobs: int,
-                  progress: Optional[Callable[[str], None]]
+                  progress: Optional[Callable[[str], None]],
+                  engine: str = "fast"
                   ) -> Optional[tuple[list[Optional[list[ScenarioOutcome]]],
                                       list[FailedCell]]]:
     """Fan scenario groups out over a worker pool; ``None`` = fall back.
@@ -442,7 +448,8 @@ def _run_parallel(scenarios: list[Scenario],
             context = multiprocessing.get_context()
     except ImportError:  # pragma: no cover - platform-dependent
         return None
-    initargs = (config.to_dict() if config is not None else None, strict)
+    initargs = (config.to_dict() if config is not None else None, strict,
+                engine)
     outcome_lists: list[Optional[list[ScenarioOutcome]]] = \
         [None] * len(scenarios)
     failures: list[FailedCell] = []
@@ -500,7 +507,8 @@ def run_conformance(kernels=("all",),
                     config: Optional[PatmosConfig] = None,
                     strict: bool = True,
                     jobs: int = 1,
-                    progress: Optional[Callable[[str], None]] = None
+                    progress: Optional[Callable[[str], None]] = None,
+                    engine: str = "fast"
                     ) -> ConformanceReport:
     """Run the full conformance matrix and collect the report.
 
@@ -521,13 +529,15 @@ def run_conformance(kernels=("all",),
     started = time.perf_counter()
     outcome_lists = None
     if jobs > 1 and len(scenarios) > 1:
-        parallel = _run_parallel(scenarios, config, strict, jobs, progress)
+        parallel = _run_parallel(scenarios, config, strict, jobs, progress,
+                                 engine=engine)
         if parallel is not None:
             outcome_lists, failures = parallel
             report.failures.extend(failures)
     harness = None
     if outcome_lists is None:
-        harness = ConformanceHarness(config=config, strict=strict)
+        harness = ConformanceHarness(config=config, strict=strict,
+                                     engine=engine)
         outcome_lists = []
         for scenario in scenarios:
             outcomes = harness.run_scenario(scenario)
@@ -536,7 +546,8 @@ def run_conformance(kernels=("all",),
                 _emit_progress(progress, scenario, outcomes)
     for rtos_scenario in rtos_scenarios:
         if harness is None:
-            harness = ConformanceHarness(config=config, strict=strict)
+            harness = ConformanceHarness(config=config, strict=strict,
+                                         engine=engine)
         outcomes = harness.run_rtos_scenario(rtos_scenario)
         outcome_lists.append(outcomes)
         if progress is not None:

@@ -1,0 +1,215 @@
+"""The jit engine's compilation cache lifecycle and escape hatches.
+
+Golden equivalence of the generated code itself is pinned by
+``tests/test_engine_equivalence.py`` (every kernel, every mode, every
+engine).  This module covers the machinery *around* the generated code:
+
+* cold versus warm on-disk cache runs are bit-identical, and a warm run
+  really loads from disk (code generation is never re-entered);
+* a ``CODEGEN_VERSION`` bump makes old entries unreachable without any
+  invalidation pass;
+* corrupt cache entries are quarantined — kept for diagnosis, never
+  crashing or poisoning a run;
+* concurrent writers of the same entry leave a consistent cache;
+* ``REPRO_NO_JIT=1`` falls back to the micro-op interpreter with identical
+  results and writes nothing;
+* ``DecodedProgram.codegen_key`` addresses decode variants, and the
+  ``--dump`` CLI prints the generated module.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.compiler import CompileOptions, compile_and_link
+from repro.config import PatmosConfig
+from repro.sim import CycleSimulator, FunctionalSimulator
+from repro.sim.engine import decode_image
+from repro.workloads import build_kernel
+
+
+def canonical(result):
+    return {
+        "cycles": result.cycles,
+        "bundles": result.bundles,
+        "instructions": result.instructions,
+        "nops": result.nops,
+        "output": result.output,
+        "stalls": result.stalls.to_dict(),
+        "block_counts": result.block_counts,
+        "call_counts": result.call_counts,
+        "halted": result.halted,
+    }
+
+
+@pytest.fixture
+def jit_cache(tmp_path, monkeypatch):
+    """An isolated on-disk jit cache (never the user's real one)."""
+    cache = tmp_path / "jitcache"
+    monkeypatch.setenv("REPRO_JIT_CACHE_DIR", str(cache))
+    monkeypatch.delenv("REPRO_NO_JIT", raising=False)
+    return cache
+
+
+def fresh_image(name="vector_sum"):
+    """A newly linked image: a fresh decode, a fresh in-process jit memo.
+
+    The in-process compilation memo lives on the decoded program, and the
+    decode itself is cached per image — so exercising the *disk* cache
+    paths requires a fresh image object each run.
+    """
+    kernel = build_kernel(name)
+    image, _ = compile_and_link(kernel.program, PatmosConfig(),
+                                CompileOptions(dual_issue=True))
+    return image, kernel
+
+
+def run_engine(image, engine, sim_cls=FunctionalSimulator):
+    return canonical(sim_cls(image, config=PatmosConfig(), strict=True,
+                             engine=engine).run())
+
+
+def cache_entries(cache):
+    return sorted(path.name for path in cache.glob("*.py"))
+
+
+class _GenerateSpy:
+    """Counts (and delegates) the context module's generate_source calls."""
+
+    def __init__(self, monkeypatch):
+        from repro.sim.codegen import context, generator
+        self.calls = 0
+
+        def spy(*args, **kwargs):
+            self.calls += 1
+            return generator.generate_source(*args, **kwargs)
+
+        monkeypatch.setattr(context, "generate_source", spy)
+
+
+class TestCacheLifecycle:
+    def test_cold_then_warm_identical_and_warm_loads_from_disk(
+            self, jit_cache, monkeypatch):
+        spy = _GenerateSpy(monkeypatch)
+        image, kernel = fresh_image()
+        ref = run_engine(image, "reference")
+        cold = run_engine(image, "jit")
+        assert cold == ref
+        assert cold["output"] == kernel.expected_output
+        entries = cache_entries(jit_cache)
+        assert entries, "cold run must persist the generated module"
+        assert spy.calls == 1
+
+        warm_image, _ = fresh_image()
+        warm = run_engine(warm_image, "jit")
+        assert warm == cold
+        assert spy.calls == 1, "warm run must not regenerate"
+        assert cache_entries(jit_cache) == entries
+
+    def test_version_bump_invalidates_old_entries(self, jit_cache,
+                                                  monkeypatch):
+        from repro.sim.codegen import generator
+        spy = _GenerateSpy(monkeypatch)
+        image, _ = fresh_image()
+        first = run_engine(image, "jit")
+        old_entries = cache_entries(jit_cache)
+        assert spy.calls == 1
+
+        monkeypatch.setattr(generator, "CODEGEN_VERSION",
+                            generator.CODEGEN_VERSION + 1)
+        bumped_image, _ = fresh_image()
+        bumped = run_engine(bumped_image, "jit")
+        assert bumped == first
+        assert spy.calls == 2, "a version bump must regenerate"
+        entries = cache_entries(jit_cache)
+        # Old entries become unreachable but are not deleted; the bumped
+        # specialisation gets its own entry under the new key.
+        assert set(old_entries) < set(entries)
+
+    @pytest.mark.parametrize("corruption", [
+        "def make(:  # truncated mid-write\n",
+        "GENERATED_KEY = 'not-the-right-key'\n"
+        "LEADERS = ()\n"
+        "def make(table):\n"
+        "    def run(*a, **k):\n"
+        "        raise AssertionError('stale module executed')\n"
+        "    return run\n",
+    ], ids=["syntax_error", "wrong_key"])
+    def test_corrupt_entry_quarantined_never_crashes(self, jit_cache,
+                                                     corruption):
+        image, _ = fresh_image()
+        expected = run_engine(image, "jit")
+        [entry] = [jit_cache / name for name in cache_entries(jit_cache)]
+        entry.write_text(corruption)
+
+        corrupt_image, _ = fresh_image()
+        with pytest.warns(RuntimeWarning, match="quarantined"):
+            regenerated = run_engine(corrupt_image, "jit")
+        assert regenerated == expected
+        quarantined = list((jit_cache / "quarantine").glob("*.py*"))
+        assert len(quarantined) == 1
+        # Evidence preserved: the quarantined bytes are the corrupt ones.
+        assert quarantined[0].read_text() == corruption
+        # And the entry was regenerated in place for the next run.
+        assert "GENERATED_KEY" in entry.read_text()
+
+    def test_concurrent_writers_leave_consistent_cache(self, jit_cache):
+        images = [fresh_image() for _ in range(4)]
+        expected = run_engine(images[0][0], "reference")
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(pool.map(
+                lambda pair: run_engine(pair[0], "jit"), images))
+        assert all(result == expected for result in results)
+        # All four raced on the same key; exactly one entry survives and a
+        # fifth (fresh) run can still load it.
+        assert len(cache_entries(jit_cache)) == 1
+        follow_up, _ = fresh_image()
+        assert run_engine(follow_up, "jit") == expected
+
+    def test_no_jit_env_parity(self, jit_cache, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_JIT", "1")
+        image, _ = fresh_image()
+        for sim_cls in (FunctionalSimulator, CycleSimulator):
+            assert (run_engine(image, "jit", sim_cls)
+                    == run_engine(image, "reference", sim_cls))
+        assert not cache_entries(jit_cache), \
+            "REPRO_NO_JIT must not generate or persist anything"
+
+
+class TestCodegenKey:
+    def test_key_is_content_addressed(self):
+        image_a, _ = fresh_image()
+        image_b, _ = fresh_image()
+        pipeline = PatmosConfig().pipeline
+        key_a = decode_image(image_a, pipeline, False, False).codegen_key
+        key_b = decode_image(image_b, pipeline, False, False).codegen_key
+        assert key_a and key_a == key_b
+
+    def test_key_separates_decode_variants(self):
+        image, _ = fresh_image()
+        pipeline = PatmosConfig().pipeline
+        keys = {decode_image(image, pipeline, strict, trace).codegen_key
+                for strict in (False, True) for trace in (False, True)}
+        assert len(keys) == 4
+
+    def test_to_dict_carries_key(self):
+        image, _ = fresh_image()
+        program = decode_image(image, PatmosConfig().pipeline, False, False)
+        summary = program.to_dict()
+        assert summary["codegen_key"] == program.codegen_key
+
+
+class TestDumpCli:
+    def test_dump_prints_generated_module(self, capsys):
+        from repro.sim.codegen.__main__ import main
+        assert main(["--dump", "vector_sum"]) == 0
+        out = capsys.readouterr().out
+        assert "codegen_key" in out
+        assert "def make(" in out
+
+    def test_dump_rejects_unknown_kernel(self, capsys):
+        from repro.sim.codegen.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["--dump", "no_such_kernel"])

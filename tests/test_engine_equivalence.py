@@ -1,8 +1,9 @@
-"""Golden-equivalence harness: pre-decoded engine vs reference interpreter.
+"""Golden-equivalence harness: fast and jit engines vs reference interpreter.
 
-The fast engine of :mod:`repro.sim.engine` must be observationally identical
-to the reference ``_step``/``_execute`` interpreter.  This suite proves it by
-running every kernel of :mod:`repro.workloads` on both engines — functional
+The fast engine of :mod:`repro.sim.engine` and the generated-code jit
+engine of :mod:`repro.sim.codegen` must be observationally identical to the
+reference ``_step``/``_execute`` interpreter.  This suite proves it by
+running every kernel of :mod:`repro.workloads` on all engines — functional
 and cycle-accurate, strict on/off, trace on/off — and comparing the complete
 :class:`~repro.sim.results.SimResult` (cycles, stalls by category, output,
 block/call counts, cache statistics and the trace), plus targeted checks of
@@ -37,6 +38,16 @@ from repro.workloads.suite import KERNEL_BUILDERS, build_kernel
 
 MODES = tuple((strict, trace) for strict in (False, True)
               for trace in (False, True))
+
+#: The engines checked against the reference interpreter.
+ENGINES = ("fast", "jit")
+
+
+@pytest.fixture(autouse=True)
+def _isolated_jit_cache(tmp_path, monkeypatch):
+    """Never read or write the user's real on-disk jit cache."""
+    monkeypatch.setenv("REPRO_JIT_CACHE_DIR", str(tmp_path / "jitcache"))
+    monkeypatch.delenv("REPRO_NO_JIT", raising=False)
 
 
 def canonical(result):
@@ -76,11 +87,13 @@ def test_golden_equivalence(compiled_kernels, name, sim_cls):
     for strict, trace in MODES:
         ref = sim_cls(image, config=config, strict=strict, trace=trace,
                       engine="reference").run()
-        fast = sim_cls(image, config=config, strict=strict, trace=trace,
-                       engine="fast").run()
-        assert canonical(fast) == canonical(ref), \
-            f"{name}: engines diverge with strict={strict}, trace={trace}"
-        assert fast.output == kernel.expected_output
+        for engine in ENGINES:
+            got = sim_cls(image, config=config, strict=strict, trace=trace,
+                          engine=engine).run()
+            assert canonical(got) == canonical(ref), \
+                f"{name}: {engine} diverges with strict={strict}, " \
+                f"trace={trace}"
+            assert got.output == kernel.expected_output
 
 
 def _raw_image(bundle_lists):
@@ -99,7 +112,7 @@ class TestErrorPathEquivalence:
             [Instruction(Opcode.ADD, rd=2, rs1=1, rs2=0)],
             [Instruction(Opcode.HALT)],
         ])
-        for engine in ("reference", "fast"):
+        for engine in ("reference",) + ENGINES:
             with pytest.raises(ScheduleViolation):
                 FunctionalSimulator(image, strict=True, engine=engine).run()
 
@@ -112,8 +125,8 @@ class TestErrorPathEquivalence:
             [Instruction(Opcode.HALT)],
         ])
         outputs = [FunctionalSimulator(image, engine=engine).run().output
-                   for engine in ("reference", "fast")]
-        assert outputs[0] == outputs[1] == [999]
+                   for engine in ("reference",) + ENGINES]
+        assert all(output == [999] for output in outputs)
 
     def test_max_bundles_raised_by_both_engines(self):
         image = _raw_image([
@@ -121,7 +134,7 @@ class TestErrorPathEquivalence:
             [Instruction(Opcode.NOP)],
             [Instruction(Opcode.NOP)],
         ])
-        for engine in ("reference", "fast"):
+        for engine in ("reference",) + ENGINES:
             with pytest.raises(SimulationError):
                 FunctionalSimulator(image, engine=engine).run(max_bundles=100)
 

@@ -124,6 +124,36 @@ class TestSpecKey:
                            wcet_overrides=(("method_cache", "always_miss"),))
         assert a.key() != b.key()
 
+    def test_key_covers_engine(self):
+        """Engines are required to agree, but results from different
+        engines must still never alias in a shared cache."""
+        config = PatmosConfig()
+        keys = {ExperimentSpec(kernel="vector_sum", config=config,
+                               engine=engine).key()
+                for engine in ("reference", "fast", "jit")}
+        assert len(keys) == 3
+
+    def test_engine_axis_sweeps_identical_figures(self, tmp_path,
+                                                  monkeypatch):
+        """An engine axis expands, and both engines report the same
+        cycles/bundles for the same design point."""
+        monkeypatch.setenv("REPRO_JIT_CACHE_DIR", str(tmp_path / "jit"))
+        space = (ParameterSpace(["vector_sum"])
+                 .axis("engine", ["fast", "jit"]))
+        outcome = ExplorationRunner().run(space)
+        assert len(outcome) == 2
+        fast, jit = outcome.results
+        assert {fast.parameters["engine"], jit.parameters["engine"]} \
+            == {"fast", "jit"}
+        assert fast.cycles == jit.cycles
+        assert fast.stalls == jit.stalls
+
+    def test_unknown_engine_rejected(self):
+        from repro.errors import ExplorationError
+        with pytest.raises(ExplorationError):
+            (ParameterSpace(["vector_sum"])
+             .axis("engine", ["turbo"])).specs()
+
 
 class TestRunner:
     def test_serial_run_is_sound(self):

@@ -93,6 +93,19 @@ class TestHarness:
         assert "bound/obs" in report.table()
         assert "0 soundness violations" in report.summary()
 
+    def test_engine_choice_does_not_change_the_report(self, tmp_path,
+                                                      monkeypatch):
+        """The conformance verdicts are engine-independent: the jit-run
+        matrix must reproduce the fast-engine report outcome for outcome."""
+        monkeypatch.setenv("REPRO_JIT_CACHE_DIR", str(tmp_path / "jit"))
+        reports = [run_conformance(kernels=["vector_sum"],
+                                   arbiters=FAST_ARBITERS,
+                                   rtos_scenarios=(), engine=engine)
+                   for engine in ("fast", "jit")]
+        fast, jit = [[outcome.to_dict() for outcome in report.outcomes]
+                     for report in reports]
+        assert fast == jit
+
     def test_simulations_shared_across_analysis_variants(self):
         harness = ConformanceHarness(config=CONFIG)
         default, naive = (
