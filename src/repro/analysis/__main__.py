@@ -1,0 +1,134 @@
+"""Command-line front end: loop-bound audit and lint over the kernel suite.
+
+Usage::
+
+    python -m repro.analysis                    # audit loop bounds, all kernels
+    python -m repro.analysis --lint             # IR lint pass (exit 1 on errors)
+    python -m repro.analysis --lint --strict    # loose annotations become errors
+    python -m repro.analysis --kernels fir_filter matmul
+    python -m repro.analysis --json             # machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..workloads.suite import SUITES, build_kernel, resolve_kernels
+from .facts import program_facts
+from .lint import SEVERITY_ERROR, has_errors, lint_program
+from .loopbounds import STATUS_TIGHTER, STATUS_UNBOUNDED
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static value analysis: loop-bound audit and IR lint.")
+    parser.add_argument(
+        "--kernels", nargs="+", default=["all"], metavar="NAME",
+        help="kernel or suite names (default: all; suites: %s)"
+             % ", ".join(sorted(SUITES)))
+    parser.add_argument(
+        "--lint", action="store_true",
+        help="run the IR lint pass instead of the loop-bound audit")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat annotations tighter than the provable bound as errors")
+    parser.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table")
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print failures")
+    return parser
+
+
+def _audit_rows(name: str, facts) -> list[dict]:
+    rows = []
+    for audit in facts.loop_audits():
+        row = audit.to_dict()
+        row["kernel"] = name
+        rows.append(row)
+    return rows
+
+
+def _run_audit(kernel_names: list[str], as_json: bool, quiet: bool,
+               strict: bool) -> int:
+    rows = []
+    for name in kernel_names:
+        kernel = build_kernel(name)
+        rows.extend(_audit_rows(name, program_facts(kernel.program)))
+    failures = [
+        row for row in rows
+        if row["status"] in (STATUS_UNBOUNDED, STATUS_TIGHTER)
+    ]
+    if as_json:
+        print(json.dumps({"loops": rows, "failures": len(failures)}, indent=2))
+    else:
+        header = (f"{'kernel':<16} {'function':<16} {'header':<20} "
+                  f"{'annot':>6} {'infer':>6} {'effective':>9}  status")
+        printed = False
+        for row in rows:
+            if quiet and row not in failures:
+                continue
+            if not printed:
+                print(header)
+                print("-" * len(header))
+                printed = True
+
+            def fmt(value):
+                return "-" if value is None else str(value)
+
+            print(f"{row['kernel']:<16} {row['function']:<16} "
+                  f"{row['header']:<20} {fmt(row['annotated']):>6} "
+                  f"{fmt(row['inferred']):>6} {fmt(row['effective']):>9}  "
+                  f"{row['status']}")
+        total = len(rows)
+        inferred = sum(1 for row in rows if row["inferred"] is not None)
+        print(f"\n{total} loops across {len(kernel_names)} kernels; "
+              f"{inferred} with inferred bounds; {len(failures)} flagged")
+    bad = [row for row in failures if row["status"] == STATUS_UNBOUNDED]
+    if strict:
+        bad = failures
+    return 1 if bad else 0
+
+
+def _run_lint(kernel_names: list[str], as_json: bool, quiet: bool,
+              strict: bool) -> int:
+    all_findings = []
+    failed = False
+    for name in kernel_names:
+        kernel = build_kernel(name)
+        single_path = bool(kernel.attrs.get("single_path"))
+        findings = lint_program(kernel.program, single_path=single_path)
+        failed = failed or has_errors(findings, strict=strict)
+        if as_json:
+            all_findings.extend(
+                dict(f.to_dict(), kernel=name) for f in findings)
+            continue
+        for finding in findings:
+            if quiet and finding.severity != SEVERITY_ERROR:
+                continue
+            print(f"{name}: {finding}")
+    if as_json:
+        print(json.dumps({"findings": all_findings,
+                          "failed": failed}, indent=2))
+    elif not failed and not quiet:
+        print(f"lint: {len(kernel_names)} kernels clean "
+              "(no errors%s)" % (", strict" if strict else ""))
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        kernel_names = resolve_kernels(args.kernels)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 1
+    if args.lint:
+        return _run_lint(kernel_names, args.json, args.quiet, args.strict)
+    return _run_audit(kernel_names, args.json, args.quiet, args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,405 @@
+"""Abstract domains for the value analysis.
+
+Three cooperating lattices model the machine state the ISA exposes:
+
+* :class:`Interval` — signed 32-bit integer intervals ``[lo, hi]``.  Every
+  arithmetic transfer is *sound under wraparound*: whenever a result could
+  leave the representable range the interval goes to ``TOP`` instead of
+  silently narrowing.  Widening (:meth:`Interval.widen`) drops a growing
+  bound to the respective extreme so loop fixpoints terminate.
+* :class:`AbsVal` — an interval optionally anchored to a link-time symbol
+  (``base + offset``).  Address computations (``li rX, "sym"`` followed by
+  pointer arithmetic) keep the symbolic base through add/sub with numeric
+  offsets, which is what lets the address-range analysis classify accesses
+  even after the offset interval has been widened.
+* predicates — three-valued booleans (``True`` / ``False`` / ``None`` for
+  unknown) combined with Kleene semantics.
+
+:class:`AbsState` bundles the per-register values.  Missing entries mean
+``TOP`` (any value), which keeps states sparse; ``r0`` and ``p0`` are
+hard-wired to ``0`` and ``True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+#: Bounds of the signed 32-bit register value range.
+INT_MIN = -(1 << 31)
+INT_MAX = (1 << 31) - 1
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A non-empty interval of signed 32-bit integers."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not (INT_MIN <= self.lo <= self.hi <= INT_MAX):
+            raise ValueError(f"malformed interval [{self.lo}, {self.hi}]")
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def is_top(self) -> bool:
+        return self.lo == INT_MIN and self.hi == INT_MAX
+
+    @property
+    def is_singleton(self) -> bool:
+        return self.lo == self.hi
+
+    def value(self) -> Optional[int]:
+        """The concrete value if the interval is a singleton, else ``None``."""
+        return self.lo if self.lo == self.hi else None
+
+    def contains(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        if self.is_top:
+            return "T"
+        if self.is_singleton:
+            return str(self.lo)
+        return f"[{self.lo}, {self.hi}]"
+
+    # -- lattice ---------------------------------------------------------------
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def meet(self, other: "Interval") -> Optional["Interval"]:
+        """Intersection, or ``None`` if the intervals are disjoint."""
+        lo = max(self.lo, other.lo)
+        hi = min(self.hi, other.hi)
+        return Interval(lo, hi) if lo <= hi else None
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Standard interval widening: a growing bound jumps to the extreme."""
+        lo = self.lo if newer.lo >= self.lo else INT_MIN
+        hi = self.hi if newer.hi <= self.hi else INT_MAX
+        return Interval(lo, hi)
+
+    # -- arithmetic (sound under 32-bit wraparound) ----------------------------
+
+    def add(self, other: "Interval") -> "Interval":
+        lo = self.lo + other.lo
+        hi = self.hi + other.hi
+        if lo < INT_MIN or hi > INT_MAX:
+            return TOP
+        return Interval(lo, hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        lo = self.lo - other.hi
+        hi = self.hi - other.lo
+        if lo < INT_MIN or hi > INT_MAX:
+            return TOP
+        return Interval(lo, hi)
+
+    def neg(self) -> "Interval":
+        return const(0).sub(self)
+
+    def bit_and(self, other: "Interval") -> "Interval":
+        # x & m is in [0, m] for any x when m >= 0 (the sign bit is cleared).
+        if other.lo >= 0:
+            hi = other.hi if self.lo < 0 else min(self.hi, other.hi)
+            return Interval(0, max(0, hi))
+        if self.lo >= 0:
+            return Interval(0, self.hi)
+        return TOP
+
+    def bit_or(self, other: "Interval") -> "Interval":
+        if self.lo >= 0 and other.lo >= 0:
+            bits = max(self.hi.bit_length(), other.hi.bit_length())
+            return Interval(0, min(INT_MAX, (1 << bits) - 1))
+        return TOP
+
+    def bit_xor(self, other: "Interval") -> "Interval":
+        return self.bit_or(other)  # same non-negative magnitude bound
+
+    def shl(self, amount: "Interval") -> "Interval":
+        s = amount.value()
+        if s is None:
+            return TOP
+        s &= 31
+        lo = self.lo << s
+        hi = self.hi << s
+        if lo < INT_MIN or hi > INT_MAX:
+            return TOP
+        return Interval(lo, hi)
+
+    def shr(self, amount: "Interval") -> "Interval":
+        """Logical right shift on the 32-bit two's-complement pattern."""
+        s = amount.value()
+        if s is None:
+            return TOP
+        s &= 31
+        if s == 0:
+            return self
+        if self.lo >= 0:
+            return Interval(self.lo >> s, self.hi >> s)
+        # A negative value shifts into a large positive range.
+        return Interval(0, min(INT_MAX, (1 << (32 - s)) - 1))
+
+    def sra(self, amount: "Interval") -> "Interval":
+        s = amount.value()
+        if s is None:
+            # Arithmetic shift is monotone in the shifted value and shrinks
+            # magnitude with the amount; bound over the amount range.
+            lo_s, hi_s = amount.lo & 31, amount.hi & 31
+            if not (0 <= lo_s <= hi_s):
+                return TOP
+            return Interval(min(self.lo >> lo_s, self.lo >> hi_s),
+                            max(self.hi >> lo_s, self.hi >> hi_s))
+        return Interval(self.lo >> (s & 31), self.hi >> (s & 31))
+
+
+#: The full signed 32-bit range (no information).
+TOP = Interval(INT_MIN, INT_MAX)
+
+
+def const(value: int) -> Interval:
+    """The singleton interval of ``value`` (must be representable)."""
+    return Interval(value, value)
+
+
+# ---------------------------------------------------------------------------
+# Symbol-anchored values
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """An abstract register value: ``base + offset``.
+
+    ``base`` is a data-symbol name (``None`` for plain numbers) and ``offset``
+    an :class:`Interval`.  The base survives add/sub with numeric values and
+    interval widening, so a pointer walked through an array keeps naming its
+    array even when the exact offset is lost.
+    """
+
+    base: Optional[str]
+    offset: Interval
+
+    @property
+    def is_top(self) -> bool:
+        return self.base is None and self.offset.is_top
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.base is None
+
+    def value(self) -> Optional[int]:
+        if self.base is not None:
+            return None
+        return self.offset.value()
+
+    def __str__(self) -> str:
+        if self.base is None:
+            return str(self.offset)
+        return f"{self.base}+{self.offset}"
+
+    # -- lattice ---------------------------------------------------------------
+
+    def join(self, other: "AbsVal") -> "AbsVal":
+        if self.base != other.base:
+            return TOP_VAL
+        return AbsVal(self.base, self.offset.join(other.offset))
+
+    def widen(self, newer: "AbsVal") -> "AbsVal":
+        if self.base != newer.base:
+            return TOP_VAL
+        return AbsVal(self.base, self.offset.widen(newer.offset))
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def add(self, other: "AbsVal") -> "AbsVal":
+        if self.base is not None and other.base is not None:
+            return TOP_VAL
+        base = self.base or other.base
+        result = self.offset.add(other.offset)
+        if base is not None and result.is_top:
+            return TOP_VAL  # a wrapped offset invalidates the anchor
+        return AbsVal(base, result)
+
+    def sub(self, other: "AbsVal") -> "AbsVal":
+        if other.base is not None:
+            if self.base == other.base:
+                return AbsVal(None, self.offset.sub(other.offset))
+            return TOP_VAL
+        result = self.offset.sub(other.offset)
+        if self.base is not None and result.is_top:
+            return TOP_VAL
+        return AbsVal(self.base, result)
+
+
+#: No information about a register value.
+TOP_VAL = AbsVal(None, TOP)
+
+
+def num(interval: Interval) -> AbsVal:
+    return AbsVal(None, interval)
+
+
+def const_val(value: int) -> AbsVal:
+    return AbsVal(None, const(value))
+
+
+def symbol_val(name: str) -> AbsVal:
+    return AbsVal(name, const(0))
+
+
+# ---------------------------------------------------------------------------
+# Three-valued predicates (Kleene logic)
+# ---------------------------------------------------------------------------
+
+#: A predicate fact: True, False, or None (unknown).
+PredVal = Optional[bool]
+
+
+def pred_not(a: PredVal) -> PredVal:
+    return None if a is None else not a
+
+
+def pred_and(a: PredVal, b: PredVal) -> PredVal:
+    if a is False or b is False:
+        return False
+    if a is True and b is True:
+        return True
+    return None
+
+
+def pred_or(a: PredVal, b: PredVal) -> PredVal:
+    if a is True or b is True:
+        return True
+    if a is False and b is False:
+        return False
+    return None
+
+
+def pred_xor(a: PredVal, b: PredVal) -> PredVal:
+    if a is None or b is None:
+        return None
+    return a != b
+
+
+def pred_join(a: PredVal, b: PredVal) -> PredVal:
+    return a if a == b else None
+
+
+# ---------------------------------------------------------------------------
+# Machine state
+# ---------------------------------------------------------------------------
+
+
+class AbsState:
+    """Abstract machine state: GPR and predicate facts.
+
+    Registers absent from the maps are ``TOP`` / unknown, which keeps joins
+    cheap.  ``r0`` reads as ``0`` and ``p0`` as ``True`` regardless of the
+    maps; writes to them are architectural no-ops and are dropped.
+    """
+
+    __slots__ = ("gprs", "preds")
+
+    def __init__(self, gprs: Optional[dict] = None,
+                 preds: Optional[dict] = None):
+        self.gprs: dict[int, AbsVal] = gprs if gprs is not None else {}
+        self.preds: dict[int, bool] = preds if preds is not None else {}
+
+    def copy(self) -> "AbsState":
+        return AbsState(dict(self.gprs), dict(self.preds))
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, AbsState) and self.gprs == other.gprs
+                and self.preds == other.preds)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        regs = ", ".join(f"r{i}={v}" for i, v in sorted(self.gprs.items()))
+        preds = ", ".join(f"p{i}={v}" for i, v in sorted(self.preds.items()))
+        return f"AbsState({regs}; {preds})"
+
+    # -- reads -----------------------------------------------------------------
+
+    def gpr(self, index: Optional[int]) -> AbsVal:
+        if index is None:
+            return TOP_VAL
+        if index == 0:
+            return const_val(0)
+        return self.gprs.get(index, TOP_VAL)
+
+    def pred(self, index: Optional[int]) -> PredVal:
+        if index is None:
+            return None
+        if index == 0:
+            return True
+        return self.preds.get(index)
+
+    # -- writes ----------------------------------------------------------------
+
+    def set_gpr(self, index: int, value: AbsVal) -> None:
+        if index == 0:
+            return
+        if value.is_top:
+            self.gprs.pop(index, None)
+        else:
+            self.gprs[index] = value
+
+    def set_pred(self, index: int, value: PredVal) -> None:
+        if index == 0:
+            return
+        if value is None:
+            self.preds.pop(index, None)
+        else:
+            self.preds[index] = value
+
+    def weak_gpr(self, index: int, value: AbsVal) -> None:
+        """Join ``value`` into a register (update under an unknown guard)."""
+        self.set_gpr(index, self.gpr(index).join(value))
+
+    def weak_pred(self, index: int, value: PredVal) -> None:
+        self.set_pred(index, pred_join(self.pred(index), value))
+
+    def havoc_gprs(self, indices) -> None:
+        for index in indices:
+            self.gprs.pop(index, None)
+
+    def havoc_preds(self, indices) -> None:
+        for index in indices:
+            self.preds.pop(index, None)
+
+    def havoc_all(self) -> None:
+        self.gprs.clear()
+        self.preds.clear()
+
+    # -- lattice ---------------------------------------------------------------
+
+    def join(self, other: "AbsState") -> "AbsState":
+        gprs = {}
+        for index, value in self.gprs.items():
+            other_value = other.gprs.get(index)
+            if other_value is not None:
+                joined = value.join(other_value)
+                if not joined.is_top:
+                    gprs[index] = joined
+        preds = {}
+        for index, value in self.preds.items():
+            if other.preds.get(index) == value:
+                preds[index] = value
+        return AbsState(gprs, preds)
+
+    def widen(self, newer: "AbsState") -> "AbsState":
+        gprs = {}
+        for index, value in self.gprs.items():
+            newer_value = newer.gprs.get(index)
+            if newer_value is not None:
+                widened = value.widen(newer_value)
+                if not widened.is_top:
+                    gprs[index] = widened
+        preds = {}
+        for index, value in self.preds.items():
+            if newer.preds.get(index) == value:
+                preds[index] = value
+        return AbsState(gprs, preds)

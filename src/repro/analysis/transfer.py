@@ -1,0 +1,354 @@
+"""Abstract transfer functions for the Patmos ISA.
+
+One function, :func:`transfer_instruction`, maps an instruction and an
+:class:`~repro.analysis.domain.AbsState` to the post-state.  The semantics
+mirror :mod:`repro.sim.executor` exactly — 32-bit wraparound arithmetic,
+sign conventions of the compare family, Kleene combination of predicates —
+but over intervals instead of concrete values.  Predicated execution is
+handled by the guard's three-valued evaluation: a definitely-false guard
+skips the instruction, a definitely-true guard performs a strong update,
+and an unknown guard joins the old and new values (weak update).
+
+Interprocedural effects are summarised by :class:`ClobberSummary`: a call
+havocs exactly the registers its callee (transitively) may write, and an
+indirect call (``callr``) havocs everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..isa.instruction import Guard, Instruction
+from ..isa.opcodes import Format, Opcode
+from ..program.basic_block import BasicBlock
+from .domain import (
+    INT_MAX,
+    INT_MIN,
+    TOP_VAL,
+    AbsState,
+    AbsVal,
+    Interval,
+    PredVal,
+    const,
+    const_val,
+    num,
+    pred_and,
+    pred_not,
+    pred_or,
+    pred_xor,
+    symbol_val,
+)
+
+
+@dataclass(frozen=True)
+class ClobberSummary:
+    """Registers a function (and its transitive callees) may write."""
+
+    gprs: frozenset[int] = frozenset()
+    preds: frozenset[int] = frozenset()
+    #: True when nothing can be said (indirect calls somewhere below).
+    total: bool = False
+
+
+#: The conservative summary used for unknown callees.
+TOTAL_CLOBBER = ClobberSummary(total=True)
+
+
+def _to_signed32(value: int) -> int:
+    value &= 0xFFFF_FFFF
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def guard_value(state: AbsState, guard: Guard) -> PredVal:
+    """Three-valued truth of an instruction guard in ``state``."""
+    value = state.pred(guard.pred)
+    return pred_not(value) if guard.negate else value
+
+
+# ---------------------------------------------------------------------------
+# ALU
+# ---------------------------------------------------------------------------
+
+_CONCRETE_ALU = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.ADDI: lambda a, b: a + b,
+    Opcode.ADDL: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.SUBI: lambda a, b: a - b,
+    Opcode.SUBL: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.ANDI: lambda a, b: a & b,
+    Opcode.ANDL: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.ORI: lambda a, b: a | b,
+    Opcode.ORL: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.XORI: lambda a, b: a ^ b,
+    Opcode.XORL: lambda a, b: a ^ b,
+    Opcode.NOR: lambda a, b: ~(a | b),
+    Opcode.SHL: lambda a, b: a << (b & 31),
+    Opcode.SHLI: lambda a, b: a << (b & 31),
+    Opcode.SHR: lambda a, b: (a & 0xFFFF_FFFF) >> (b & 31),
+    Opcode.SHRI: lambda a, b: (a & 0xFFFF_FFFF) >> (b & 31),
+    Opcode.SRA: lambda a, b: a >> (b & 31),
+    Opcode.SRAI: lambda a, b: a >> (b & 31),
+    Opcode.SHADD: lambda a, b: (a << 1) + b,
+    Opcode.SHADD2: lambda a, b: (a << 2) + b,
+}
+
+_ADD_OPS = (Opcode.ADD, Opcode.ADDI, Opcode.ADDL)
+_SUB_OPS = (Opcode.SUB, Opcode.SUBI, Opcode.SUBL)
+_AND_OPS = (Opcode.AND, Opcode.ANDI, Opcode.ANDL)
+_OR_OPS = (Opcode.OR, Opcode.ORI, Opcode.ORL)
+_XOR_OPS = (Opcode.XOR, Opcode.XORI, Opcode.XORL)
+_SHL_OPS = (Opcode.SHL, Opcode.SHLI)
+_SHR_OPS = (Opcode.SHR, Opcode.SHRI)
+_SRA_OPS = (Opcode.SRA, Opcode.SRAI)
+
+
+def eval_alu(opcode: Opcode, a: AbsVal, b: AbsVal) -> AbsVal:
+    """Abstract result of an ALU operation on two abstract values."""
+    # Exact on constants: evaluate the concrete 32-bit semantics.
+    va, vb = a.value(), b.value()
+    if va is not None and vb is not None:
+        fn = _CONCRETE_ALU.get(opcode)
+        if fn is not None:
+            return const_val(_to_signed32(fn(va, vb)))
+    if opcode in _ADD_OPS:
+        return a.add(b)
+    if opcode in _SUB_OPS:
+        return a.sub(b)
+    if not (a.is_numeric and b.is_numeric):
+        return TOP_VAL
+    ia, ib = a.offset, b.offset
+    if opcode in _AND_OPS:
+        return num(ia.bit_and(ib))
+    if opcode in _OR_OPS:
+        return num(ia.bit_or(ib))
+    if opcode in _XOR_OPS:
+        return num(ia.bit_xor(ib))
+    if opcode in _SHL_OPS:
+        return num(ia.shl(ib))
+    if opcode in _SHR_OPS:
+        return num(ia.shr(ib))
+    if opcode in _SRA_OPS:
+        return num(ia.sra(ib))
+    if opcode in (Opcode.SHADD, Opcode.SHADD2):
+        shifted = ia.shl(const(1 if opcode is Opcode.SHADD else 2))
+        if shifted.is_top:
+            return TOP_VAL
+        return num(shifted).add(b)
+    return TOP_VAL  # NOR on non-constants and anything unexpected
+
+
+# ---------------------------------------------------------------------------
+# Compares
+# ---------------------------------------------------------------------------
+
+#: Signed compare kinds; unsigned variants get mapped after a range check.
+_EQ = "eq"
+_NE = "ne"
+_LT = "lt"
+_LE = "le"
+
+_COMPARE_KIND = {
+    Opcode.CMPEQ: (_EQ, False), Opcode.CMPIEQ: (_EQ, False),
+    Opcode.CMPNEQ: (_NE, False), Opcode.CMPINEQ: (_NE, False),
+    Opcode.CMPLT: (_LT, False), Opcode.CMPILT: (_LT, False),
+    Opcode.CMPLE: (_LE, False), Opcode.CMPILE: (_LE, False),
+    Opcode.CMPULT: (_LT, True), Opcode.CMPIULT: (_LT, True),
+    Opcode.CMPULE: (_LE, True), Opcode.CMPIULE: (_LE, True),
+}
+
+
+def _cmp_intervals(kind: str, a: Interval, b: Interval) -> PredVal:
+    if kind == _EQ:
+        va, vb = a.value(), b.value()
+        if va is not None and va == vb:
+            return True
+        if a.meet(b) is None:
+            return False
+        return None
+    if kind == _NE:
+        return pred_not(_cmp_intervals(_EQ, a, b))
+    if kind == _LT:
+        if a.hi < b.lo:
+            return True
+        if a.lo >= b.hi:
+            return False
+        return None
+    if kind == _LE:
+        if a.hi <= b.lo:
+            return True
+        if a.lo > b.hi:
+            return False
+        return None
+    raise AssertionError(kind)  # pragma: no cover
+
+
+def eval_compare(opcode: Opcode, a: AbsVal, b: AbsVal) -> PredVal:
+    """Three-valued result of a compare on two abstract values."""
+    if opcode is Opcode.BTEST:
+        va, vb = a.value(), b.value()
+        if va is not None and vb is not None:
+            return bool(((va & 0xFFFF_FFFF) >> (vb & 31)) & 1)
+        return None
+    kind, unsigned = _COMPARE_KIND[opcode]
+    if a.base is not None or b.base is not None:
+        # Symbol-anchored addresses: only comparisons against the same base
+        # reduce to offset comparisons (link-time addresses do not wrap).
+        if a.base != b.base:
+            return None
+        ia, ib = a.offset, b.offset
+    else:
+        ia, ib = a.offset, b.offset
+        if unsigned and kind in (_LT, _LE):
+            if ia.lo < 0 or ib.lo < 0:
+                va, vb = ia.value(), ib.value()
+                if va is None or vb is None:
+                    return None
+                # Exact unsigned compare of two known patterns.
+                ua, ub = va & 0xFFFF_FFFF, vb & 0xFFFF_FFFF
+                return ua < ub if kind == _LT else ua <= ub
+    return _cmp_intervals(kind, ia, ib)
+
+
+# ---------------------------------------------------------------------------
+# Instruction transfer
+# ---------------------------------------------------------------------------
+
+
+def _operand(state: AbsState, instr: Instruction, fmt: Format) -> AbsVal:
+    """The second source operand of an ALU/compare instruction."""
+    if fmt in (Format.ALU_R, Format.CMP_R):
+        return state.gpr(instr.rs2)
+    if isinstance(instr.target, str):
+        # A symbolic data target resolved by the linker into the immediate.
+        if instr.opcode in _ADD_OPS or instr.opcode in (Opcode.LIL,):
+            return symbol_val(instr.target)
+        return TOP_VAL
+    if instr.imm is None:
+        return TOP_VAL
+    return const_val(_to_signed32(instr.imm))
+
+
+def _write_gpr(state: AbsState, rd: Optional[int], value: AbsVal,
+               strong: bool) -> None:
+    if rd is None:
+        return
+    if strong:
+        state.set_gpr(rd, value)
+    else:
+        state.weak_gpr(rd, value)
+
+
+def _write_pred(state: AbsState, pd: Optional[int], value: PredVal,
+                strong: bool) -> None:
+    if pd is None:
+        return
+    if strong:
+        state.set_pred(pd, value)
+    else:
+        state.weak_pred(pd, value)
+
+
+def transfer_instruction(instr: Instruction, state: AbsState,
+                         may_writes: Optional[dict] = None) -> None:
+    """Apply one instruction's abstract effect to ``state`` (in place)."""
+    gv = guard_value(state, instr.guard)
+    if gv is False:
+        return
+    strong = gv is True
+    info = instr.info
+    fmt = info.fmt
+
+    if fmt in (Format.ALU_R, Format.ALU_I, Format.ALU_L):
+        a = state.gpr(instr.rs1)
+        b = _operand(state, instr, fmt)
+        _write_gpr(state, instr.rd, eval_alu(instr.opcode, a, b), strong)
+        return
+    if fmt is Format.LI:
+        if instr.opcode is Opcode.LIL:
+            value = _operand(state, instr, fmt)
+        else:  # LIH merges into the upper half of the current value.
+            old = state.gpr(instr.rd).value()
+            if old is not None and instr.imm is not None:
+                pattern = ((old & 0xFFFF)
+                           | ((instr.imm & 0xFFFF) << 16))
+                value = const_val(_to_signed32(pattern))
+            else:
+                value = TOP_VAL
+        _write_gpr(state, instr.rd, value, strong)
+        return
+    if fmt in (Format.CMP_R, Format.CMP_I):
+        a = state.gpr(instr.rs1)
+        b = _operand(state, instr, fmt)
+        _write_pred(state, instr.pd, eval_compare(instr.opcode, a, b), strong)
+        return
+    if fmt is Format.PRED:
+        a = state.pred(instr.ps1)
+        b = state.pred(instr.ps2) if instr.ps2 is not None else False
+        if instr.opcode is Opcode.PAND:
+            value = pred_and(a, b)
+        elif instr.opcode is Opcode.POR:
+            value = pred_or(a, b)
+        elif instr.opcode is Opcode.PXOR:
+            value = pred_xor(a, b)
+        else:  # PNOT
+            value = pred_not(a)
+        _write_pred(state, instr.pd, value, strong)
+        return
+    if fmt in (Format.LOAD, Format.MFS):
+        # Loaded / special-register values are unknown.
+        if instr.rd is not None:
+            state.set_gpr(instr.rd, TOP_VAL)
+        return
+    if fmt is Format.CALL:
+        summary = None
+        if may_writes is not None and isinstance(instr.target, str):
+            summary = may_writes.get(instr.target)
+        if summary is None or summary.total:
+            state.havoc_all()
+        else:
+            state.havoc_gprs(summary.gprs)
+            state.havoc_preds(summary.preds)
+        return
+    if fmt is Format.CALLR:
+        state.havoc_all()
+        return
+    # Stores, stack control, waits, branches, returns, mts, nop, halt, out:
+    # no effect on the tracked register state.
+
+
+def transfer_block(block: BasicBlock, in_state: AbsState,
+                   may_writes: Optional[dict] = None) -> AbsState:
+    """Abstract post-state of executing ``block`` from ``in_state``."""
+    state = in_state.copy()
+    for instr in block.instrs:
+        transfer_instruction(instr, state, may_writes)
+    return state
+
+
+def instruction_states(block: BasicBlock, in_state: AbsState,
+                       may_writes: Optional[dict] = None
+                       ) -> Iterator[tuple[Instruction, AbsState]]:
+    """Yield ``(instr, state_before_instr)`` for every instruction."""
+    state = in_state.copy()
+    for instr in block.instrs:
+        yield instr, state
+        transfer_instruction(instr, state, may_writes)
+
+
+__all__ = [
+    "ClobberSummary",
+    "TOTAL_CLOBBER",
+    "eval_alu",
+    "eval_compare",
+    "guard_value",
+    "instruction_states",
+    "transfer_block",
+    "transfer_instruction",
+    "INT_MIN",
+    "INT_MAX",
+]

@@ -17,7 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..config import MemoryConfig, MethodCacheConfig
-from ..errors import CacheError
 from .stats import CacheStats
 
 

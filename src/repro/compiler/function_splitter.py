@@ -142,7 +142,6 @@ def split_function(function: Function, program: Program, config: PatmosConfig,
     if len(regions) <= 1:
         return []
 
-    region_entry = {region[0].label: index for index, region in enumerate(regions)}
     region_names = [function.name if index == 0 else f"{function.name}.part{index}"
                     for index in range(len(regions))]
 

@@ -177,7 +177,6 @@ class BlockScheduler:
             split_load_distance=self.split_load_distance)
         term_index = len(body)
         issue_of: dict[int, int] = {}
-        position = 0
         for slot_index, slot in enumerate(slots):
             for instr in slot:
                 for body_index, body_instr in enumerate(body):

@@ -119,6 +119,19 @@ class CompilerError(ReproError):
     """A compilation pass could not be applied."""
 
 
+class LoopBoundError(CompilerError):
+    """A loop-bound annotation is inconsistent with the function's blocks.
+
+    Carries the offending label and function so callers (and tests) can
+    react to the structured fields instead of parsing the message.
+    """
+
+    def __init__(self, message: str, *, function: str, label: str):
+        super().__init__(message)
+        self.function = function
+        self.label = label
+
+
 class WcetError(ReproError):
     """WCET analysis failed (e.g. missing loop bounds or unbounded flow)."""
 

@@ -70,7 +70,9 @@ def _save_lock(path: Path):
 #: shift round-robin/priority interference timings by a few cycles.
 #: v5: the execution engine ("reference" | "fast" | "jit") joined the spec
 #: content hash, so pre-v5 keys no longer address the same design point.
-CACHE_VERSION = 5
+#: v6: WCET options gained the ``analysis`` toggle (abstract-interpretation
+#: value analysis); bounds of cached records may differ from pre-v6 runs.
+CACHE_VERSION = 6
 
 
 class ResultCache:

@@ -70,6 +70,7 @@ AXIS_ALIASES: dict[str, tuple[str, Optional[str]]] = {
     "method_cache_analysis": ("wcet", "method_cache"),
     "static_cache_analysis": ("wcet", "static_cache"),
     "stack_cache_analysis": ("wcet", "stack_cache"),
+    "analysis": ("wcet", "analysis"),
     "cores": ("cores", None),
     "arbiter": ("arbiter", None),
     "engine": ("engine", None),
@@ -86,6 +87,10 @@ AXIS_ALIASES: dict[str, tuple[str, Optional[str]]] = {
 
 _COMPILE_FIELDS = frozenset(f.name for f in fields(CompileOptions))
 _WCET_FIELDS = frozenset(f.name for f in fields(WcetOptions))
+#: WCET option fields that must receive a real boolean: truthiness would
+#: silently turn a typo like ``analysis=bogus`` into ``True``.
+_WCET_BOOL_FIELDS = frozenset(
+    f.name for f in fields(WcetOptions) if f.type in ("bool", bool))
 
 
 def resolve_axis(name: str) -> tuple[str, Optional[str]]:
@@ -289,6 +294,10 @@ class ParameterSpace:
                 if axis.target not in _WCET_FIELDS:
                     raise ExplorationError(
                         f"unknown WCET option {axis.target!r}")
+                if (axis.target in _WCET_BOOL_FIELDS
+                        and not isinstance(value, bool)):
+                    raise ExplorationError(
+                        f"axis {axis.name!r} expects bool, got {value!r}")
                 wcet_overrides[axis.target] = value
             elif axis.kind == "cores":
                 cores = int(value)

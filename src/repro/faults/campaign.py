@@ -163,7 +163,7 @@ class CampaignReport:
             f"{self.elapsed_s:.2f} s",
             f"  recovery model : ecc={'on' if self.ecc else 'off'}, "
             f"bus retry limit {self.bus_retry_limit}",
-            f"  outcomes       : " + (", ".join(
+            "  outcomes       : " + (", ".join(
                 f"{k}={v}" for k, v in sorted(counts.items())) or "none"),
             f"  determinism    : {self.determinism_hash()}",
         ]

@@ -31,7 +31,7 @@ import hashlib
 import json
 import random
 from dataclasses import asdict, dataclass, field
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..errors import FaultInjectionError
 

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from ..errors import EncodingError
 from .instruction import ALWAYS, Bundle, Guard, Instruction
 from .opcodes import Format, Opcode
-from .registers import SpecialReg, special_code, special_from_code
+from .registers import special_code, special_from_code
 
 WORD_BITS = 32
 WORD_MASK = 0xFFFF_FFFF

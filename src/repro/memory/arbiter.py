@@ -32,7 +32,7 @@ concurrent request stream rather than an analytical approximation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..config import MemoryConfig

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..errors import CompilerError, IsaError
+from ..errors import CompilerError, IsaError, LoopBoundError
 from ..isa.instruction import ALWAYS, Guard, Instruction
 from ..isa.opcodes import Format, Opcode, opcode_from_mnemonic
 from ..isa.registers import parse_gpr, parse_pred, parse_special
@@ -232,8 +232,9 @@ class FunctionBuilder:
                     blk.loop_bound = bound
                     matched = True
             if not matched:
-                raise CompilerError(
-                    f"loop bound refers to unknown label {label!r} in {self.name}")
+                raise LoopBoundError(
+                    f"loop bound refers to unknown label {label!r} in "
+                    f"{self.name}", function=self.name, label=label)
 
         return Function(
             name=self.name,

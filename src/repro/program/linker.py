@@ -26,7 +26,7 @@ from ..config import DEFAULT_CONFIG, PatmosConfig
 from ..errors import LinkError
 from ..isa.instruction import Bundle, Instruction
 from ..isa.opcodes import Format, Opcode
-from .program import DataItem, DataSpace, Program
+from .program import DataSpace, Program
 
 
 @dataclass(frozen=True)

@@ -61,7 +61,7 @@ from ..errors import (
     SimulationError,
     StackCacheError,
 )
-from ..isa.instruction import Bundle, Instruction
+from ..isa.instruction import Instruction
 from ..isa.opcodes import ControlKind, Format, MemType, Opcode, OpInfo, \
     control_delay_slots, result_delay_slots
 from ..isa.registers import SpecialReg

@@ -163,6 +163,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.table:
         print()
         print(report.table())
+        if report.loop_checks:
+            print()
+            print(report.loops_table())
     print()
     print(report.summary())
     if args.json:
@@ -170,5 +173,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             json.dumps(report.to_dict(), indent=2) + "\n", encoding="utf-8")
         print(f"wrote {args.json}")
     # Failed cells mean the matrix is incomplete: that must fail the gate
-    # even with zero violations among the scenarios that did run.
-    return 1 if report.violations() or report.failures else 0
+    # even with zero violations among the scenarios that did run.  An
+    # unsound loop-bound fact fails it too, even when every end-to-end
+    # cycle bound happens to hold.
+    return 1 if (report.violations() or report.failures
+                 or report.loop_violations()) else 0

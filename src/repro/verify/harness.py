@@ -51,6 +51,7 @@ from ..explore.tables import format_table
 from ..sim.cycle import CycleSimulator
 from ..wcet.analyzer import WcetOptions, analyze_wcet
 from ..workloads.suite import build_kernel
+from .loopcheck import LoopCheck, check_loops
 from .scenarios import (
     DEFAULT_ARBITERS,
     DEFAULT_RTOS_SCENARIOS,
@@ -115,12 +116,20 @@ class ConformanceReport:
 
     outcomes: list[ScenarioOutcome] = field(default_factory=list)
     failures: list[FailedCell] = field(default_factory=list)
+    #: Per-loop observed-iterations-vs-bound cross-checks (one per natural
+    #: loop per kernel); a loop violation is an unsound loop-bound fact even
+    #: when the end-to-end cycle bound happens to hold.
+    loop_checks: list[LoopCheck] = field(default_factory=list)
     elapsed_s: float = 0.0
 
     def violations(self) -> list[ScenarioOutcome]:
         """Outcomes whose bound failed to cover the observation."""
         return [outcome for outcome in self.outcomes
                 if outcome.sound is False]
+
+    def loop_violations(self) -> list[LoopCheck]:
+        """Loops whose observed header executions exceed their bound."""
+        return [check for check in self.loop_checks if check.ok is False]
 
     def bounded(self) -> list[ScenarioOutcome]:
         return [outcome for outcome in self.outcomes
@@ -145,15 +154,18 @@ class ConformanceReport:
     def to_dict(self) -> dict:
         worst = self.max_tightness()
         return {
-            "schema": "repro.verify/v1",
+            "schema": "repro.verify/v2",
             "scenarios": [outcome.to_dict() for outcome in self.outcomes],
             "failures": [cell.to_dict() for cell in self.failures],
+            "loops": [check.to_dict() for check in self.loop_checks],
             "summary": {
                 "checked": len(self.outcomes),
                 "bounded": len(self.bounded()),
                 "unbounded": len(self.unbounded()),
                 "violations": len(self.violations()),
                 "failed_cells": len(self.failures),
+                "loops_checked": len(self.loop_checks),
+                "loop_violations": len(self.loop_violations()),
                 "mean_tightness": (None if self.mean_tightness() is None
                                    else round(self.mean_tightness(), 4)),
                 "max_tightness": (None if worst is None
@@ -182,6 +194,24 @@ class ConformanceReport:
             ])
         return format_table(headers, rows)
 
+    def loops_table(self) -> str:
+        """Per-loop bound-vs-observed table with the remaining slack."""
+        headers = ["kernel", "function", "loop", "annot", "infer", "bound",
+                   "observed", "slack", "ok"]
+        rows = []
+
+        def fmt(value):
+            return "-" if value is None else value
+
+        for check in self.loop_checks:
+            rows.append([
+                check.kernel, check.function, check.header,
+                fmt(check.annotated), fmt(check.inferred), fmt(check.bound),
+                check.observed, fmt(check.slack),
+                {True: "yes", False: "NO", None: "n/a"}[check.ok],
+            ])
+        return format_table(headers, rows)
+
     def summary(self) -> str:
         mean = self.mean_tightness()
         worst = self.max_tightness()
@@ -196,11 +226,24 @@ class ConformanceReport:
                 f"tightness (bound/observed): mean {mean:.3f}, worst "
                 f"{worst.tightness:.3f} "
                 f"({worst.kernel}/{worst.variant}/{worst.arbiter})")
+        if self.loop_checks:
+            inferred = sum(1 for check in self.loop_checks
+                           if check.inferred is not None)
+            lines.append(
+                f"loop bounds: {len(self.loop_checks)} checked "
+                f"({inferred} inferred), "
+                f"{len(self.loop_violations())} violations")
         for outcome in self.violations():
             lines.append(
                 f"  VIOLATION {outcome.kernel}/{outcome.variant}/"
                 f"{outcome.arbiter} core {outcome.core_id}: observed "
                 f"{outcome.cycles} > bound {outcome.wcet_cycles}")
+        for check in self.loop_violations():
+            lines.append(
+                f"  LOOP VIOLATION {check.kernel}/{check.function}/"
+                f"{check.header}: observed {check.observed} header "
+                f"executions > bound {check.bound} x {check.entries} "
+                f"entries")
         if self.failures:
             lines.append(f"{len(self.failures)} scenario group(s) FAILED "
                          f"(report incomplete):")
@@ -307,6 +350,25 @@ class ConformanceHarness:
                 cycles=cycles,
                 wcet_cycles=wcet))
         return outcomes
+
+    def run_loop_checks(self, kernel: str) -> list[LoopCheck]:
+        """Cross-check every analysed loop of ``kernel`` against one run.
+
+        One default-hardware simulation per kernel supplies the per-block
+        execution counts; the loop facts come from the same value analysis
+        the WCET side used (shared via the facts cache).
+        """
+        image = self._image(kernel)
+        result = CycleSimulator(image, config=self.config, strict=self.strict,
+                                engine=self.engine).run()
+        expected = self._expected[kernel]
+        if result.output != expected:
+            raise VerificationError(
+                f"{kernel} loop check: functional mismatch — simulated "
+                f"output {result.output[:4]} differs from reference "
+                f"{expected[:4]}")
+        return check_loops(kernel, image.program, result.block_counts,
+                           result.call_counts)
 
     def run_rtos_scenario(self, scenario: RtosScenario
                           ) -> list[ScenarioOutcome]:
@@ -544,10 +606,25 @@ def run_conformance(kernels=("all",),
             outcome_lists.append(outcomes)
             if progress is not None:
                 _emit_progress(progress, scenario, outcomes)
+    # The per-loop soundness gate: one default-hardware run per kernel,
+    # cross-checked against the analysed loop bounds (runs on the main
+    # process — the simulations are shared with sequential matrix cells).
+    if harness is None:
+        harness = ConformanceHarness(config=config, strict=strict,
+                                     engine=engine)
+    seen_kernels: list[str] = []
+    for scenario in scenarios:
+        if scenario.kernel not in seen_kernels:
+            seen_kernels.append(scenario.kernel)
+    for kernel in seen_kernels:
+        checks = harness.run_loop_checks(kernel)
+        report.loop_checks.extend(checks)
+        if progress is not None:
+            bad = sum(1 for check in checks if check.ok is False)
+            status = "ok" if not bad else f"{bad} VIOLATIONS"
+            progress(f"{kernel + ' loop bounds':60s} "
+                     f"{len(checks):3d} loops checked  {status}")
     for rtos_scenario in rtos_scenarios:
-        if harness is None:
-            harness = ConformanceHarness(config=config, strict=strict,
-                                         engine=engine)
         outcomes = harness.run_rtos_scenario(rtos_scenario)
         outcome_lists.append(outcomes)
         if progress is not None:

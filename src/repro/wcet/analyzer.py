@@ -89,6 +89,12 @@ class WcetOptions:
     #: Flat per-run latency of the fault-recovery hardware outside the bus
     #: model (ECC correction charges); added once to the total bound.
     fault_overhead_cycles: int = 0
+    #: Run the abstract-interpretation value analysis (:mod:`repro.analysis`):
+    #: infer loop bounds where annotations are missing, tighten loose ones,
+    #: prune infeasible paths via extra IPET flow constraints, and restrict
+    #: the static-cache persistence argument to the data the program can
+    #: actually reach.  Disabling falls back to annotations only.
+    analysis: bool = True
 
     @classmethod
     def for_arbiter(cls, kind: str, num_cores: int,
@@ -147,6 +153,7 @@ class WcetOptions:
                 [list(key), bound] for key, bound in self.loop_bounds.items()),
             "bus_retry_limit": self.bus_retry_limit,
             "fault_overhead_cycles": self.fault_overhead_cycles,
+            "analysis": self.analysis,
         }
 
 
@@ -170,6 +177,8 @@ class WcetResult:
     one_off_cycles: int
     per_function: dict[str, FunctionWcet]
     options: WcetOptions
+    #: Loop-bound audits from the value analysis (empty when disabled).
+    loop_audits: list = field(default_factory=list)
     method_cache: MethodCacheAnalysis | None = None
     icache: ConventionalICacheAnalysis | None = None
     static_cache: StaticCacheAnalysis | None = None
@@ -207,6 +216,8 @@ class WcetAnalyzer:
                             for record in image.functions}
         #: Memo of the per-transfer bus wait, keyed by transfer word count.
         self._wait_memo: dict[int, int] = {}
+        #: Value-analysis facts of the last analyze() run (None if disabled).
+        self._facts = None
 
     # ------------------------------------------------------------------
 
@@ -225,6 +236,16 @@ class WcetAnalyzer:
                 and options.tdma_core_id is not None):
             options.tdma.slot_length(options.tdma_core_id)  # range check
 
+        facts = None
+        accessed_items = None
+        if options.analysis:
+            # Imported lazily: repro.analysis builds on repro.wcet.ipet.
+            from ..analysis.facts import program_facts
+            facts = program_facts(self.program)
+            accessed_items = facts.accessed_static_items(
+                write_allocate=self.config.static_cache.write_allocate)
+        self._facts = facts
+
         method_cache = None
         icache = None
         if options.conventional_icache:
@@ -234,7 +255,8 @@ class WcetAnalyzer:
                 self.image, self.config, mode=options.method_cache, entry=entry)
         static_cache = analyse_static_cache(
             self.image, self.config, mode=options.static_cache,
-            unified=options.unified_data_cache)
+            unified=options.unified_data_cache,
+            accessed_items=accessed_items)
         object_cache = analyse_object_cache(self.config, mode=options.object_cache)
         frame_words = self._frame_words()
         stack_cache = analyse_stack_cache(
@@ -287,6 +309,7 @@ class WcetAnalyzer:
         return WcetResult(
             entry=entry, wcet_cycles=total, one_off_cycles=one_off,
             per_function=per_function, options=options,
+            loop_audits=facts.loop_audits() if facts is not None else [],
             method_cache=method_cache, icache=icache,
             static_cache=static_cache, object_cache=object_cache,
             stack_cache=stack_cache)
@@ -547,12 +570,23 @@ class WcetAnalyzer:
             block_costs[label] = cost + callee_part
             callee_total += callee_part
 
-        loop_bounds = {
+        # Bound precedence: explicit per-call overrides > audited effective
+        # bounds (min of annotation and inferred) > block annotations, which
+        # solve_ipet reads off the CFG itself.
+        loop_bounds: dict[str, int] = {}
+        flow_constraints = None
+        func_facts = (self._facts.function_facts(function.name)
+                      if self._facts is not None else None)
+        if func_facts is not None:
+            loop_bounds.update(func_facts.effective_bounds())
+            flow_constraints = func_facts.flow_constraints()
+        loop_bounds.update({
             label: bound
             for (func_name, label), bound in self.options.loop_bounds.items()
             if func_name == function.name
-        }
-        ipet = solve_ipet(cfg, block_costs, loop_bounds)
+        })
+        ipet = solve_ipet(cfg, block_costs, loop_bounds,
+                          flow_constraints=flow_constraints)
         return FunctionWcet(name=function.name, wcet_cycles=ipet.wcet,
                             ipet=ipet, block_costs=block_costs,
                             callee_cycles=callee_total)

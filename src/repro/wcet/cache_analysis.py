@@ -176,8 +176,17 @@ class StaticCacheAnalysis:
 
 def analyse_static_cache(image: Image, config: PatmosConfig,
                          mode: str = "persistence",
-                         unified: bool = False) -> StaticCacheAnalysis:
-    """Analyse the static/constant cache (or the unified-cache baseline)."""
+                         unified: bool = False,
+                         accessed_items: set[str] | None = None
+                         ) -> StaticCacheAnalysis:
+    """Analyse the static/constant cache (or the unified-cache baseline).
+
+    ``accessed_items`` optionally restricts the persistence argument to the
+    static data items the program can actually touch (as proven by the
+    address-range analysis): lines of untouched items are never filled, so
+    they neither cost a one-off fill nor participate in conflicts.  ``None``
+    keeps the conservative whole-image behaviour.
+    """
     line_bytes = config.static_cache.line_bytes
     miss = config.memory.transfer_cycles(line_bytes // 4)
     write_cost = config.memory.transfer_cycles(1)
@@ -202,6 +211,8 @@ def analyse_static_cache(image: Image, config: PatmosConfig,
     total_lines = 0
     for item in image.program.data_in_order():
         if item.space not in (DataSpace.CONST, DataSpace.DATA):
+            continue
+        if accessed_items is not None and item.name not in accessed_items:
             continue
         base = image.symbol(item.name)
         first_line = base // line_bytes

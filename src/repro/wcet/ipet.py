@@ -33,6 +33,22 @@ class IpetResult:
     status: str = "optimal"
 
 
+@dataclass(frozen=True)
+class FlowConstraint:
+    """Extra linear flow fact ``sum(coeff * x_edge) <= upper``.
+
+    Produced by the static analysis (infeasible-path detection); terms
+    reference CFG edges ``(src, dst)``.  Terms whose edge does not exist in
+    the solved CFG are silently dropped — the constraint is a statement
+    about executions of those edges, and a missing edge executes zero
+    times.
+    """
+
+    terms: tuple[tuple[tuple[str, str], float], ...]
+    upper: float
+    reason: str = ""
+
+
 def _edges_with_virtuals(cfg: ControlFlowGraph) -> list[tuple[str, str]]:
     edges = [(SOURCE, cfg.entry)]
     reachable = cfg.reachable()
@@ -46,14 +62,17 @@ def _edges_with_virtuals(cfg: ControlFlowGraph) -> list[tuple[str, str]]:
 
 
 def solve_ipet(cfg: ControlFlowGraph, block_costs: dict[str, int],
-               loop_bounds: dict[str, int] | None = None) -> IpetResult:
+               loop_bounds: dict[str, int] | None = None,
+               flow_constraints: list[FlowConstraint] | None = None
+               ) -> IpetResult:
     """Solve the IPET ILP for one function.
 
     ``block_costs`` maps block labels to their worst-case cost in cycles.
     ``loop_bounds`` maps loop-header labels to the maximum number of header
     executions per loop entry; loops found in the CFG without a bound (either
     here or as a block annotation) are an error, because the ILP would be
-    unbounded.
+    unbounded.  ``flow_constraints`` adds analysis-derived linear facts over
+    edge counts (e.g. infeasible-path exclusions).
     """
     loop_bounds = dict(loop_bounds or {})
     for loop in cfg.natural_loops():
@@ -115,6 +134,16 @@ def solve_ipet(cfg: ControlFlowGraph, block_costs: dict[str, int],
             elif dst == loop.header:
                 coeffs[index] = coeffs.get(index, 0.0) - float(bound - 1)
         add_constraint(coeffs, -np.inf, 0.0)
+
+    # Analysis-derived flow facts (infeasible paths, exclusive branches).
+    for fact in flow_constraints or ():
+        coeffs = {}
+        for edge, coeff in fact.terms:
+            index = edge_index.get(edge)
+            if index is not None:
+                coeffs[index] = coeffs.get(index, 0.0) + coeff
+        if coeffs:
+            add_constraint(coeffs, -np.inf, fact.upper)
 
     constraints = optimize.LinearConstraint(
         sparse.csr_matrix(np.vstack(rows)), np.array(lower), np.array(upper))

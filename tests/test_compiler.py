@@ -22,7 +22,7 @@ from repro.compiler.simplify import merge_straightline_blocks
 from repro.compiler.stack_alloc import allocate_function, frame_size_words
 from repro.config import MethodCacheConfig
 from repro.errors import CompilerError
-from repro.isa import ControlKind, Instruction, Opcode
+from repro.isa import Opcode
 from repro.workloads import (
     build_call_tree,
     build_large_function,

@@ -100,8 +100,9 @@ class TestParameterSpace:
 
 class TestSpecKey:
     def test_key_is_stable(self):
-        make = lambda: (ParameterSpace(["vector_sum"])
-                        .axis("method_cache_size", [2048])).specs()[0]
+        def make():
+            return (ParameterSpace(["vector_sum"])
+                    .axis("method_cache_size", [2048])).specs()[0]
         assert make().key() == make().key()
 
     def test_key_distinguishes_content(self):

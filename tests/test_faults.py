@@ -14,7 +14,6 @@ Four layers:
   event and reference schedulers agreeing on every timing figure.
 """
 
-import dataclasses
 
 import pytest
 

@@ -8,7 +8,6 @@ from repro.isa import (
     ALWAYS,
     Bundle,
     ControlKind,
-    Format,
     Guard,
     Instruction,
     MemType,

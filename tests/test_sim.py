@@ -21,7 +21,7 @@ from repro.program import DataSpace, link
 from repro.program.basic_block import BasicBlock
 from repro.program.function import Function
 from repro.program.program import Program
-from repro.sim.state import to_signed, to_unsigned
+from repro.sim.state import to_signed
 
 
 def run_program(build, config=None, simulator=CycleSimulator, strict=True,

@@ -86,9 +86,11 @@ class TestHarness:
 
     def test_report_serialization(self, report):
         payload = report.to_dict()
-        assert payload["schema"] == "repro.verify/v1"
+        assert payload["schema"] == "repro.verify/v2"
         assert payload["summary"]["violations"] == 0
         assert payload["summary"]["checked"] == len(report.outcomes)
+        assert payload["summary"]["loops_checked"] == len(report.loop_checks)
+        assert payload["summary"]["loop_violations"] == 0
         json.dumps(payload)  # JSON-serializable end to end
         assert "bound/obs" in report.table()
         assert "0 soundness violations" in report.summary()
@@ -210,8 +212,10 @@ class TestParallelMatrix:
                                  progress=lines.append)
         scenarios = {(o.kernel, o.variant, o.arbiter)
                      for o in report.outcomes}
-        assert len(lines) == len(build_scenarios(["vector_sum"]))
-        assert len(scenarios) == len(lines)
+        # One line per scenario plus one loop-bound line per kernel.
+        assert len(lines) == len(build_scenarios(["vector_sum"])) + 1
+        assert len(scenarios) == len(lines) - 1
+        assert any("loop bounds" in line for line in lines)
 
     def test_jobs_must_be_positive(self):
         with pytest.raises(VerificationError):

@@ -12,9 +12,8 @@ from repro import (
 from repro.config import MethodCacheConfig
 from repro.errors import WcetError
 from repro.memory import TdmaSchedule
-from repro.program import ControlFlowGraph, DataSpace
+from repro.program import ControlFlowGraph
 from repro.wcet import (
-    WcetAnalyzer,
     WcetOptions,
     analyse_method_cache,
     analyse_stack_cache,
