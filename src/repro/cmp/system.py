@@ -483,12 +483,14 @@ class MulticoreSystem:
             raise SimulationTimeout(
                 f"core {core_id} reached the watchdog limit of "
                 f"{max_cycles} cycles without halting", kind="cycles",
-                limit=max_cycles, cycle=cycle, core_id=core_id)
+                limit=max_cycles, cycle=cycle, core_id=core_id,
+                max_cycles=max_cycles, max_wall_s=max_wall_s)
         if deadline is not None and time.monotonic() >= deadline:
             raise SimulationTimeout(
                 f"co-simulation exceeded its wall-clock budget of "
                 f"{max_wall_s:g} s", kind="wall_clock", limit=max_wall_s,
-                cycle=cycle, core_id=core_id)
+                cycle=cycle, core_id=core_id,
+                max_cycles=max_cycles, max_wall_s=max_wall_s)
 
     def _build_cores(self, arbiter: MemoryArbiter, strict: bool) -> list:
         """Create the shared memory and one execution agent per core.

@@ -71,20 +71,38 @@ class SimulationTimeout(SimulationError):
     ``limit`` the configured budget, ``cycle`` the global cycle reached and
     ``core_id`` the core being advanced when the watchdog fired (``None``
     when the whole system tripped the budget together).
+
+    Both armed budgets are carried structurally — ``max_cycles`` and
+    ``max_wall_s`` regardless of which one fired — and ``cycles_completed``
+    is how far the simulation got, so :class:`FailedCell` records and sweep
+    journal entries can report progress without parsing the message.
     """
 
     def __init__(self, message: str, kind: str = "cycles",
                  limit: float | int | None = None,
-                 cycle: int | None = None, core_id: int | None = None):
+                 cycle: int | None = None, core_id: int | None = None,
+                 max_cycles: int | None = None,
+                 max_wall_s: float | None = None):
         super().__init__(message)
         self.kind = kind
         self.limit = limit
         self.cycle = cycle
         self.core_id = core_id
+        self.max_cycles = (max_cycles if max_cycles is not None
+                           else (limit if kind == "cycles" else None))
+        self.max_wall_s = (max_wall_s if max_wall_s is not None
+                           else (limit if kind == "wall_clock" else None))
+
+    @property
+    def cycles_completed(self) -> int | None:
+        """Global cycle the simulation reached when the watchdog fired."""
+        return self.cycle
 
     def context(self) -> dict:
         return {"kind": self.kind, "limit": self.limit,
-                "cycle": self.cycle, "core": self.core_id}
+                "cycle": self.cycle, "core": self.core_id,
+                "max_cycles": self.max_cycles, "max_wall_s": self.max_wall_s,
+                "cycles_completed": self.cycles_completed}
 
 
 class FaultInjectionError(SimulationError):
@@ -162,6 +180,37 @@ class WorkerCrashed(ExplorationError):
 
     def context(self) -> dict:
         return {"cell_key": self.cell_key, "attempts": self.attempts}
+
+
+class JobError(ReproError):
+    """The durable job layer was misused or a run directory is unusable.
+
+    Raised for unknown run ids, malformed run metadata, and journals whose
+    header does not match the sweep being resumed.
+    """
+
+    def __init__(self, message: str, run_id: str | None = None):
+        super().__init__(message)
+        self.run_id = run_id
+
+
+class SweepInterrupted(ReproError):
+    """A sweep drained gracefully after SIGINT/SIGTERM and can be resumed.
+
+    The journal was flushed before this was raised, so every cell completed
+    up to the interruption survives; ``run_id`` names the durable run
+    directory and ``resume_argv`` is the exact command-line suffix that
+    resumes it (the CLIs print it in the exit message).
+    """
+
+    def __init__(self, message: str, run_id: str | None = None,
+                 resume_argv: str | None = None):
+        super().__init__(message)
+        self.run_id = run_id
+        self.resume_argv = resume_argv
+
+    def context(self) -> dict:
+        return {"run_id": self.run_id, "resume_argv": self.resume_argv}
 
 
 class CacheCorruption(ExplorationError):

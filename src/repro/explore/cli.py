@@ -10,6 +10,12 @@ Each ``--axis name=v1,v2,...`` adds one swept dimension (see
 kernel names and suite names (``performance``, ``branchy``, ``all``).
 Results are cached in ``--cache`` (default ``.explore-cache.json``) so a
 repeated sweep reports cache hits instead of re-simulating.
+
+Sweeps are durable by default: every cell state transition is journaled in
+a run directory (``$REPRO_RUNS_DIR`` or ``~/.cache/repro/runs``), and a
+killed or interrupted sweep resumes with ``--resume RUN_ID`` — the run id
+alone rebuilds the sweep from the journal's metadata and re-executes only
+the cells that never finished.
 """
 
 from __future__ import annotations
@@ -18,7 +24,8 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from ..errors import ReproError
+from ..errors import ReproError, SweepInterrupted
+from ..jobs import TIMEOUT_CLASSES, RunDirectory
 from .cache import ResultCache
 from .pareto import DEFAULT_OBJECTIVES, Objective
 from .runner import ExplorationRunner
@@ -68,9 +75,10 @@ def build_arg_parser() -> argparse.ArgumentParser:
         description="Design-space exploration over the Patmos model: sweep "
                     "architecture and compiler parameters, collect cycle "
                     "counts and WCET bounds, report the Pareto frontier.")
-    parser.add_argument("--kernels", required=True,
+    parser.add_argument("--kernels", default=None,
                         help="comma-separated kernel or suite names "
-                             "(suites: performance, branchy, all)")
+                             "(suites: performance, branchy, all); "
+                             "required unless --resume is given")
     parser.add_argument("--axis", action="append", default=[],
                         type=parse_axis, metavar="NAME=V1,V2,...",
                         help="add one swept dimension; repeatable "
@@ -81,6 +89,20 @@ def build_arg_parser() -> argparse.ArgumentParser:
                              "with colon-separated per-core weights)")
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes (default: 1, serial)")
+    parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                        help="resume an interrupted sweep from its journal; "
+                             "the run id alone rebuilds the sweep "
+                             "(list runs with 'python -m repro.jobs list')")
+    parser.add_argument("--runs-root", default=None, metavar="DIR",
+                        help="root of the durable run directories (default: "
+                             "$REPRO_RUNS_DIR or ~/.cache/repro/runs)")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="skip the durable run journal (the sweep "
+                             "cannot be resumed)")
+    parser.add_argument("--timeout-class", default="unbounded",
+                        choices=sorted(TIMEOUT_CLASSES),
+                        help="per-cell wall-clock budget class "
+                             "(default: unbounded)")
     parser.add_argument("--cache", default=".explore-cache.json",
                         metavar="PATH",
                         help="result cache file "
@@ -115,25 +137,70 @@ def _objectives(arg: Optional[str], with_wcet: bool) -> tuple[Objective, ...]:
     return tuple(objectives)
 
 
+def _build_matrix(args) -> dict:
+    """The sweep-defining matrix: what --resume must be able to rebuild."""
+    kernels = [name.strip() for name in args.kernels.split(",")
+               if name.strip()]
+    return {"kernels": kernels,
+            "axes": [[name, list(values)] for name, values in args.axis],
+            "analyse_wcet": not args.no_wcet}
+
+
+def _space_from_matrix(matrix: dict) -> ParameterSpace:
+    space = ParameterSpace(list(matrix["kernels"]),
+                           analyse_wcet=bool(matrix.get("analyse_wcet",
+                                                        True)))
+    for name, values in matrix.get("axes", []):
+        space.axis(name, values)
+    return space
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_arg_parser()
     args = parser.parse_args(argv)
+    run_dir = None
     try:
-        kernels = [name.strip() for name in args.kernels.split(",")
-                   if name.strip()]
-        space = ParameterSpace(kernels, analyse_wcet=not args.no_wcet)
-        for name, values in args.axis:
-            space.axis(name, values)
+        if args.resume is not None and not args.resume.strip():
+            # An empty id (e.g. a failed command substitution in CI) must
+            # not silently degrade into a fresh full sweep.
+            raise ReproError("--resume requires a run id")
+        if args.resume:
+            run_dir = RunDirectory.open(args.resume, root=args.runs_root)
+            meta = run_dir.meta
+            if meta.get("kind") != "explore":
+                raise ReproError(
+                    f"run {args.resume} is a {meta.get('kind')!r} run; "
+                    f"resume it with python -m repro.{meta.get('kind')}")
+            matrix = meta["matrix"]
+        else:
+            if not args.kernels:
+                print("error: --kernels is required unless --resume is "
+                      "given", file=sys.stderr)
+                return 1
+            matrix = _build_matrix(args)
+        space = _space_from_matrix(matrix)
+        analyse_wcet = bool(matrix.get("analyse_wcet", True))
         # Validate the objectives before the sweep so a typo fails fast
         # instead of after a potentially long simulation run.
-        objectives = _objectives(args.objectives, not args.no_wcet)
+        objectives = _objectives(args.objectives, analyse_wcet)
 
         cache = None if args.no_cache else ResultCache(args.cache)
-        runner = ExplorationRunner(jobs=args.jobs, cache=cache)
+        runner = ExplorationRunner(jobs=args.jobs, cache=cache,
+                                   timeout_class=args.timeout_class)
+        if args.resume:
+            run_dir.mark_resumed(len(space))
+            print(f"resuming run {run_dir.run_id}")
+        elif not args.no_journal:
+            run_dir = RunDirectory.create("explore", matrix,
+                                          cells=len(space),
+                                          root=args.runs_root)
+            print(f"run id: {run_dir.run_id} "
+                  f"(resume with --resume {run_dir.run_id})")
         print(f"exploring {len(space)} design points "
               f"({len(space.kernels)} kernels x "
               f"{len(space) // max(len(space.kernels), 1)} configurations)")
-        outcome = runner.run(space)
+        outcome = runner.run(space, run_dir=run_dir,
+                             resume=bool(args.resume))
 
         print()
         print(outcome.table())
@@ -151,8 +218,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                   f"failed design point(s); see the failure summary above",
                   file=sys.stderr)
             return 2
+    except SweepInterrupted as exc:
+        print(f"\ninterrupted: {exc}", file=sys.stderr)
+        if exc.resume_argv:
+            print(f"resume with: python -m repro.explore {exc.resume_argv}",
+                  file=sys.stderr)
+        return 130
     except (ReproError, KeyError) as exc:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return 1
+    finally:
+        if run_dir is not None:
+            run_dir.close()
     return 0

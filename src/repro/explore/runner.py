@@ -21,16 +21,14 @@ poisoned; every other cell still completes and is cached.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, replace
 from typing import Iterable, Optional, Union
 
 from ..cmp.system import MulticoreSystem
 from ..compiler.passes import compile_and_link
-from ..errors import (ExplorationError, FailedCell, ReproError,
-                      WorkerCrashed)
+from ..errors import (ExplorationError, FailedCell, SweepInterrupted)
 from ..hw.pipeline import estimate_pipeline_timing
+from ..jobs import JobCell, RetryPolicy, RunDirectory, run_jobs
 from ..sim.cycle import CycleSimulator
 from ..wcet.analyzer import analyze_wcet
 from ..workloads.suite import build_kernel, resolve_kernels
@@ -342,18 +340,23 @@ class ExplorationResult:
 class ExplorationRunner:
     """Execute a parameter space with optional parallelism and caching.
 
-    ``max_retries`` bounds how often one cell is resubmitted after its pool
-    worker dies (a cell that keeps killing workers is declared poisoned and
-    recorded as a :class:`~repro.errors.FailedCell`); ``retry_backoff_s``
-    is the base of the capped exponential pause between crash-recovery
-    rounds, giving a transiently starved machine room to recover.
+    Cells execute through the shared :mod:`repro.jobs` engine under one
+    declarative :class:`~repro.jobs.RetryPolicy`: ``max_retries`` bounds how
+    often one cell is re-leased after its worker dies (a cell that keeps
+    killing workers is declared poisoned and recorded as a
+    :class:`~repro.errors.FailedCell`); ``retry_backoff_s`` is the base of
+    the deterministic capped exponential pause between crash-recovery
+    attempts, giving a transiently starved machine room to recover;
+    ``timeout_class`` names the per-cell wall-clock budget
+    (see :data:`repro.jobs.TIMEOUT_CLASSES`).
     """
 
     #: Longest pause between crash-recovery rounds, in seconds.
     MAX_BACKOFF_S = 2.0
 
     def __init__(self, jobs: int = 1, cache: Optional[ResultCache] = None,
-                 max_retries: int = 2, retry_backoff_s: float = 0.05):
+                 max_retries: int = 2, retry_backoff_s: float = 0.05,
+                 timeout_class: str = "unbounded"):
         if jobs < 1:
             raise ExplorationError("jobs must be >= 1")
         if max_retries < 0:
@@ -364,10 +367,28 @@ class ExplorationRunner:
         self.cache = cache
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.timeout_class = timeout_class
 
-    def run(self, space: Union[ParameterSpace, Iterable[ExperimentSpec]]
-            ) -> ExplorationResult:
-        """Run every spec, recalling cached design points where possible."""
+    def policy(self) -> RetryPolicy:
+        """The declarative retry policy this runner executes under."""
+        return RetryPolicy(max_attempts=self.max_retries + 1,
+                           backoff_base_s=self.retry_backoff_s,
+                           backoff_cap_s=self.MAX_BACKOFF_S,
+                           timeout_class=self.timeout_class)
+
+    def run(self, space: Union[ParameterSpace, Iterable[ExperimentSpec]],
+            run_dir: Optional[RunDirectory] = None,
+            resume: bool = False) -> ExplorationResult:
+        """Run every spec, recalling cached design points where possible.
+
+        With a ``run_dir`` the sweep is durable: every cell state transition
+        lands in the run's journal, and ``resume=True`` replays it first so
+        cells recorded ``done`` are injected instead of re-executed (their
+        journaled payload is the full result record, so a resumed report is
+        byte-identical — modulo elapsed time — to an uninterrupted one).
+        On SIGINT/SIGTERM the sweep drains gracefully and raises
+        :class:`~repro.errors.SweepInterrupted` carrying the resume command.
+        """
         specs = (space.specs() if isinstance(space, ParameterSpace)
                  else list(space))
         started = time.perf_counter()
@@ -394,30 +415,55 @@ class ExplorationRunner:
                 pending.append((index, spec))
                 pending_keys.add(key)
 
+        index_of = {spec.key(): index for index, spec in pending}
+
+        def apply_result(result: SpecResult) -> None:
+            results[index_of[result.key]] = result
+            for dup_index, dup_spec in duplicates.get(result.key, ()):
+                # Shared with a point executed in this very run, so it is
+                # not a cache recall.
+                results[dup_index] = self._labelled(
+                    SpecResult.from_record(result.to_record(),
+                                           from_cache=False), dup_spec)
+            if self.cache is not None:
+                self.cache.put(result.key, result.to_record())
+
+        replay = run_dir.replay() if (run_dir is not None and resume) \
+            else None
+        to_run: list[tuple[int, ExperimentSpec]] = []
+        for index, spec in pending:
+            key = spec.key()
+            if replay is not None and replay.done.get(key) is not None:
+                apply_result(self._labelled(
+                    SpecResult.from_record(replay.done[key],
+                                           from_cache=False), spec))
+            else:
+                to_run.append((index, spec))
+
         # Cache every completed design point as it arrives and persist even
         # when the sweep is interrupted, so a re-run is incremental.  Failed
-        # cells are never cached — a retry must actually re-execute them.
+        # cells are never cached (nor journaled as done) — a retry must
+        # actually re-execute them.
         try:
-            for (index, spec), outcome in zip(
-                    pending, self._execute_iter([s for _, s in pending])):
-                if isinstance(outcome, FailedCell):
-                    failures.append(outcome)
-                    failures.extend(
-                        replace(outcome, label=dup_spec.label())
-                        for _, dup_spec in duplicates.get(outcome.key, ()))
-                    continue
-                results[index] = outcome
-                for dup_index, dup_spec in duplicates.get(outcome.key, ()):
-                    # Shared with a point executed in this very run, so it
-                    # is not a cache recall.
-                    results[dup_index] = self._labelled(
-                        SpecResult.from_record(outcome.to_record(),
-                                               from_cache=False), dup_spec)
-                if self.cache is not None:
-                    self.cache.put(outcome.key, outcome.to_record())
+            outcome = run_jobs(
+                [JobCell(key=spec.key(), label=spec.label(), payload=spec)
+                 for _, spec in to_run],
+                _spec_worker, jobs=self.jobs, policy=self.policy(),
+                journal=run_dir.journal() if run_dir is not None else None,
+                contain=lambda error: error.is_repro,
+                encode=lambda result: result.to_record(),
+                on_result=lambda cell, result: apply_result(result))
+            for cell in outcome.failures:
+                failures.append(cell)
+                failures.extend(
+                    replace(cell, label=dup_spec.label())
+                    for _, dup_spec in duplicates.get(cell.key, ()))
         finally:
             if self.cache is not None:
                 self.cache.save()
+
+        if outcome.interrupted:
+            raise self._interrupted(run_dir)
 
         return ExplorationResult(
             results=[result for result in results if result is not None],
@@ -428,87 +474,20 @@ class ExplorationRunner:
         )
 
     @staticmethod
+    def _interrupted(run_dir: Optional[RunDirectory]) -> SweepInterrupted:
+        if run_dir is None:
+            return SweepInterrupted(
+                "sweep interrupted; completed cells are cached but the run "
+                "was not journaled (no run directory)")
+        resume_argv = f"--resume {run_dir.run_id}"
+        return SweepInterrupted(
+            f"sweep interrupted; journal flushed — resume with: "
+            f"python -m repro.explore {resume_argv}",
+            run_id=run_dir.run_id, resume_argv=resume_argv)
+
+    @staticmethod
     def _labelled(result: SpecResult, spec: ExperimentSpec) -> SpecResult:
         """Attach the requesting spec's display parameters to a recalled
         result, so a shared cache entry never mislabels a design point."""
         result.parameters = dict(spec.parameters)
         return result
-
-    def _execute_iter(self, specs: list[ExperimentSpec]):
-        """Yield one outcome per spec, in spec order, parallel when possible.
-
-        Each outcome is either a :class:`SpecResult` or a
-        :class:`~repro.errors.FailedCell` — library errors and worker
-        crashes are contained per cell, never aborting the sweep.  Only
-        *pool creation* is guarded: a restricted environment without worker
-        processes falls back to the identical serial path.
-        """
-        if self.jobs > 1 and len(specs) > 1:
-            try:
-                yield from self._execute_parallel(specs)
-                return
-            except (ImportError, OSError):
-                pass
-        for spec in specs:
-            yield self._run_contained(spec)
-
-    @staticmethod
-    def _run_contained(spec: ExperimentSpec):
-        """Run one cell in-process, containing library errors."""
-        try:
-            return _spec_worker(spec)
-        except ReproError as exc:
-            return FailedCell.from_exception(spec.key(), spec.label(), exc)
-
-    def _execute_parallel(self, specs: list[ExperimentSpec]):
-        """All outcomes of a process-pool sweep, in spec order.
-
-        A worker killed mid-cell breaks the whole pool, so every cell still
-        in flight surfaces as :class:`BrokenProcessPool`.  Those cells are
-        then re-run one at a time, each in its *own* single-worker pool
-        with capped backoff between attempts — isolation is what separates
-        the one poisoned cell (which keeps dying and is recorded as a
-        :class:`~repro.errors.FailedCell`) from the innocent cells that
-        merely shared the broken pool (which complete on their retry).
-        """
-        outcomes: list = [None] * len(specs)
-        crashed: list[int] = []
-        with ProcessPoolExecutor(
-                max_workers=min(self.jobs, len(specs))) as pool:
-            futures = {index: pool.submit(_spec_worker, specs[index])
-                       for index in range(len(specs))}
-            for index, spec in enumerate(specs):
-                try:
-                    outcomes[index] = futures[index].result()
-                except ReproError as exc:
-                    outcomes[index] = FailedCell.from_exception(
-                        spec.key(), spec.label(), exc)
-                except BrokenProcessPool:
-                    crashed.append(index)
-        for index in crashed:
-            outcomes[index] = self._retry_isolated(specs[index])
-        return outcomes
-
-    def _retry_isolated(self, spec: ExperimentSpec):
-        """Re-run one crash-suspected cell in isolated single-worker pools."""
-        attempts = 1  # the broken-pool round already executed it once
-        while attempts <= self.max_retries:
-            if self.retry_backoff_s:
-                time.sleep(min(self.retry_backoff_s * (2 ** (attempts - 1)),
-                               self.MAX_BACKOFF_S))
-            attempts += 1
-            with ProcessPoolExecutor(max_workers=1) as pool:
-                try:
-                    return pool.submit(_spec_worker, spec).result()
-                except ReproError as exc:
-                    return FailedCell.from_exception(
-                        spec.key(), spec.label(), exc, attempts=attempts)
-                except BrokenProcessPool:
-                    continue
-        return FailedCell.from_exception(
-            spec.key(), spec.label(),
-            WorkerCrashed(
-                f"{spec.label()}: worker process died {attempts} times "
-                f"executing this cell", cell_key=spec.key(),
-                attempts=attempts),
-            attempts=attempts)

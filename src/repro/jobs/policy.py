@@ -1,0 +1,102 @@
+"""The declarative retry/timeout policy shared by every sweep runner.
+
+One :class:`RetryPolicy` replaces the two divergent crash-containment
+implementations the explore and verify runners used to carry: how many
+executions a cell may consume before it is declared poisoned, the
+deterministic capped exponential backoff between crash-recovery attempts,
+how stale a worker's heartbeat may grow before the supervisor declares it
+lost, and which per-cell wall-clock timeout class applies.
+
+Retries apply to *crashes* (a worker killed, OOMed or segfaulted, a missed
+heartbeat deadline, a cell past its timeout class) — never to errors a cell
+*raises*, which are deterministic and would fail identically on every
+attempt.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import JobError
+
+
+@dataclass(frozen=True)
+class CellTimeout:
+    """One timeout class: the wall-clock budget of a single cell execution.
+
+    ``max_wall_s`` is enforced by the supervisor (the worker is killed and
+    the cell charged one attempt); ``max_cycles`` is advisory — runners that
+    thread it into :meth:`MulticoreSystem.run` get the structured
+    in-simulation watchdog as well.
+    """
+
+    name: str
+    max_wall_s: Optional[float] = None
+    max_cycles: Optional[int] = None
+
+
+#: The built-in timeout classes.  ``unbounded`` (the default) preserves the
+#: historical behaviour of both runners; the bounded classes give CI sweeps
+#: a structured failure instead of a hung job.
+TIMEOUT_CLASSES: dict[str, CellTimeout] = {
+    "unbounded": CellTimeout("unbounded"),
+    "smoke": CellTimeout("smoke", max_wall_s=60.0, max_cycles=20_000_000),
+    "standard": CellTimeout("standard", max_wall_s=600.0,
+                            max_cycles=200_000_000),
+    "soak": CellTimeout("soak", max_wall_s=3600.0),
+}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a sweep reacts to crashed, lost and overrunning workers."""
+
+    #: Total executions a cell may consume (initial run + crash retries).
+    max_attempts: int = 3
+    #: Base of the exponential pause before a crash-recovery attempt.
+    backoff_base_s: float = 0.05
+    #: Longest pause between crash-recovery attempts.
+    backoff_cap_s: float = 2.0
+    #: How often workers refresh their heartbeat.
+    heartbeat_interval_s: float = 0.2
+    #: A leased worker whose heartbeat is older than this is declared lost.
+    heartbeat_timeout_s: float = 10.0
+    #: How long a graceful drain waits for in-flight cells before leasing
+    #: them back to the journal.
+    drain_grace_s: float = 10.0
+    #: Name of the per-cell wall-clock budget (see :data:`TIMEOUT_CLASSES`).
+    timeout_class: str = "unbounded"
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise JobError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise JobError("backoff must be >= 0")
+        if self.heartbeat_interval_s <= 0:
+            raise JobError("heartbeat_interval_s must be > 0")
+        if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+            raise JobError("heartbeat_timeout_s must exceed the interval")
+        if self.timeout_class not in TIMEOUT_CLASSES:
+            raise JobError(
+                f"unknown timeout class {self.timeout_class!r}; choose "
+                f"from {sorted(TIMEOUT_CLASSES)}")
+
+    @property
+    def timeout(self) -> CellTimeout:
+        return TIMEOUT_CLASSES[self.timeout_class]
+
+    def backoff_s(self, attempt: int) -> float:
+        """Deterministic capped exponential pause before attempt ``attempt``.
+
+        ``attempt`` is 1-based; the first *retry* is attempt 2 and waits the
+        base, each further retry doubles it up to the cap.  No jitter: a
+        deterministic schedule keeps crash-containment runs reproducible.
+        """
+        if attempt <= 1 or self.backoff_base_s == 0:
+            return 0.0
+        return min(self.backoff_base_s * (2 ** (attempt - 2)),
+                   self.backoff_cap_s)
+
+
+__all__ = ["CellTimeout", "RetryPolicy", "TIMEOUT_CLASSES"]

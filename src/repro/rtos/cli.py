@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from ..errors import ReproError
+from ..errors import ReproError, SimulationTimeout
 from .system import RtosSystem
 from .task import PRIORITY_ASSIGNMENTS, synthesize_tasksets
 
@@ -61,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0,
                         help="seed of the task-set generator and the "
                              "sporadic release streams (default: 0)")
+    parser.add_argument("--max-cycles", type=int, default=None, metavar="CYC",
+                        help="watchdog: abort with a structured timeout "
+                             "once any core passes this many cycles "
+                             "without the task set halting (default: off)")
+    parser.add_argument("--max-wall-s", type=float, default=None,
+                        metavar="SEC",
+                        help="watchdog: abort with a structured timeout "
+                             "once the co-simulation exceeds this "
+                             "wall-clock budget (default: off)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the machine-readable result here")
     parser.add_argument("--table", action="store_true",
@@ -80,7 +89,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         system = RtosSystem(tasksets, arbiter=args.arbiter,
                             policy=args.policy, horizon=args.horizon,
                             seed=args.seed, scheduler=args.scheduler)
-        result = system.run()
+        result = system.run(max_cycles=args.max_cycles,
+                            max_wall_s=args.max_wall_s)
+    except SimulationTimeout as exc:
+        # A runaway task set becomes a structured failure instead of a
+        # hung CI job: report which budget fired and how far it got.
+        context = exc.context()
+        print(f"error: {exc}", file=sys.stderr)
+        print(f"timeout: kind={context['kind']} "
+              f"max_cycles={context['max_cycles']} "
+              f"max_wall_s={context['max_wall_s']} "
+              f"cycles_completed={context['cycles_completed']} "
+              f"core={context['core']}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -29,9 +29,10 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from ..errors import ReproError
+from ..errors import ReproError, SweepInterrupted
+from ..jobs import RunDirectory
 from ..workloads.suite import resolve_kernels
-from .harness import run_conformance
+from .harness import count_cells, run_conformance
 from .scenarios import (DEFAULT_ARBITERS, DEFAULT_RTOS_SCENARIOS,
                         DEFAULT_VARIANTS)
 
@@ -80,6 +81,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=1, metavar="N",
                         help="worker processes for the matrix (default: 1); "
                              "the report is identical to a sequential run")
+    parser.add_argument("--resume", default=None, metavar="RUN_ID",
+                        help="resume an interrupted run from its journal; "
+                             "the run id alone rebuilds the matrix "
+                             "(list runs with 'python -m repro.jobs list')")
+    parser.add_argument("--runs-root", default=None, metavar="DIR",
+                        help="root of the durable run directories (default: "
+                             "$REPRO_RUNS_DIR or ~/.cache/repro/runs)")
+    parser.add_argument("--no-journal", action="store_true",
+                        help="skip the durable run journal (the run "
+                             "cannot be resumed)")
     parser.add_argument("--json", default=None, metavar="PATH",
                         help="write the machine-readable report here")
     parser.add_argument("--table", action="store_true",
@@ -128,7 +139,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     # before the run; only this validation may catch KeyError (the error
     # resolve_kernels raises), so a genuine KeyError bug inside the harness
     # still produces a traceback instead of masquerading as a typo.
+    run_dir = None
     try:
+        if args.resume is not None and not args.resume.strip():
+            # An empty id (e.g. a failed command substitution in CI) must
+            # not silently degrade into a fresh full sweep.
+            raise ReproError("--resume requires a run id")
+        if args.resume:
+            run_dir = RunDirectory.open(args.resume, root=args.runs_root)
+            meta = run_dir.meta
+            if meta.get("kind") != "verify":
+                raise ReproError(
+                    f"run {args.resume} is a {meta.get('kind')!r} run; "
+                    f"resume it with python -m repro.{meta.get('kind')}")
+            matrix = meta["matrix"]
+            args.kernels = ",".join(matrix["kernels"])
+            args.variants = ",".join(matrix["variants"])
+            args.arbiters = ",".join(matrix["arbiters"])
+            args.no_rtos = bool(matrix.get("no_rtos", False))
+            args.engine = matrix.get("engine", args.engine)
         variants = _select(DEFAULT_VARIANTS, args.variants, "variant")
         arbiters = _select(DEFAULT_ARBITERS, args.arbiters, "arbiter")
         kernels = resolve_kernels(
@@ -151,14 +180,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
     try:
+        rtos_scenarios = () if args.no_rtos else DEFAULT_RTOS_SCENARIOS
+        cells = count_cells(kernels, variants, arbiters, rtos_scenarios)
+        if args.resume:
+            run_dir.mark_resumed(cells)
+            if not args.quiet:
+                print(f"resuming run {run_dir.run_id}")
+        elif not args.no_journal:
+            matrix = {"kernels": list(kernels),
+                      "variants": [v.name for v in variants],
+                      "arbiters": [a.name for a in arbiters],
+                      "no_rtos": bool(args.no_rtos),
+                      "engine": args.engine}
+            run_dir = RunDirectory.create("verify", matrix, cells=cells,
+                                          root=args.runs_root)
+            if not args.quiet:
+                print(f"run id: {run_dir.run_id} "
+                      f"(resume with --resume {run_dir.run_id})")
         report = run_conformance(
             kernels=kernels, variants=variants, arbiters=arbiters,
-            rtos_scenarios=() if args.no_rtos else DEFAULT_RTOS_SCENARIOS,
+            rtos_scenarios=rtos_scenarios,
             jobs=args.jobs, engine=args.engine,
-            progress=None if args.quiet else print)
+            progress=None if args.quiet else print,
+            run_dir=run_dir, resume=bool(args.resume))
+    except SweepInterrupted as exc:
+        print(f"\ninterrupted: {exc}", file=sys.stderr)
+        if exc.resume_argv:
+            print(f"resume with: python -m repro.verify {exc.resume_argv}",
+                  file=sys.stderr)
+        return 130
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if run_dir is not None:
+            run_dir.close()
 
     if args.table:
         print()

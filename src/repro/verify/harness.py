@@ -37,17 +37,18 @@ the verification loudly.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..cmp.system import MulticoreSystem
 from ..compiler.passes import compile_and_link
 from ..config import DEFAULT_CONFIG, PatmosConfig
-from ..errors import FailedCell, VerificationError, WorkerCrashed
+from ..errors import (FailedCell, SweepInterrupted, VerificationError,
+                      WorkerCrashed)
 from ..explore.tables import format_table
+from ..jobs import JobCell, RetryPolicy, RunDirectory, run_jobs
 from ..sim.cycle import CycleSimulator
 from ..wcet.analyzer import WcetOptions, analyze_wcet
 from ..workloads.suite import build_kernel
@@ -462,6 +463,14 @@ _RETRY_BACKOFF_S = 0.05
 _MAX_BACKOFF_S = 2.0
 
 
+def _policy() -> RetryPolicy:
+    """The harness retry policy (module globals read at call time, so the
+    containment tests can zero the backoff)."""
+    return RetryPolicy(max_attempts=1 + _MAX_GROUP_RETRIES,
+                       backoff_base_s=_RETRY_BACKOFF_S,
+                       backoff_cap_s=_MAX_BACKOFF_S)
+
+
 def _crashed_group(group: list[Scenario], attempts: int) -> FailedCell:
     """The structured failure record of a group that kept killing workers."""
     labels = [scenario.label() for scenario in group]
@@ -475,90 +484,57 @@ def _crashed_group(group: list[Scenario], attempts: int) -> FailedCell:
     return cell
 
 
-def _run_parallel(scenarios: list[Scenario],
-                  config: Optional[PatmosConfig], strict: bool, jobs: int,
-                  progress: Optional[Callable[[str], None]],
-                  engine: str = "fast"
-                  ) -> Optional[tuple[list[Optional[list[ScenarioOutcome]]],
-                                      list[FailedCell]]]:
-    """Fan scenario groups out over a worker pool; ``None`` = fall back.
+def _group_key(kernel: str, hardware: str, arbiter: ArbiterConfig) -> str:
+    """Stable journal key of one scenario group (one simulation key).
 
-    Scenarios sharing a (kernel, hardware, arbiter) simulation stay in one
-    group so the per-worker memoisation is preserved; outcomes are placed
-    by scenario index, so the assembled outcome list is the deterministic
-    scenario order however the workers interleave.  A worker killed
-    mid-group breaks the pool; its group (and any group still in flight)
-    is resubmitted to a fresh pool after a capped backoff, and a group
-    exhausting the retry budget becomes a :class:`FailedCell` (its slots
-    stay ``None``).  An error *raised by* a scenario always propagates.
-    ``None`` is returned only when the environment cannot run worker
-    processes at all — the caller falls back to the sequential path.
+    The arbiter's display name is suffixed with a content hash of the full
+    frozen config, so two configs that happen to share a name can never
+    replay each other's journaled results.
     """
-    groups: dict[tuple, list[int]] = {}
-    for index, scenario in enumerate(scenarios):
-        key = (scenario.kernel, scenario.variant.hardware, scenario.arbiter)
-        groups.setdefault(key, []).append(index)
-    group_indices = list(groups.values())
-    payloads = [[scenarios[i] for i in indices] for indices in group_indices]
-    try:
-        import multiprocessing
-        try:
-            # Forked workers share the parent's loaded modules — cheaper
-            # startup, and the behaviour the containment tests rely on.
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - platform-dependent
-            context = multiprocessing.get_context()
-    except ImportError:  # pragma: no cover - platform-dependent
-        return None
-    initargs = (config.to_dict() if config is not None else None, strict,
-                engine)
-    outcome_lists: list[Optional[list[ScenarioOutcome]]] = \
-        [None] * len(scenarios)
-    failures: list[FailedCell] = []
+    digest = hashlib.sha256(repr(arbiter).encode("utf-8")).hexdigest()[:8]
+    return f"group/{kernel}/{hardware}/{arbiter.name}-{digest}"
 
-    def place(g: int, results: list[list[ScenarioOutcome]]) -> None:
-        for index, outcomes in zip(group_indices[g], results):
-            outcome_lists[index] = outcomes
-            if progress is not None:
-                _emit_progress(progress, scenarios[index], outcomes)
 
-    crashed: list[int] = []
-    try:
-        with ProcessPoolExecutor(
-                max_workers=min(jobs, len(payloads)), mp_context=context,
-                initializer=_init_worker, initargs=initargs) as pool:
-            futures = {g: pool.submit(_group_worker, payloads[g])
-                       for g in range(len(payloads))}
-            for g in range(len(payloads)):
-                try:
-                    place(g, futures[g].result())
-                except BrokenProcessPool:
-                    crashed.append(g)
-        # Crash-suspected groups re-run one at a time, each in its own
-        # single-worker pool: isolation separates the poisoned group (it
-        # keeps dying → FailedCell) from innocent groups that merely
-        # shared the broken pool (they complete on their retry).
-        for g in crashed:
-            attempts = 1  # the broken-pool round already executed it once
-            while attempts <= _MAX_GROUP_RETRIES:
-                time.sleep(min(_RETRY_BACKOFF_S * (2 ** (attempts - 1)),
-                               _MAX_BACKOFF_S))
-                attempts += 1
-                with ProcessPoolExecutor(
-                        max_workers=1, mp_context=context,
-                        initializer=_init_worker,
-                        initargs=initargs) as pool:
-                    try:
-                        place(g, pool.submit(_group_worker,
-                                             payloads[g]).result())
-                        break
-                    except BrokenProcessPool:
-                        continue
-            else:
-                failures.append(_crashed_group(payloads[g], attempts))
-    except OSError:  # pragma: no cover - restricted environment
-        return None
-    return outcome_lists, failures
+def _outcome_from_dict(record: dict) -> ScenarioOutcome:
+    """Inverse of :meth:`ScenarioOutcome.to_dict` (derived fields dropped)."""
+    return ScenarioOutcome(
+        kernel=record["kernel"], variant=record["variant"],
+        arbiter=record["arbiter"], cores=record["cores"],
+        core_id=record["core"], cycles=record["cycles"],
+        wcet_cycles=record["wcet_cycles"])
+
+
+def _loopcheck_from_dict(record: dict) -> LoopCheck:
+    """Inverse of :meth:`LoopCheck.to_dict` (derived fields dropped)."""
+    return LoopCheck(
+        kernel=record["kernel"], function=record["function"],
+        header=record["header"], annotated=record["annotated"],
+        inferred=record["inferred"], bound=record["bound"],
+        entries=record["entries"], observed=record["observed"],
+        limit=record["limit"])
+
+
+def _interrupted(run_dir: Optional[RunDirectory]) -> SweepInterrupted:
+    if run_dir is None:
+        return SweepInterrupted(
+            "verification interrupted; the run was not journaled "
+            "(no run directory)")
+    resume_argv = f"--resume {run_dir.run_id}"
+    return SweepInterrupted(
+        f"verification interrupted; journal flushed — resume with: "
+        f"python -m repro.verify {resume_argv}",
+        run_id=run_dir.run_id, resume_argv=resume_argv)
+
+
+def count_cells(kernels=("all",),
+                variants: tuple[CacheModelVariant, ...] = DEFAULT_VARIANTS,
+                arbiters: tuple[ArbiterConfig, ...] = DEFAULT_ARBITERS,
+                rtos_scenarios: tuple[RtosScenario, ...] = ()) -> int:
+    """How many journal cells a conformance run of this matrix executes."""
+    scenarios = build_scenarios(kernels, variants, arbiters)
+    groups = {(s.kernel, s.variant.hardware, s.arbiter) for s in scenarios}
+    kernels_seen = {s.kernel for s in scenarios}
+    return len(groups) + len(kernels_seen) + len(rtos_scenarios)
 
 
 def run_conformance(kernels=("all",),
@@ -570,54 +546,141 @@ def run_conformance(kernels=("all",),
                     strict: bool = True,
                     jobs: int = 1,
                     progress: Optional[Callable[[str], None]] = None,
-                    engine: str = "fast"
+                    engine: str = "fast",
+                    run_dir: Optional[RunDirectory] = None,
+                    resume: bool = False
                     ) -> ConformanceReport:
     """Run the full conformance matrix and collect the report.
 
-    ``jobs > 1`` runs scenario groups on a worker pool; the report content
-    is identical to a sequential run (deterministic scenario order), only
-    the progress lines arrive in group order and ``elapsed_s`` reflects the
-    parallel wall-clock.  The response-time cells (``rtos_scenarios``; pass
-    ``()`` to skip them) run after the kernel matrix on the main process —
-    there are only a handful.  ``progress`` (if given) receives one line per
-    finished scenario; the report itself never raises on soundness
-    violations — callers decide (the CLI and the CI gate exit non-zero when
-    ``violations()`` is non-empty).
+    Scenario cells execute through the shared :mod:`repro.jobs` engine:
+    scenarios sharing a (kernel, hardware, arbiter) simulation stay in one
+    group so the per-worker memoisation is preserved, and ``jobs > 1``
+    fans the groups out over a heartbeat-supervised worker pool.  The
+    report content is identical to a sequential run (deterministic
+    scenario order), only the progress lines arrive in completion order
+    and ``elapsed_s`` reflects the parallel wall-clock.  A worker that
+    *dies* does not abort the run: its group is re-leased under the
+    harness retry policy and becomes a :class:`~repro.errors.FailedCell`
+    once the budget is exhausted, while errors *raised by* a scenario
+    (functional mismatches) always propagate.
+
+    With a ``run_dir`` every cell transition is journaled; ``resume=True``
+    replays the journal first and re-executes only cells without a
+    recorded result (the resumed report is byte-identical — modulo
+    ``elapsed_s`` — to an uninterrupted run).  SIGINT/SIGTERM drain
+    gracefully and raise :class:`~repro.errors.SweepInterrupted` carrying
+    the resume command.
+
+    The response-time cells (``rtos_scenarios``; pass ``()`` to skip them)
+    and the per-kernel loop checks run after the kernel matrix on the main
+    process — there are only a handful.  ``progress`` (if given) receives
+    one line per finished scenario; the report itself never raises on
+    soundness violations — callers decide (the CLI and the CI gate exit
+    non-zero when ``violations()`` is non-empty).
     """
     if jobs < 1:
         raise VerificationError("jobs must be >= 1")
     scenarios = build_scenarios(kernels, variants, arbiters)
     report = ConformanceReport()
     started = time.perf_counter()
-    outcome_lists = None
-    if jobs > 1 and len(scenarios) > 1:
-        parallel = _run_parallel(scenarios, config, strict, jobs, progress,
-                                 engine=engine)
-        if parallel is not None:
-            outcome_lists, failures = parallel
-            report.failures.extend(failures)
-    harness = None
-    if outcome_lists is None:
-        harness = ConformanceHarness(config=config, strict=strict,
-                                     engine=engine)
-        outcome_lists = []
-        for scenario in scenarios:
-            outcomes = harness.run_scenario(scenario)
-            outcome_lists.append(outcomes)
+    journal = run_dir.journal() if run_dir is not None else None
+    replay = run_dir.replay() if (run_dir is not None and resume) else None
+
+    groups: dict[tuple, list[int]] = {}
+    for index, scenario in enumerate(scenarios):
+        key = (scenario.kernel, scenario.variant.hardware, scenario.arbiter)
+        groups.setdefault(key, []).append(index)
+    group_indices = list(groups.values())
+    payloads = [[scenarios[i] for i in indices] for indices in group_indices]
+    keys = [_group_key(*group) for group in groups]
+    outcome_lists: list[Optional[list[ScenarioOutcome]]] = \
+        [None] * len(scenarios)
+
+    def place(g: int, results: list[list[ScenarioOutcome]]) -> None:
+        for index, outcomes in zip(group_indices[g], results):
+            outcome_lists[index] = outcomes
             if progress is not None:
-                _emit_progress(progress, scenario, outcomes)
-    # The per-loop soundness gate: one default-hardware run per kernel,
-    # cross-checked against the analysed loop bounds (runs on the main
-    # process — the simulations are shared with sequential matrix cells).
-    if harness is None:
-        harness = ConformanceHarness(config=config, strict=strict,
-                                     engine=engine)
+                _emit_progress(progress, scenarios[index], outcomes)
+
+    g_of_key = {keys[g]: g for g in range(len(payloads))}
+    to_run: list[int] = []
+    for g in range(len(payloads)):
+        recorded = replay.done.get(keys[g]) if replay is not None else None
+        if recorded is not None:
+            # Journaled groups are *replayed*, not re-executed: the payload
+            # is the full per-scenario outcome list.
+            place(g, [[_outcome_from_dict(record) for record in outcomes]
+                      for outcomes in recorded])
+        else:
+            to_run.append(g)
+
+    def group_label(g: int) -> str:
+        labels = [scenario.label() for scenario in payloads[g]]
+        extra = f" (+{len(labels) - 1} more)" if len(labels) > 1 else ""
+        return labels[0] + extra
+
+    # The sequential path runs every group on one in-process harness (its
+    # simulation memoisation is shared with the loop/rtos cells below);
+    # only ``jobs > 1`` routes groups through the pool entry point, so a
+    # test that replaces ``_run_scenario_group`` only ever affects forked
+    # workers, never the calling process.
+    local_harness = (ConformanceHarness(config=config, strict=strict,
+                                        engine=engine)
+                     if jobs == 1 else None)
+
+    def _serial_group(group: list[Scenario]) -> list[list[ScenarioOutcome]]:
+        return [local_harness.run_scenario(scenario) for scenario in group]
+
+    outcome = run_jobs(
+        [JobCell(key=keys[g], label=group_label(g), payload=payloads[g])
+         for g in to_run],
+        _serial_group if jobs == 1 else _group_worker,
+        jobs=jobs, policy=_policy(), journal=journal,
+        worker_init=_init_worker if jobs > 1 else None,
+        init_args=(config.to_dict() if config is not None else None,
+                   strict, engine),
+        crash_failure=lambda cell, attempts: _crashed_group(cell.payload,
+                                                            attempts),
+        encode=lambda results: [[o.to_dict() for o in outcomes]
+                                for outcomes in results],
+        on_result=lambda cell, results: place(g_of_key[cell.key], results))
+    report.failures.extend(outcome.failures)
+    if outcome.interrupted:
+        raise _interrupted(run_dir)
+
+    # The per-loop soundness gate and the response-time cells run on the
+    # main process — there are only a handful, and the sequential path
+    # shares its simulation memoisation with the matrix cells above.
+    harness = local_harness if local_harness is not None \
+        else ConformanceHarness(config=config, strict=strict, engine=engine)
     seen_kernels: list[str] = []
     for scenario in scenarios:
         if scenario.kernel not in seen_kernels:
             seen_kernels.append(scenario.kernel)
+
+    def run_main_cell(key: str, fn, encode, decode):
+        """One journaled main-process cell (loop check / rtos scenario)."""
+        recorded = replay.done.get(key) if replay is not None else None
+        if recorded is not None:
+            return decode(recorded)
+        if journal is not None:
+            journal.cell(key, "running", 1)
+        try:
+            value = fn()
+        except KeyboardInterrupt:
+            if journal is not None:
+                journal.commit()
+            raise _interrupted(run_dir) from None
+        if journal is not None:
+            journal.cell(key, "done", 1, payload=encode(value))
+        return value
+
     for kernel in seen_kernels:
-        checks = harness.run_loop_checks(kernel)
+        checks = run_main_cell(
+            f"loops/{kernel}",
+            lambda kernel=kernel: harness.run_loop_checks(kernel),
+            lambda checks: [check.to_dict() for check in checks],
+            lambda records: [_loopcheck_from_dict(r) for r in records])
         report.loop_checks.extend(checks)
         if progress is not None:
             bad = sum(1 for check in checks if check.ok is False)
@@ -625,10 +688,16 @@ def run_conformance(kernels=("all",),
             progress(f"{kernel + ' loop bounds':60s} "
                      f"{len(checks):3d} loops checked  {status}")
     for rtos_scenario in rtos_scenarios:
-        outcomes = harness.run_rtos_scenario(rtos_scenario)
+        outcomes = run_main_cell(
+            f"rtos/{rtos_scenario.name}",
+            lambda s=rtos_scenario: harness.run_rtos_scenario(s),
+            lambda outcomes: [o.to_dict() for o in outcomes],
+            lambda records: [_outcome_from_dict(r) for r in records])
         outcome_lists.append(outcomes)
         if progress is not None:
             _emit_progress(progress, rtos_scenario, outcomes)
+    if journal is not None:
+        journal.commit()
     for outcomes in outcome_lists:
         # ``None`` slots belong to a crash-failed group recorded above.
         if outcomes is not None:

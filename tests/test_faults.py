@@ -425,7 +425,25 @@ class TestErrorTaxonomy:
         exc = SimulationTimeout("boom", kind="cycles", limit=10, cycle=12,
                                 core_id=1)
         assert exc.context() == {"kind": "cycles", "limit": 10,
-                                 "cycle": 12, "core": 1}
+                                 "cycle": 12, "core": 1,
+                                 "max_cycles": 10, "max_wall_s": None,
+                                 "cycles_completed": 12}
+
+    def test_simulation_timeout_structured_budgets(self):
+        # Both armed budgets survive structurally regardless of which fired,
+        # so journal entries can report how far a timed-out cell got.
+        exc = SimulationTimeout("boom", kind="wall_clock", limit=2.5,
+                                cycle=900, core_id=0, max_cycles=1000,
+                                max_wall_s=2.5)
+        assert exc.max_cycles == 1000
+        assert exc.max_wall_s == 2.5
+        assert exc.cycles_completed == 900
+        assert exc.context()["max_wall_s"] == 2.5
+        # The fired budget doubles as the matching structured field when
+        # only ``limit`` was supplied (legacy raise sites).
+        legacy = SimulationTimeout("boom", kind="wall_clock", limit=1.0)
+        assert legacy.max_wall_s == 1.0
+        assert legacy.max_cycles is None
 
     def test_failed_cell_from_exception(self):
         from repro.errors import FailedCell, WorkerCrashed
